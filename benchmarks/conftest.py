@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment sweep once (``benchmark.pedantic`` with a single
+round — the sweep itself is the measured unit), prints the same
+rows/series the paper reports, and asserts the qualitative shape that the
+reproduction is expected to preserve (who wins, roughly by how much,
+where crossovers fall).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.experiments import figure5_workload
+
+
+@pytest.fixture(scope="session")
+def params() -> SimulationParameters:
+    return SimulationParameters()
+
+
+@pytest.fixture(scope="session")
+def workload():
+    """The full-size (paper-scale) Figure 5 workload."""
+    return figure5_workload()
+
+
+@pytest.fixture(scope="session")
+def small_workload():
+    """A 20%-scale workload for the ablation benchmarks."""
+    return figure5_workload(scale=0.2)
+
+
+def run_measured(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Ablation — batch size and context-switch overhead (Section 3.2).
+
+"The rationale behind considering batches of tuples rather than
+individual tuples is to reduce the potential overheads due to frequent
+switches between scheduled query fragments."  This sweep measures DSE
+across batch sizes, with and without a context-switch cost.
+
+Expected shape: with a nonzero switch cost, tiny batches hurt (more
+switches); the effect disappears when switching is free.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+BATCH_SIZES = [25, 100, 400, 1600]
+SWITCH_COSTS = [0.0, 10_000.0]
+
+
+def test_ablation_batch_size(benchmark, small_workload, params):
+    def factory():
+        return {name: UniformDelay(params.w_min)
+                for name in small_workload.relation_names}
+
+    def sweep():
+        grid = {}
+        for switch in SWITCH_COSTS:
+            for batch in BATCH_SIZES:
+                point_params = params.with_overrides(
+                    batch_tuples=batch, context_switch_instructions=switch)
+                grid[(switch, batch)] = run_once(
+                    small_workload.catalog, small_workload.qep, "DSE",
+                    factory, point_params, seed=3)
+            # Footnote 1: "batch size can vary dynamically".
+            point_params = params.with_overrides(
+                adaptive_batching=True, context_switch_instructions=switch)
+            grid[(switch, "adaptive")] = run_once(
+                small_workload.catalog, small_workload.qep, "DSE",
+                factory, point_params, seed=3)
+        return grid
+
+    grid = run_measured(benchmark, sweep)
+    print()
+    rows = []
+    for (switch, batch), result in grid.items():
+        rows.append([f"{switch:g}", str(batch),
+                     f"{result.response_time:.3f}",
+                     str(result.context_switches),
+                     str(result.batches_processed)])
+    print(format_table(
+        ["switch cost (instr)", "batch (tuples)", "response (s)",
+         "switches", "batches"],
+        rows, title="DSE vs batch size and context-switch cost"))
+
+    # Smaller batches mean more switches.
+    assert (grid[(10_000.0, 25)].context_switches
+            >= grid[(10_000.0, 1600)].context_switches)
+    # With expensive switches, tiny batches are slower than large ones.
+    assert (grid[(10_000.0, 25)].response_time
+            >= grid[(10_000.0, 1600)].response_time * 0.999)
+    # Adaptive batching is competitive with the best fixed size.
+    for switch in SWITCH_COSTS:
+        best_fixed = min(grid[(switch, b)].response_time
+                         for b in BATCH_SIZES)
+        assert grid[(switch, "adaptive")].response_time <= best_fixed * 1.1
+    # All configurations agree on the answer.
+    assert len({r.result_tuples for r in grid.values()}) == 1

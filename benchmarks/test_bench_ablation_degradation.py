@@ -1,0 +1,65 @@
+"""Ablation — what does PC degradation itself contribute?
+
+Compares SEQ, DSE-ND (concurrent scheduling of C-schedulable PCs, no
+materialization — the intermediate design of Section 2.3) and full DSE.
+
+Expected shape: concurrency alone already beats SEQ; degradation adds a
+further large step precisely when a *blocked* chain's source is slow
+("this method will not apply if delivery problems appear with W_E" —
+only materialization can overlap those).
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, slowdown_waits
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+STRATEGIES = ["SEQ", "DSE-ND", "DSE"]
+
+
+def test_ablation_degradation(benchmark, workload, params):
+    def measure(slowed, retrieval):
+        waits = slowdown_waits(workload, slowed, retrieval, params)
+
+        def factory():
+            return {name: UniformDelay(w) for name, w in waits.items()}
+
+        return {strategy: run_once(workload.catalog, workload.qep, strategy,
+                                   factory, params, seed=1)
+                for strategy in STRATEGIES}
+
+    def sweep():
+        return {
+            "none (w_min)": measure("A", 0.0),
+            "A slowed to 8s": measure("A", 8.0),
+            "F slowed to 8s": measure("F", 8.0),
+        }
+
+    table = run_measured(benchmark, sweep)
+    rows = []
+    for scenario, measured in table.items():
+        rows.append([scenario]
+                    + [f"{measured[s].response_time:.3f}" for s in STRATEGIES]
+                    + [str(measured["DSE"].degradations)])
+    print()
+    print(format_table(["scenario"] + [f"{s} (s)" for s in STRATEGIES]
+                       + ["DSE degradations"],
+                       rows, title="Contribution of PC degradation"))
+
+    for scenario, measured in table.items():
+        seq = measured["SEQ"].response_time
+        nd = measured["DSE-ND"].response_time
+        dse = measured["DSE"].response_time
+        # Concurrency alone already helps...
+        assert nd < seq, scenario
+        # ...and full DSE is at least as good everywhere.
+        assert dse <= nd * 1.02, scenario
+        assert measured["DSE-ND"].degradations == 0
+        assert measured["DSE-ND"].tuples_spilled == 0
+
+    # Degradation's step matters most when a *blocked* slow chain exists:
+    # F is blocked by pA/pB, so DSE-ND cannot touch its delay.
+    f_slow = table["F slowed to 8s"]
+    assert (f_slow["DSE"].response_time
+            < 0.9 * f_slow["DSE-ND"].response_time)

@@ -1,0 +1,66 @@
+"""Ablation — memory limitation (Section 4.2).
+
+Sweeps the query memory budget from roomy down to barely feasible.  The
+DQS discovers non-M-schedulable chains and the DQO splits them with
+materializations ([4]'s technique).
+
+Expected shape: smaller budgets force more splits and more spilled
+tuples, response time grows, peak residency never exceeds the budget,
+and the result stays exact.  Below the largest single hash table the
+query is correctly refused.
+"""
+
+import pytest
+from conftest import run_measured
+
+from repro.common.errors import MemoryOverflowError
+from repro.experiments import format_table
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+# At 20% scale SEQ's peak residency is ~1.76 MB (J2 + the final table);
+# the floor is ~1.44 MB (the two tables the root chain probes together).
+BUDGETS_MB = [64.0, 1.7, 1.55, 1.45]
+
+
+def test_ablation_memory(benchmark, small_workload, params):
+    def factory():
+        return {name: UniformDelay(params.w_min)
+                for name in small_workload.relation_names}
+
+    def sweep():
+        results = {}
+        for budget_mb in BUDGETS_MB:
+            point_params = params.with_overrides(
+                query_memory_bytes=int(budget_mb * 1024 * 1024))
+            results[budget_mb] = run_once(
+                small_workload.catalog, small_workload.qep, "SEQ",
+                factory, point_params, seed=4)
+        return results
+
+    results = run_measured(benchmark, sweep)
+    print()
+    rows = []
+    for budget_mb, result in results.items():
+        rows.append([f"{budget_mb:g}", f"{result.response_time:.3f}",
+                     str(result.memory_splits),
+                     f"{result.memory_peak_bytes / 1024 / 1024:.2f}",
+                     str(result.tuples_spilled)])
+    print(format_table(
+        ["budget (MB)", "response (s)", "splits", "peak (MB)", "spilled"],
+        rows, title="SEQ under shrinking memory budgets (20% scale)"))
+
+    roomy = results[BUDGETS_MB[0]]
+    tightest = results[BUDGETS_MB[-1]]
+    assert roomy.memory_splits == 0
+    assert tightest.memory_splits >= 1
+    assert tightest.response_time >= roomy.response_time
+    for budget_mb, result in results.items():
+        assert result.memory_peak_bytes <= budget_mb * 1024 * 1024
+        assert result.result_tuples == roomy.result_tuples
+
+    # Below the largest single table the query cannot run at all.
+    impossible = params.with_overrides(query_memory_bytes=512 * 1024)
+    with pytest.raises(MemoryOverflowError):
+        run_once(small_workload.catalog, small_workload.qep, "SEQ",
+                 factory, impossible, seed=4)

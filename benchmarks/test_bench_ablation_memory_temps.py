@@ -1,0 +1,61 @@
+"""Ablation — materializing in memory vs on disk (Section 2.2).
+
+"Such a materialization can occur in memory or on disk depending on the
+available resources."  With ``allow_memory_temps``, DSE's partial
+materializations go into query memory when the estimate fits, skipping
+both directions of disk I/O.
+
+Expected shape: with a roomy budget, memory temps eliminate DSE's disk
+traffic and shave response time at a higher memory peak; with a tight
+budget the temps fall back to disk and behaviour converges to the
+disk-based configuration.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, slowdown_waits
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+
+def test_ablation_memory_temps(benchmark, workload, params):
+    waits = slowdown_waits(workload, "F", 8.0, params)
+
+    def factory():
+        return {n: UniformDelay(w) for n, w in waits.items()}
+
+    def sweep():
+        grid = {}
+        for label, memory_temps, budget_mb in [
+                ("disk temps", False, 256),
+                ("memory temps, roomy", True, 256),
+                ("memory temps, tight", True, 14),
+        ]:
+            point_params = params.with_overrides(
+                allow_memory_temps=memory_temps,
+                query_memory_bytes=budget_mb * 1024 * 1024)
+            grid[label] = run_once(workload.catalog, workload.qep, "DSE",
+                                   factory, point_params, seed=1)
+        return grid
+
+    grid = run_measured(benchmark, sweep)
+    print()
+    rows = [[label, f"{r.response_time:.3f}", f"{r.disk_busy_time:.2f}",
+             f"{r.memory_peak_bytes / 1e6:.1f}", str(r.tuples_spilled)]
+            for label, r in grid.items()]
+    print(format_table(
+        ["configuration", "response (s)", "disk busy (s)", "peak (MB)",
+         "spilled"],
+        rows, title="DSE materialization target (F slowed to 8 s)"))
+
+    disk = grid["disk temps"]
+    roomy = grid["memory temps, roomy"]
+    tight = grid["memory temps, tight"]
+    assert roomy.disk_busy_time < 0.2 * disk.disk_busy_time
+    assert roomy.response_time <= disk.response_time * 1.02
+    assert roomy.memory_peak_bytes > disk.memory_peak_bytes
+    # Under pressure, temps fall back to disk and the budget holds.
+    assert tight.disk_busy_time > 0
+    assert tight.memory_peak_bytes <= 14 * 1024 * 1024
+    # Everyone computes the same answer.
+    assert disk.result_tuples == roomy.result_tuples == tight.result_tuples

@@ -1,0 +1,47 @@
+"""Figure 5 — the experiment QEP.
+
+Prints the reconstructed plan, its pipeline chains, blocking dependencies
+and annotations, and checks every structural constraint the paper states
+about it (Sections 5.1.1 and 5.2).
+"""
+
+from conftest import run_measured
+
+from repro.experiments import figure5_workload, format_table
+from repro.plan import ancestor_closure, validate_qep
+
+
+def test_fig5_plan(benchmark):
+    workload = run_measured(benchmark, figure5_workload)
+    qep = workload.qep
+    validate_qep(qep)
+
+    print()
+    print("Figure 5 QEP (reconstruction):")
+    print(qep.describe())
+    print()
+    rows = []
+    closure = ancestor_closure(qep)
+    for chain in qep.chains:
+        rows.append([
+            chain.name,
+            f"{chain.estimated_input_cardinality:,.0f}",
+            f"{chain.estimated_output_cardinality:,.0f}",
+            f"{chain.memory_requirement() // 1024} KB",
+            ",".join(sorted(closure[chain.name])) or "-",
+        ])
+    print(format_table(
+        ["PC", "input tuples", "output tuples", "mem(op) sum", "ancestors*"],
+        rows, title="Pipeline chains"))
+
+    # Paper constraints (Section 5.1.1 / 5.2):
+    cards = {r.name: r.cardinality for r in workload.catalog}
+    assert sum(1 for c in cards.values() if 100_000 <= c <= 200_000) == 4
+    assert sum(1 for c in cards.values() if 10_000 <= c <= 20_000) == 2
+    assert closure["pB"] >= {"pA"}
+    assert closure["pF"] >= {"pA", "pB"}
+    assert all("pC" not in anc for name, anc in closure.items())
+    # pB and pF represent roughly half the query's source tuples.
+    blocked = cards["B"] + cards["F"]
+    total = sum(cards.values())
+    assert 0.4 <= blocked / total <= 0.7

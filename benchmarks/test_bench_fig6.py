@@ -1,0 +1,52 @@
+"""Figure 6 — one slowed-down relation (A).
+
+X axis: total time to retrieve A entirely; curves: SEQ, MA, DSE (+ LWB).
+
+Expected shape (Section 5.2): SEQ grows linearly with the slowdown; MA is
+roughly constant (it cannot overlap a single relation's delay with
+anything) and is the worst at small slowdowns; DSE is below SEQ
+everywhere, with a substantial gain even at w = w_min; LWB lower-bounds
+everything.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, run_slowdown_experiment
+from repro.experiments.slowdown import STRATEGIES
+
+RETRIEVAL_TIMES = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+
+def test_fig6_slowing_A(benchmark, workload, params):
+    points = run_measured(
+        benchmark,
+        lambda: run_slowdown_experiment(workload, "A", RETRIEVAL_TIMES,
+                                        params, repetitions=1))
+    print()
+    print(format_table(
+        ["retrieval(A) s"] + STRATEGIES + ["LWB"],
+        [p.row() for p in points],
+        title="Figure 6: one slowed-down relation (A) — response time (s)"))
+
+    seq = [p.response_times["SEQ"] for p in points]
+    ma = [p.response_times["MA"] for p in points]
+    dse = [p.response_times["DSE"] for p in points]
+
+    # SEQ increases roughly linearly with the slowdown.
+    assert all(b > a for a, b in zip(seq, seq[1:]))
+    slope = (seq[-1] - seq[0]) / (RETRIEVAL_TIMES[-1] - RETRIEVAL_TIMES[0])
+    assert 0.7 <= slope <= 1.3  # ~1 second per second of added delay
+
+    # MA is roughly constant: bounded variation across the sweep.
+    assert max(ma) - min(ma) < 0.35 * (max(seq) - min(seq))
+
+    # DSE beats SEQ everywhere, by a large margin at high slowdown.
+    assert all(d < s for d, s in zip(dse, seq))
+    assert dse[-1] < 0.75 * seq[-1]
+
+    # Visible DSE gain even at w = w_min (paper: "around 40%!").
+    assert dse[0] < 0.85 * seq[0]
+
+    # LWB is a true lower bound (0.5% slack: it bounds *expected* delays).
+    for p in points:
+        assert p.lwb <= min(p.response_times.values()) * 1.005

@@ -1,0 +1,45 @@
+"""Figure 7 — one slowed-down relation (F).
+
+Same sweep as Figure 6 but slowing F.  Expected shape: as Figure 6, plus
+the paper's observation that "DSE achieves better performance improvement
+with F than with A, specifically when the slowdown is high" — F does not
+gate half the query the way A does, so DSE can hide almost all of its
+delay (its curve stays near the LWB).
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, run_slowdown_experiment
+from repro.experiments.slowdown import STRATEGIES
+
+RETRIEVAL_TIMES = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+
+
+def test_fig7_slowing_F(benchmark, workload, params):
+    points = run_measured(
+        benchmark,
+        lambda: run_slowdown_experiment(workload, "F", RETRIEVAL_TIMES,
+                                        params, repetitions=1))
+    print()
+    print(format_table(
+        ["retrieval(F) s"] + STRATEGIES + ["LWB"],
+        [p.row() for p in points],
+        title="Figure 7: one slowed-down relation (F) — response time (s)"))
+
+    seq = [p.response_times["SEQ"] for p in points]
+    dse = [p.response_times["DSE"] for p in points]
+
+    assert all(d < s for d, s in zip(dse, seq))
+    # At the highest slowdown DSE hides nearly all of F's delay: it stays
+    # within 25% of the analytic lower bound.
+    assert dse[-1] <= points[-1].lwb * 1.25
+
+    # Cross-figure comparison (the paper's headline for Section 5.2):
+    # relative DSE gain at max slowdown is larger for F than for A.
+    a_points = run_slowdown_experiment(workload, "A", [RETRIEVAL_TIMES[-1]],
+                                       params, repetitions=1)
+    gain_a = 1 - (a_points[0].response_times["DSE"]
+                  / a_points[0].response_times["SEQ"])
+    gain_f = 1 - dse[-1] / seq[-1]
+    print(f"\nDSE gain at 8 s slowdown: A={gain_a:.1%}  F={gain_f:.1%}")
+    assert gain_f > gain_a

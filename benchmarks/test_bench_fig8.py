@@ -1,0 +1,44 @@
+"""Figure 8 — several slowed-down input relations.
+
+All wrappers share an increasing ``w_min``; the figure plots DSE's gain
+over SEQ.  Expected shape (Section 5.3): the gain "increases with the
+w_min value and goes up to 70%"; at very fast networks (small w_min) the
+engine is CPU-bound and the gain vanishes; the paper's 100 Mb/s operating
+point (w_min = 20 µs) sits partway up the curve.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, run_uniform_slowdown_experiment
+
+W_VALUES = [5e-6, 10e-6, 15e-6, 20e-6, 35e-6, 50e-6, 80e-6, 120e-6]
+
+
+def test_fig8_uniform_slowdown(benchmark, workload, params):
+    points = run_measured(
+        benchmark,
+        lambda: run_uniform_slowdown_experiment(workload, W_VALUES, params,
+                                                repetitions=1))
+    print()
+    print(format_table(
+        ["w_min (µs)", "SEQ (s)", "DSE (s)", "gain (%)", "LWB (s)"],
+        [p.row() for p in points],
+        title="Figure 8: DSE gain over SEQ vs w_min"))
+
+    by_w = {round(p.w_min * 1e6): p for p in points}
+
+    # Fast network: CPU-bound, no gain to be had (|gain| small).
+    assert abs(by_w[5].gain) < 0.05
+
+    # The paper's 100 Mb/s point (20 µs) shows a clear gain.
+    assert by_w[20].gain > 0.2
+
+    # The gain grows toward a high plateau (paper: up to 70%).
+    assert by_w[120].gain > 0.55
+    assert by_w[120].gain > by_w[20].gain > by_w[5].gain
+
+    # The plateau is bounded by the structural limit
+    # 1 - max_p(n_p)/sum_p(n_p) (retrieval overlap cannot do better).
+    cards = [r.cardinality for r in workload.catalog]
+    structural = 1 - max(cards) / sum(cards)
+    assert by_w[120].gain <= structural + 0.05

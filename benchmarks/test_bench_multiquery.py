@@ -1,0 +1,50 @@
+"""Extension — multi-query execution (the paper's Section 6 future work).
+
+Four copies of the Figure 5 query (at 20% scale) run concurrently on one
+mediator, all-SEQ vs all-DSE, at two network speeds.
+
+Expected shape (the tradeoff the paper predicts): with *fast* sources
+the mediator is already CPU-saturated by query concurrency — DSE's extra
+materialization work buys nothing and costs throughput; with *slow*
+sources there is idle time to reclaim and DSE wins on mean response time
+despite doing more total work.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table, run_multiquery_experiment
+
+FAST = 20e-6
+SLOW = 100e-6
+
+
+def test_multiquery_throughput(benchmark, small_workload, params):
+    points = run_measured(
+        benchmark,
+        lambda: run_multiquery_experiment(
+            small_workload, ["SEQ", "DSE"], [FAST, SLOW], params,
+            num_queries=4, inter_arrival=0.0, seed=1))
+
+    print()
+    print(format_table(
+        ["strategy", "w (µs)", "mean resp (s)", "makespan (s)",
+         "queries/s", "CPU"],
+        [p.row() for p in points],
+        title="4 concurrent queries: throughput vs response time"))
+
+    by_key = {(p.strategy, p.wait): p for p in points}
+
+    # Slow sources: DSE reclaims idle time even under multi-query load.
+    assert (by_key[("DSE", SLOW)].mean_response
+            < by_key[("SEQ", SLOW)].mean_response)
+
+    # Fast sources saturate the CPU: SEQ's lower total work wins —
+    # exactly the response-time/total-work tradeoff of Section 6.
+    assert (by_key[("SEQ", FAST)].makespan
+            <= by_key[("DSE", FAST)].makespan * 1.05)
+
+    # Everybody computes the right answer.
+    expected = round(50_000 * 0.2)
+    for point in points:
+        for outcome in point.result.outcomes:
+            assert outcome.result_tuples == expected

@@ -1,0 +1,62 @@
+"""Sensitivity — DSE's gain vs mediator CPU speed.
+
+Figure 8 varies the *network* (w_min); this sweep varies the other side
+of the balance: the mediator CPU.  The per-tuple processing cost scales
+as 1/MIPS, so slow CPUs make every chain CPU-bound (nothing to overlap)
+and fast CPUs push the engine into the retrieval-bound regime where
+scheduling wins.
+
+Expected shape: gain ≈ 0 on a slow CPU, rising monotonically-ish with
+MIPS toward the structural overlap limit — the mirror image of Figure 8.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+MIPS_VALUES = [25.0, 50.0, 100.0, 200.0, 400.0]
+
+
+def test_sensitivity_cpu_speed(benchmark, workload, params):
+    def factory():
+        return {name: UniformDelay(params.w_min)
+                for name in workload.relation_names}
+
+    def sweep():
+        grid = {}
+        for mips in MIPS_VALUES:
+            point_params = params.with_overrides(cpu_mips=mips)
+            for strategy in ["SEQ", "DSE"]:
+                grid[(mips, strategy)] = run_once(
+                    workload.catalog, workload.qep, strategy, factory,
+                    point_params, seed=1)
+        return grid
+
+    grid = run_measured(benchmark, sweep)
+    print()
+    rows = []
+    gains = {}
+    for mips in MIPS_VALUES:
+        seq = grid[(mips, "SEQ")]
+        dse = grid[(mips, "DSE")]
+        gains[mips] = 1 - dse.response_time / seq.response_time
+        rows.append([f"{mips:g}", f"{seq.response_time:.3f}",
+                     f"{dse.response_time:.3f}",
+                     f"{gains[mips] * 100:.1f}",
+                     f"{dse.cpu_utilization:.0%}"])
+    print(format_table(
+        ["CPU (MIPS)", "SEQ (s)", "DSE (s)", "gain %", "DSE CPU util"],
+        rows, title="DSE gain vs mediator CPU speed (w_min network)"))
+
+    # Slow CPU: the engine is compute-bound, gain evaporates.
+    assert gains[25.0] < 0.1
+    # The paper's 100 MIPS: clear gain.
+    assert gains[100.0] > 0.2
+    # Fast CPU: retrieval-bound, the gain approaches the overlap limit.
+    assert gains[400.0] > gains[100.0]
+    cards = [r.cardinality for r in workload.catalog]
+    assert gains[400.0] <= 1 - max(cards) / sum(cards) + 0.05
+    # Same answers everywhere.
+    assert len({r.result_tuples for r in grid.values()}) == 1

@@ -1,0 +1,31 @@
+"""Table 1 — simulation parameters.
+
+Prints the paper's Table 1 from the live configuration object and checks
+the values match the paper exactly.
+"""
+
+from conftest import run_measured
+
+from repro.experiments import format_table
+
+PAPER_TABLE1 = {
+    "CPU Speed": "100 Mips",
+    "Disk Latency - Seek Time - Transfer Rate": "17 ms - 5 ms - 6 MB/s",
+    "I/O Cache Size": "8 pages",
+    "Perform an I/O": "3000 Instr.",
+    "Number of Local Disks": "1",
+    "Tuple Size - Page Size": "40 bytes - 8 Kb",
+    "Move a Tuple": "100 Inst.",
+    "Search for Match in Hash Table": "100 Inst.",
+    "Produce a Result Tuple": "50 Inst.",
+    "Network Bandwidth": "100 Mbs",
+    "Send/Receive a Message": "200000 Inst.",
+}
+
+
+def test_table1(benchmark, params):
+    rows = run_measured(benchmark, params.table1_rows)
+    print()
+    print(format_table(["Parameter", "Value"], rows,
+                       title="Table 1: Simulation parameters"))
+    assert dict(rows) == PAPER_TABLE1

@@ -1,0 +1,81 @@
+"""Extension — adaptation levels under memory pressure.
+
+Under a tight memory budget, both adaptive approaches degrade into
+disk-backed variants: DSE splits chains ([4]) and spills build inputs;
+the XJoin-style DPHJ (DPHJ-X) spills table portions and runs a cleanup
+phase.  This benchmark sweeps the budget for both.
+
+Expected shape: both stay exact at every feasible budget; both get
+slower as memory shrinks; DPHJ-X keeps needing roughly the size of *all*
+tables to stay disk-free, while DSE needs only the co-resident subset —
+the structural memory advantage of scheduling-level adaptation.
+"""
+
+import pytest
+from conftest import run_measured
+
+from repro.core.symmetric import SymmetricHashJoinEngine, SymmetricPlan
+from repro.experiments import figure5_workload, format_table
+from repro.experiments.runner import run_once
+from repro.wrappers import UniformDelay
+
+# Full DPHJ tables at 50% scale need ~17.8 MB; DSE's co-resident working
+# set is ~5.8 MB.  12 MB sits between the two regimes.
+BUDGETS_MB = [64.0, 12.0, 8.0]
+
+
+def test_taxonomy_memory_pressure(benchmark, params):
+    workload = figure5_workload(scale=0.5)
+
+    def factory():
+        return {name: UniformDelay(params.w_min)
+                for name in workload.relation_names}
+
+    def measure(budget_mb):
+        point_params = params.with_overrides(
+            query_memory_bytes=int(budget_mb * 1024 * 1024))
+        dse = run_once(workload.catalog, workload.qep, "DSE", factory,
+                       point_params, seed=1)
+        dphj = SymmetricHashJoinEngine(
+            workload.catalog, workload.tree, factory(), params=point_params,
+            seed=1, allow_spill=True).run()
+        return dse, dphj
+
+    def sweep():
+        return {budget: measure(budget) for budget in BUDGETS_MB}
+
+    grid = run_measured(benchmark, sweep)
+    print()
+    rows = []
+    for budget, (dse, dphj) in grid.items():
+        rows.append([f"{budget:g}", "DSE", f"{dse.response_time:.3f}",
+                     f"{dse.memory_peak_bytes / 1e6:.1f}",
+                     str(dse.tuples_spilled)])
+        rows.append([f"{budget:g}", "DPHJ-X", f"{dphj.response_time:.3f}",
+                     f"{dphj.memory_peak_bytes / 1e6:.1f}",
+                     str(dphj.tuples_spilled)])
+    print(format_table(
+        ["budget (MB)", "strategy", "response (s)", "peak (MB)", "spilled"],
+        rows, title="Adaptation levels under memory pressure (50% scale)"))
+
+    full_tables = SymmetricPlan(workload.catalog,
+                                workload.tree).total_table_bytes() / 1e6
+    # Both stay exact everywhere.
+    dse_counts = {dse.result_tuples for dse, _ in grid.values()}
+    dphj_counts = {dphj.result_tuples for _, dphj in grid.values()}
+    assert len(dse_counts) == 1
+    assert max(dphj_counts) - min(dphj_counts) <= 10
+    # At the middle budget (between DSE's working set and DPHJ's full
+    # tables), DPHJ-X must spill while DSE is unaffected and faster.
+    middle = grid[BUDGETS_MB[1]]
+    roomy = grid[BUDGETS_MB[0]]
+    assert BUDGETS_MB[1] < full_tables
+    assert middle[1].tuples_spilled > 0
+    assert roomy[1].tuples_spilled == 0
+    assert middle[0].response_time == pytest.approx(
+        roomy[0].response_time, rel=0.05)       # DSE indifferent
+    assert middle[0].response_time < middle[1].response_time
+    # Budgets hold for both.
+    for budget, (dse, dphj) in grid.items():
+        assert dse.memory_peak_bytes <= budget * 1024 * 1024
+        assert dphj.memory_peak_bytes <= budget * 1024 * 1024

@@ -1,0 +1,127 @@
+"""repro — a reproduction of *Dynamic Query Scheduling in Data
+Integration Systems* (Bouganim, Fabret, Mohan, Valduriez; ICDE 2000).
+
+The package implements the paper's mediator query engine over a
+discrete-event simulation of the mediator machine and its remote
+sources, including:
+
+* the dynamic scheduling strategy (**DSE**) built from a Dynamic QEP
+  Optimizer, Dynamic Query Scheduler and Dynamic Query Processor;
+* the baselines it is evaluated against (**SEQ**, **MA**) and the
+  analytic lower bound (**LWB**);
+* every substrate: simulation kernel, resource models, catalog,
+  query/plan model, dynamic-programming optimizer, simulated wrappers
+  with the paper's delay taxonomy, and the mediator runtime.
+
+Quickstart
+----------
+>>> from repro import (SimulationParameters, QueryEngine, make_policy,
+...                    UniformDelay)
+>>> from repro.experiments import figure5_workload
+>>> wl = figure5_workload()
+>>> params = SimulationParameters()
+>>> delays = {name: UniformDelay(params.w_min) for name in wl.qep.source_relations()}
+>>> engine = QueryEngine(wl.catalog, wl.qep, make_policy("DSE"), delays,
+...                      params=params, seed=1)
+>>> result = engine.run()
+>>> result.result_tuples > 0
+True
+"""
+
+from repro.catalog import Attribute, Catalog, JoinStatistics, Relation
+from repro.config import SimulationParameters, W_MIN_DEFAULT
+from repro.common import (
+    CatalogError,
+    ConfigurationError,
+    MemoryOverflowError,
+    OptimizerError,
+    PlanError,
+    QueryTimeoutError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.core import (
+    ExecutionResult,
+    MultiQueryEngine,
+    MultiQueryResult,
+    QueryEngine,
+    QueryOutcome,
+    QuerySubmission,
+    RuntimeStatistics,
+    SymmetricHashJoinEngine,
+    SymmetricResult,
+)
+from repro.core.strategies import (
+    ConcurrentOnlyPolicy,
+    DsePolicy,
+    MaterializeAllPolicy,
+    SequentialPolicy,
+    lower_bound,
+    make_policy,
+)
+from repro.optimizer import CostModel, DynamicProgrammingOptimizer
+from repro.plan import QEP, PipelineChain, build_qep, validate_qep
+from repro.query import JoinTree, Query, QueryGenerator
+from repro.wrappers import (
+    BurstyDelay,
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    InitialDelay,
+    NormalDelay,
+    UniformDelay,
+    slow_delivery,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "BurstyDelay",
+    "Catalog",
+    "CatalogError",
+    "ConcurrentOnlyPolicy",
+    "ConfigurationError",
+    "ConstantDelay",
+    "CostModel",
+    "DelayModel",
+    "DsePolicy",
+    "DynamicProgrammingOptimizer",
+    "ExecutionResult",
+    "ExponentialDelay",
+    "InitialDelay",
+    "NormalDelay",
+    "JoinStatistics",
+    "JoinTree",
+    "MaterializeAllPolicy",
+    "MemoryOverflowError",
+    "MultiQueryEngine",
+    "MultiQueryResult",
+    "OptimizerError",
+    "PipelineChain",
+    "PlanError",
+    "QEP",
+    "Query",
+    "QueryEngine",
+    "QueryGenerator",
+    "QueryOutcome",
+    "QueryTimeoutError",
+    "QuerySubmission",
+    "Relation",
+    "RuntimeStatistics",
+    "ReproError",
+    "SchedulingError",
+    "SequentialPolicy",
+    "SimulationError",
+    "SimulationParameters",
+    "SymmetricHashJoinEngine",
+    "SymmetricResult",
+    "UniformDelay",
+    "W_MIN_DEFAULT",
+    "build_qep",
+    "lower_bound",
+    "make_policy",
+    "slow_delivery",
+    "validate_qep",
+]

@@ -1,0 +1,20 @@
+"""Catalog: relations, attributes and statistics.
+
+The evaluation methodology of the paper is content-free — "query execution
+does not depend on relation content and it can be simply studied by setting
+relation parameters (cardinality and selectivity)".  The catalog therefore
+stores exactly those parameters, plus enough structure (attributes, join
+edges) for the optimizer and plan builder to work with.
+"""
+
+from repro.catalog.schema import Attribute, Relation
+from repro.catalog.statistics import JoinStatistics, estimate_join_cardinality
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Attribute",
+    "Catalog",
+    "JoinStatistics",
+    "Relation",
+    "estimate_join_cardinality",
+]

@@ -1,0 +1,60 @@
+"""Relation and attribute descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import CatalogError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with a size in bytes (values are never materialized)."""
+
+    name: str
+    size: int = 8
+
+    def __post_init__(self):
+        if not self.name:
+            raise CatalogError("attribute needs a name")
+        if self.size <= 0:
+            raise CatalogError(f"attribute {self.name!r} has size {self.size}")
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base relation exported by one wrapper.
+
+    ``tuple_size`` defaults to the paper's 40 bytes; attributes are
+    optional detail used by the query generator for join predicates.
+    """
+
+    name: str
+    cardinality: int
+    tuple_size: int = 40
+    attributes: tuple[Attribute, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.name:
+            raise CatalogError("relation needs a name")
+        if self.cardinality < 0:
+            raise CatalogError(
+                f"relation {self.name!r} has negative cardinality {self.cardinality}")
+        if self.tuple_size <= 0:
+            raise CatalogError(
+                f"relation {self.name!r} has tuple size {self.tuple_size}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the relation in bytes."""
+        return self.cardinality * self.tuple_size
+
+    def attribute(self, name: str) -> Attribute:
+        """Look an attribute up by name."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise CatalogError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def __str__(self) -> str:
+        return f"{self.name}[{self.cardinality} x {self.tuple_size}B]"

@@ -1,0 +1,98 @@
+"""Join statistics and cardinality estimation.
+
+Selectivities are stored per (unordered) pair of relation names.  Result
+sizes follow the classical independence model:
+
+    |R1 ⋈ ... ⋈ Rk|  =  Π |Ri|  ·  Π σ(e)   over join edges e inside the set
+
+which is also what the paper's optimizer annotations rely on ("the
+estimated size of each operator result").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import CatalogError
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    if a == b:
+        raise CatalogError(f"self-join selectivity requested for {a!r}")
+    return (a, b) if a < b else (b, a)
+
+
+class JoinStatistics:
+    """Selectivities of the join edges of a query graph."""
+
+    def __init__(self, selectivities: Mapping[tuple[str, str], float] | None = None):
+        self._selectivities: dict[tuple[str, str], float] = {}
+        if selectivities:
+            for (a, b), sel in selectivities.items():
+                self.set_selectivity(a, b, sel)
+
+    def set_selectivity(self, a: str, b: str, selectivity: float) -> None:
+        """Record the join selectivity between relations ``a`` and ``b``."""
+        if not 0.0 < selectivity <= 1.0:
+            raise CatalogError(
+                f"selectivity for ({a}, {b}) must be in (0, 1], got {selectivity}")
+        self._selectivities[_pair(a, b)] = selectivity
+
+    def selectivity(self, a: str, b: str) -> float:
+        """Selectivity of the join edge between ``a`` and ``b``."""
+        try:
+            return self._selectivities[_pair(a, b)]
+        except KeyError:
+            raise CatalogError(f"no join edge between {a!r} and {b!r}") from None
+
+    def has_edge(self, a: str, b: str) -> bool:
+        """True if the query graph joins ``a`` and ``b`` directly."""
+        return _pair(a, b) in self._selectivities
+
+    def edges(self) -> Iterable[tuple[str, str, float]]:
+        """All join edges as ``(a, b, selectivity)`` triples."""
+        for (a, b), sel in sorted(self._selectivities.items()):
+            yield a, b, sel
+
+    def neighbours(self, name: str) -> set[str]:
+        """Relations directly joined with ``name``."""
+        out = set()
+        for a, b in self._selectivities:
+            if a == name:
+                out.add(b)
+            elif b == name:
+                out.add(a)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._selectivities)
+
+    def __repr__(self) -> str:
+        return f"JoinStatistics({len(self)} edges)"
+
+
+def estimate_join_cardinality(cardinalities: Mapping[str, int],
+                              stats: JoinStatistics,
+                              relations: Iterable[str]) -> float:
+    """Estimated cardinality of the join of ``relations``.
+
+    Applies every join edge whose two endpoints are inside the set; a set
+    with no applicable edge degenerates to a cross product, which the
+    optimizer avoids but the estimator still prices honestly.
+    """
+    names = list(relations)
+    if not names:
+        raise CatalogError("cannot estimate the join of zero relations")
+    result = 1.0
+    for name in names:
+        try:
+            result *= cardinalities[name]
+        except KeyError:
+            raise CatalogError(f"unknown relation {name!r}") from None
+    inside = set(names)
+    if len(inside) != len(names):
+        raise CatalogError(f"duplicate relation in join set: {sorted(names)}")
+    for a, b, sel in stats.edges():
+        if a in inside and b in inside:
+            result *= sel
+    return result

@@ -1,0 +1,310 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Regenerates the paper's tables/figures and runs ad-hoc executions without
+writing any code:
+
+* ``table1`` — print the simulation parameters (Table 1);
+* ``plan`` — print the Figure 5 QEP and its pipeline chains;
+* ``fig6`` — the one-slowed-relation sweep (``--relation F`` for Fig. 7);
+* ``fig8`` — the uniform-slowdown gain sweep;
+* ``run`` — one execution of one strategy, with optional slow sources;
+* ``multiquery`` — the Section 6 throughput experiment.
+
+Every sweep accepts ``--csv PATH`` to export the series for plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.config import SimulationParameters
+from repro.core.engine import QueryEngine
+from repro.core.strategies import lower_bound, make_policy
+from repro.experiments import (
+    figure5_workload,
+    format_table,
+    run_multiquery_experiment,
+    run_slowdown_experiment,
+    run_uniform_slowdown_experiment,
+)
+from repro.experiments.report import write_csv
+from repro.experiments.slowdown import STRATEGIES
+from repro.wrappers.delays import UniformDelay
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic Query Scheduling in Data "
+                    "Integration Systems' (ICDE 2000)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (simulation parameters)")
+
+    plan = sub.add_parser("plan", help="print the Figure 5 QEP")
+    _common(plan)
+
+    fig6 = sub.add_parser("fig6", help="one slowed-down relation sweep "
+                                       "(Figure 6; use --relation F for "
+                                       "Figure 7)")
+    _common(fig6)
+    fig6.add_argument("--relation", default="A",
+                      help="relation to slow down (default A)")
+    fig6.add_argument("--retrieval-times", type=float, nargs="+",
+                      default=[2.0, 4.0, 6.0, 8.0],
+                      help="total retrieval times of the slowed relation (s)")
+    fig6.add_argument("--csv", help="write the series to this CSV file")
+
+    fig8 = sub.add_parser("fig8", help="uniform slowdown gain sweep (Figure 8)")
+    _common(fig8)
+    fig8.add_argument("--waits-us", type=float, nargs="+",
+                      default=[5, 10, 15, 20, 35, 50, 80, 120],
+                      help="per-tuple waits in µs")
+    fig8.add_argument("--csv", help="write the series to this CSV file")
+
+    run = sub.add_parser("run", help="run one strategy once")
+    _common(run)
+    run.add_argument("--strategy", default="DSE",
+                     help="SEQ, MA, DSE, DSE-ND or DPHJ (default DSE)")
+    run.add_argument("--slow", action="append", default=[],
+                     metavar="REL:FACTOR",
+                     help="slow one relation by a factor of w_min "
+                          "(repeatable), e.g. --slow F:10")
+    run.add_argument("--error", action="append", default=[],
+                     metavar="JOIN:FACTOR",
+                     help="inject a cardinality estimation error on a "
+                          "join's actual output (repeatable), e.g. "
+                          "--error J1:3")
+    run.add_argument("--reopt", action="store_true",
+                     help="let the DQO swap misoriented pending joins")
+    run.add_argument("--trace", action="store_true",
+                     help="print the scheduler's trace events")
+    run.add_argument("--timeline", action="store_true",
+                     help="print the per-fragment schedule")
+    run.add_argument("--chrome-trace", metavar="PATH",
+                     help="write a chrome://tracing timeline JSON")
+
+    anatomy = sub.add_parser(
+        "anatomy", help="side-by-side response-time anatomy of strategies")
+    _common(anatomy)
+    anatomy.add_argument("--strategies", nargs="+",
+                         default=["SEQ", "MA", "DSE"])
+    anatomy.add_argument("--slow", action="append", default=[],
+                         metavar="REL:FACTOR",
+                         help="slow one relation by a factor of w_min")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every table/figure into a directory")
+    _common(reproduce)
+    reproduce.add_argument("--outdir", default="results",
+                           help="output directory (default ./results)")
+
+    multi = sub.add_parser("multiquery",
+                           help="concurrent queries (Section 6 future work)")
+    _common(multi)
+    multi.add_argument("--queries", type=int, default=4)
+    multi.add_argument("--inter-arrival", type=float, default=0.0,
+                       help="seconds between query arrivals")
+    multi.add_argument("--strategies", nargs="+", default=["SEQ", "DSE"])
+    multi.add_argument("--waits-us", type=float, nargs="+", default=[20, 100])
+    multi.add_argument("--csv", help="write the series to this CSV file")
+
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (1.0 = paper size)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--repetitions", type=int, default=1)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "plan": _cmd_plan,
+        "fig6": _cmd_fig6,
+        "fig8": _cmd_fig8,
+        "run": _cmd_run,
+        "anatomy": _cmd_anatomy,
+        "multiquery": _cmd_multiquery,
+        "reproduce": _cmd_reproduce,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+# -- commands ---------------------------------------------------------------
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    params = SimulationParameters()
+    print(format_table(["Parameter", "Value"], params.table1_rows(),
+                       title="Table 1: Simulation parameters"))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    workload = figure5_workload(scale=args.scale)
+    print("Query:", workload.tree.render())
+    print()
+    print(workload.qep.describe())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters()
+    if args.relation not in workload.relation_names:
+        raise SystemExit(f"unknown relation {args.relation!r}; choose from "
+                         f"{workload.relation_names}")
+    points = run_slowdown_experiment(
+        workload, args.relation, list(args.retrieval_times), params,
+        repetitions=args.repetitions, base_seed=args.seed)
+    headers = ["retrieval_s"] + STRATEGIES + ["LWB"]
+    rows = [p.row() for p in points]
+    figure = "Figure 7" if args.relation == "F" else "Figure 6"
+    print(format_table(headers, rows,
+                       title=f"{figure}: slowing {args.relation}"))
+    if args.csv:
+        print("wrote", write_csv(args.csv, headers, rows))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters()
+    points = run_uniform_slowdown_experiment(
+        workload, [w * 1e-6 for w in args.waits_us], params,
+        repetitions=args.repetitions, base_seed=args.seed)
+    headers = ["w_min_us", "SEQ_s", "DSE_s", "gain_pct", "LWB_s"]
+    rows = [p.row() for p in points]
+    print(format_table(headers, rows, title="Figure 8: DSE gain vs w_min"))
+    if args.csv:
+        print("wrote", write_csv(args.csv, headers, rows))
+    return 0
+
+
+def _parse_slow(specs: list[str]) -> dict[str, float]:
+    slow = {}
+    for spec in specs:
+        try:
+            relation, factor = spec.split(":")
+            slow[relation] = float(factor)
+        except ValueError:
+            raise SystemExit(f"bad --slow spec {spec!r}; expected REL:FACTOR")
+    return slow
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters().with_overrides(
+        enable_reoptimization=args.reopt)
+    slow = _parse_slow(args.slow)
+    unknown = set(slow) - set(workload.relation_names)
+    if unknown:
+        raise SystemExit(f"unknown relation(s) in --slow: {sorted(unknown)}")
+    errors = _parse_slow(args.error)  # same REL:FACTOR syntax
+    waits = {name: params.w_min * slow.get(name, 1.0)
+             for name in workload.relation_names}
+    delays = {name: UniformDelay(wait) for name, wait in waits.items()}
+
+    if args.strategy.upper() == "DPHJ":
+        from repro.core.symmetric import SymmetricHashJoinEngine
+        result = SymmetricHashJoinEngine(
+            workload.catalog, workload.tree, delays, params=params,
+            seed=args.seed, trace=args.trace).run()
+        print(result.summary())
+        print(f"LWB: {lower_bound(workload.qep, waits, params):.3f}s")
+        return 0
+
+    qep = workload.qep
+    if errors:
+        from repro.common.errors import PlanError
+        from repro.plan import build_qep
+        try:
+            qep = build_qep(workload.catalog, workload.tree,
+                            actual_output_factors=errors)
+        except PlanError as exc:
+            raise SystemExit(str(exc)) from None
+    engine = QueryEngine(workload.catalog, qep,
+                         make_policy(args.strategy), delays, params=params,
+                         seed=args.seed, trace=args.trace)
+    result = engine.run()
+    print(result.summary())
+    if result.reopt_opportunities:
+        print("misestimates detected:", ", ".join(result.reopt_opportunities))
+    if result.reopt_swaps:
+        print("joins swapped:", ", ".join(result.reopt_swaps))
+    print(f"LWB: {lower_bound(qep, waits, params):.3f}s")
+    if args.timeline:
+        print()
+        print(result.render_timeline())
+    if args.chrome_trace:
+        from repro.experiments.trace_export import write_chrome_trace
+        print("chrome trace:", write_chrome_trace(args.chrome_trace, result))
+    if args.trace and result.tracer is not None:
+        print()
+        for category in ["plan", "degrade", "mf-stop", "chain-complete",
+                         "memory-split", "reopt-opportunity", "reopt-swap"]:
+            for event in result.tracer.filter(category):
+                print(event)
+    return 0
+
+
+def _cmd_anatomy(args: argparse.Namespace) -> int:
+    from repro.experiments.analysis import comparison_report
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters()
+    slow = _parse_slow(args.slow)
+    unknown = set(slow) - set(workload.relation_names)
+    if unknown:
+        raise SystemExit(f"unknown relation(s) in --slow: {sorted(unknown)}")
+    waits = {name: params.w_min * slow.get(name, 1.0)
+             for name in workload.relation_names}
+    results = {}
+    for strategy in args.strategies:
+        delays = {name: UniformDelay(wait) for name, wait in waits.items()}
+        engine = QueryEngine(workload.catalog, workload.qep,
+                             make_policy(strategy), delays, params=params,
+                             seed=args.seed)
+        results[strategy] = engine.run()
+    print(comparison_report(results,
+                            title="Response-time anatomy (Figure 5 workload)"))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import generate_all
+    out = generate_all(args.outdir, scale=args.scale,
+                       repetitions=args.repetitions, seed=args.seed,
+                       progress=lambda step: print(f"[{step}]", flush=True))
+    print(f"report and CSV series written to {out.resolve()}")
+    return 0
+
+
+def _cmd_multiquery(args: argparse.Namespace) -> int:
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters()
+    points = run_multiquery_experiment(
+        workload, list(args.strategies),
+        [w * 1e-6 for w in args.waits_us], params,
+        num_queries=args.queries, inter_arrival=args.inter_arrival,
+        seed=args.seed)
+    headers = ["strategy", "w_us", "mean_resp_s", "makespan_s",
+               "queries_per_s", "cpu"]
+    rows = [p.row() for p in points]
+    print(format_table(headers, rows,
+                       title=f"{args.queries} concurrent queries"))
+    if args.csv:
+        print("wrote", write_csv(args.csv, headers, rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

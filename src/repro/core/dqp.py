@@ -1,0 +1,185 @@
+"""The Dynamic Query Processor (Section 3.2).
+
+"At each execution phase, the task of the DQP is to interleave the
+execution of the query fragments in order to maximize the processor
+utilization with respect to the priorities defined in the scheduling
+plan."  The DQP always serves the highest-priority fragment that has data
+(a *batch* at a time), returning to the top of the priority list after
+every batch; it stalls only when **no** scheduled fragment has data, and
+after ``timeout`` of stalling returns a TimeOut interruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.common.errors import SchedulingError
+from repro.core.events import (
+    EndOfQEP,
+    EndOfQF,
+    InterruptionEvent,
+    MemoryOverflow,
+    PhaseComplete,
+    RateChange,
+    TimeOut,
+)
+from repro.core.fragments import (
+    BATCH_FINISHED,
+    BATCH_OVERFLOW,
+    Fragment,
+    FragmentKind,
+    FragmentStatus,
+)
+from repro.core.runtime import QueryRuntime
+from repro.sim.engine import SimEvent
+
+
+@dataclass
+class SchedulingPlan:
+    """A totally ordered set of query fragments (highest priority first)."""
+
+    fragments: list[Fragment]
+    priorities: dict[str, float] = field(default_factory=dict)
+    #: set when the top fragment is not M-schedulable even alone; the DQS
+    #: hands this straight to the DQO (Section 4.2).
+    overflow_fragment: Optional[Fragment] = None
+
+    def live(self) -> list[Fragment]:
+        return [f for f in self.fragments if f.status is not FragmentStatus.DONE]
+
+    def describe(self) -> str:
+        return " > ".join(
+            f"{f.name}({self.priorities.get(f.name, 0.0):.3g})"
+            for f in self.fragments)
+
+
+class DynamicQueryProcessor:
+    """Executes one scheduling plan until an interruption event."""
+
+    def __init__(self, runtime: QueryRuntime):
+        self.runtime = runtime
+        self.context_switches = 0
+        self.batches_processed = 0
+        self.stall_time = 0.0
+        self._last_fragment: Optional[Fragment] = None
+        self._rate_change: Optional[tuple[str, float, float]] = None
+        self._rate_event: Optional[SimEvent] = None
+        self._rr_cursor = 0
+
+    # -- rate-change plumbing (installed as the CM listener) ---------------
+    def notify_rate_change(self, source: str, old_wait: float,
+                           new_wait: float) -> None:
+        """CM callback: remember the change and wake the DQP if waiting."""
+        self._rate_change = (source, old_wait, new_wait)
+        if self._rate_event is not None and not self._rate_event.triggered:
+            self._rate_event.succeed("rate-change")
+
+    # -- main loop ---------------------------------------------------------
+    def execute(self, sp: SchedulingPlan) -> Generator[
+            SimEvent, Any, InterruptionEvent]:
+        """Process ``sp`` until an interruption event. ``yield from`` me."""
+        world = self.runtime.world
+        sim, params = world.sim, world.params
+        while True:
+            if self._rate_change is not None:
+                source, old, new = self._rate_change
+                self._rate_change = None
+                return RateChange(sim.now, source=source, old_wait=old,
+                                  new_wait=new)
+
+            live = sp.live()
+            if not live:
+                if self.runtime.all_done:
+                    return EndOfQEP(sim.now,
+                                    result_tuples=self.runtime.result_tuples)
+                return PhaseComplete(sim.now)
+
+            workable = [f for f in live if f.has_work()]
+            if not workable:
+                timed_out = yield from self._stall(live)
+                if timed_out:
+                    return TimeOut(sim.now, stalled_for=params.timeout)
+                continue
+
+            if params.dqp_discipline == "round-robin":
+                fragment = workable[self._rr_cursor % len(workable)]
+                self._rr_cursor += 1
+            else:
+                fragment = workable[0]
+            if (fragment is not self._last_fragment
+                    and params.context_switch_instructions > 0):
+                yield from world.cpu.work(params.context_switch_instructions)
+                self.context_switches += 1
+            self._last_fragment = fragment
+
+            outcome = yield from fragment.process_batch(
+                self._batch_size(fragment))
+            self.batches_processed += 1
+
+            if outcome == BATCH_OVERFLOW:
+                return self._overflow_event(fragment)
+            if outcome == BATCH_FINISHED:
+                world.tracer.emit("qf-end", fragment.name)
+                if self.runtime.all_done:
+                    return EndOfQEP(sim.now,
+                                    result_tuples=self.runtime.result_tuples)
+                return EndOfQF(sim.now, fragment_name=fragment.name)
+            # BATCH_OK / BATCH_EMPTY: return to the top of the priority list.
+
+    def _batch_size(self, fragment: Fragment) -> int:
+        """The quantum for this fragment's next batch.
+
+        Fixed by default; with ``adaptive_batching`` (the paper's
+        footnote: "batch size can vary dynamically") it tracks half the
+        fragment's current backlog, clamped to [1 message,
+        ``adaptive_batch_max_messages`` messages].
+        """
+        params = self.runtime.world.params
+        base = params.effective_batch_tuples
+        if not params.adaptive_batching:
+            return base
+        from repro.mediator.queues import SourceQueue
+        source = fragment.source
+        if isinstance(source, SourceQueue):
+            backlog = source.tuples_available
+        else:
+            backlog = source.available_tuples
+        ceiling = base * params.adaptive_batch_max_messages
+        return max(base, min(ceiling, backlog // 2))
+
+    def _stall(self, live: list[Fragment]) -> Generator[SimEvent, Any, bool]:
+        """Wait for data, a rate change, or the timeout; True on timeout."""
+        world = self.runtime.world
+        sim, params = world.sim, world.params
+        events = []
+        for fragment in live:
+            event = fragment.wait_event()
+            if event is not None:
+                events.append(event)
+        if not events:
+            raise SchedulingError(
+                "DQP stalled although only local fragments are scheduled")
+        self._rate_event = sim.event(name="rate-change")
+        timeout = sim.timeout(params.timeout)
+        started = sim.now
+        world.tracer.emit("stall", "no data on any scheduled fragment",
+                          fragments=[f.name for f in live])
+        yield sim.any_of(events + [self._rate_event, timeout])
+        self._rate_event = None
+        self.stall_time += sim.now - started
+        data_arrived = any(event.processed for event in events)
+        return timeout.processed and not data_arrived and self._rate_change is None
+
+    def _overflow_event(self, fragment: Fragment) -> MemoryOverflow:
+        world = self.runtime.world
+        join_name = fragment.builds_join or ""
+        needed = world.params.page_size
+        world.tracer.emit("memory-overflow", fragment.name, join=join_name)
+        return MemoryOverflow(
+            world.sim.now,
+            fragment_name=fragment.name,
+            join_name=join_name,
+            pending_tuples=fragment.pending_spill,
+            required_bytes=needed,
+            available_bytes=world.memory.available_bytes)

@@ -1,0 +1,94 @@
+"""The Dynamic Query Scheduler (Sections 3.3–4.5).
+
+The DQS turns runtime state into a :class:`SchedulingPlan`.  What varies
+between execution strategies is *which fragments are candidates and in
+what order* — that is a :class:`PlanningPolicy` (SEQ, MA and DSE are
+policies over the same machinery).  What is common is **admission**: every
+candidate must fit in memory, in priority order; a top-priority fragment
+that does not fit even alone is flagged for the DQO (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.dqp import SchedulingPlan
+from repro.core.fragments import Fragment
+from repro.core.runtime import QueryRuntime
+
+
+class PlanningPolicy(ABC):
+    """Chooses and orders candidate fragments at each planning phase."""
+
+    #: short name used in results and reports.
+    name: str = "policy"
+    #: whether the CM should interrupt execution phases on rate changes.
+    wants_rate_events: bool = False
+
+    @abstractmethod
+    def select(self, runtime: QueryRuntime) -> list[Fragment]:
+        """Candidate fragments in priority order (highest first).
+
+        Every returned fragment must be C-schedulable and not done.  The
+        policy may mutate runtime structure first (e.g. degrade chains).
+        """
+
+    def priorities(self, runtime: QueryRuntime) -> dict[str, float]:
+        """Optional priority values for tracing/reporting."""
+        return {}
+
+
+class DynamicQueryScheduler:
+    """Admission and bookkeeping around a planning policy."""
+
+    def __init__(self, runtime: QueryRuntime, policy: PlanningPolicy):
+        self.runtime = runtime
+        self.policy = policy
+        self.planning_phases = 0
+
+    def plan(self) -> SchedulingPlan:
+        """One planning phase: select candidates, admit them into memory."""
+        self.planning_phases += 1
+        world = self.runtime.world
+        self.runtime.statistics.snapshot_rates(
+            world.sim.now, world.cm.wait_snapshot(world.params.w_min))
+        candidates = self.policy.select(self.runtime)
+        for fragment in candidates:
+            if not self.runtime.is_c_schedulable(fragment):
+                # Defensive: a policy bug here would deadlock the DQP.
+                raise_from_policy = (
+                    f"policy {self.policy.name!r} selected "
+                    f"{fragment.name!r} which is not C-schedulable")
+                from repro.common.errors import SchedulingError
+                raise SchedulingError(raise_from_policy)
+        admitted, overflow = self._admit(candidates)
+        priorities = self.policy.priorities(self.runtime)
+        sp = SchedulingPlan(admitted, priorities, overflow_fragment=overflow)
+        self.runtime.world.tracer.emit(
+            "plan", sp.describe() or "(empty)",
+            phase=self.planning_phases,
+            overflow=overflow.name if overflow else None)
+        return sp
+
+    def _admit(self, candidates: list[Fragment]) -> tuple[
+            list[Fragment], Fragment | None]:
+        """Walk candidates in priority order, reserving memory.
+
+        A fragment whose *new* memory does not fit is skipped for this
+        phase — unless it is the first candidate and nothing else was
+        admitted, in which case it is not M-schedulable even alone and
+        the DQO must revise the plan.
+        """
+        memory = self.runtime.world.memory
+        admitted: list[Fragment] = []
+        overflow: Fragment | None = None
+        for fragment in candidates:
+            needed = self.runtime.new_memory_needed(fragment)
+            if memory.would_fit(needed):
+                self.runtime.ensure_hash_table(fragment)
+                admitted.append(fragment)
+            elif not admitted and overflow is None:
+                overflow = fragment
+        if admitted:
+            overflow = None
+        return admitted, overflow

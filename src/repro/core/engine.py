@@ -1,0 +1,223 @@
+"""The query engine: one simulated execution end to end.
+
+:class:`QueryEngine` builds a fresh :class:`World`, spawns the wrapper
+processes, wires DQO → DQS → DQP around the chosen planning policy, runs
+the simulation to completion and collects an :class:`ExecutionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.config import SimulationParameters
+from repro.core.dqo import DynamicQEPOptimizer
+from repro.core.dqp import DynamicQueryProcessor
+from repro.core.dqs import DynamicQueryScheduler, PlanningPolicy
+from repro.core.events import EndOfQEP
+from repro.core.runtime import QueryRuntime, World
+from repro.core.statistics import RuntimeStatistics
+from repro.core.strategies.lwb import lower_bound
+from repro.plan.qep import QEP
+from repro.plan.validation import validate_qep
+from repro.sim.tracing import Tracer
+from repro.wrappers.delays import DelayModel
+from repro.wrappers.source import Wrapper
+
+
+@dataclass(frozen=True)
+class FragmentStat:
+    """Lifecycle summary of one query fragment."""
+
+    name: str
+    kind: str
+    chain: str
+    started_at: Optional[float]
+    finished_at: Optional[float]
+    tuples_in: int
+    tuples_out: int
+    batches: int
+    cpu_seconds: float
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class ExecutionResult:
+    """Everything measured during one simulated execution."""
+
+    strategy: str
+    response_time: float
+    result_tuples: int
+    #: virtual time at which the first result tuple was produced (None
+    #: for an empty result) — the metric operator-level adaptation
+    #: optimizes for.
+    time_to_first_tuple: Optional[float] = None
+    # Engine behaviour.
+    planning_phases: int = 0
+    context_switches: int = 0
+    batches_processed: int = 0
+    stall_time: float = 0.0
+    degradations: int = 0
+    memory_splits: int = 0
+    timeouts: int = 0
+    rate_change_events: int = 0
+    # Resource usage.
+    cpu_busy_time: float = 0.0
+    cpu_utilization: float = 0.0
+    disk_busy_time: float = 0.0
+    disk_ios: int = 0
+    disk_seeks: int = 0
+    cache_hit_ratio: float = 0.0
+    memory_peak_bytes: int = 0
+    tuples_spilled: int = 0
+    tuples_reloaded: int = 0
+    # Per-wrapper detail: name -> (tuples sent, production time, blocked time).
+    wrapper_stats: dict[str, tuple[int, float, float]] = field(default_factory=dict)
+    #: lifecycle of every fragment the execution created.
+    fragment_stats: dict[str, FragmentStat] = field(default_factory=dict)
+    #: joins flagged by the DQO as re-optimization opportunities.
+    reopt_opportunities: list[str] = field(default_factory=list)
+    #: joins whose sides the DQO swapped (enable_reoptimization).
+    reopt_swaps: list[str] = field(default_factory=list)
+    #: observed runtime statistics (cardinalities, rate history).
+    statistics: Optional["RuntimeStatistics"] = None
+    tracer: Optional[Tracer] = None
+
+    def summary(self) -> str:
+        """One line suitable for experiment logs."""
+        return (f"{self.strategy}: {self.response_time:.3f}s "
+                f"({self.result_tuples} tuples, cpu {self.cpu_utilization:.0%}, "
+                f"stall {self.stall_time:.3f}s, {self.degradations} degradations, "
+                f"{self.tuples_spilled} spilled)")
+
+    def timeline(self) -> list[FragmentStat]:
+        """Fragment lifecycle rows ordered by start time (never-started
+        fragments last)."""
+        return sorted(self.fragment_stats.values(),
+                      key=lambda s: (s.started_at is None,
+                                     s.started_at or 0.0, s.name))
+
+    def render_timeline(self) -> str:
+        """A printable per-fragment schedule (for reports/examples)."""
+        lines = [f"{'fragment':<12} {'kind':<5} {'start':>9} {'end':>9} "
+                 f"{'in':>9} {'out':>9} {'cpu s':>8}"]
+        for stat in self.timeline():
+            start = f"{stat.started_at:.3f}" if stat.started_at is not None else "-"
+            end = f"{stat.finished_at:.3f}" if stat.finished_at is not None else "-"
+            lines.append(f"{stat.name:<12} {stat.kind:<5} {start:>9} {end:>9} "
+                         f"{stat.tuples_in:>9} {stat.tuples_out:>9} "
+                         f"{stat.cpu_seconds:>8.3f}")
+        return "\n".join(lines)
+
+
+class QueryEngine:
+    """Runs one query with one strategy over simulated sources."""
+
+    def __init__(self, catalog: Catalog, qep: QEP, policy: PlanningPolicy,
+                 delay_models: Mapping[str, DelayModel],
+                 params: Optional[SimulationParameters] = None,
+                 seed: int = 0, trace: bool = False):
+        self.catalog = catalog
+        self.qep = qep
+        self.policy = policy
+        self.params = params if params is not None else SimulationParameters()
+        self.seed = seed
+        self.trace = trace
+        validate_qep(qep)
+        self.delay_models = dict(delay_models)
+        missing = set(qep.source_relations()) - set(self.delay_models)
+        if missing:
+            raise ConfigurationError(
+                f"no delay model for source(s): {sorted(missing)}")
+
+    def run(self) -> ExecutionResult:
+        """Execute once and collect the result."""
+        world = World(self.params, seed=self.seed, trace=self.trace)
+        wrappers: list[Wrapper] = []
+        for source in self.qep.source_relations():
+            model = self.delay_models[source]
+            reset = getattr(model, "reset", None)
+            if reset is not None:
+                reset()  # one-shot models re-arm between repetitions
+            wrapper = Wrapper(world.sim, self.catalog.relation(source), model,
+                              world.cm, world.rng(f"wrapper:{source}"),
+                              self.params)
+            wrapper.start()
+            wrappers.append(wrapper)
+
+        runtime = QueryRuntime(world, self.qep)
+        scheduler = DynamicQueryScheduler(runtime, self.policy)
+        processor = DynamicQueryProcessor(runtime)
+        optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
+        main = world.sim.process(optimizer.run(), name="engine")
+        # The engine handles its own failure below; keep the kernel's
+        # unhandled-failure backstop from wrapping it first.
+        main.defused = True
+
+        world.sim.run()
+
+        if main.failure is not None:
+            raise main.failure
+        if not isinstance(main.value, EndOfQEP):
+            raise SimulationError(
+                f"engine ended without EndOfQEP: {main.value!r}")
+        if not runtime.all_done:
+            raise SimulationError("simulation drained but query incomplete")
+
+        end = main.value
+        return ExecutionResult(
+            strategy=self.policy.name,
+            response_time=end.time,
+            result_tuples=runtime.result_tuples,
+            time_to_first_tuple=runtime.first_result_at,
+            planning_phases=scheduler.planning_phases,
+            context_switches=processor.context_switches,
+            batches_processed=processor.batches_processed,
+            stall_time=processor.stall_time,
+            degradations=len(runtime.degraded_chains),
+            memory_splits=runtime.memory_splits,
+            timeouts=optimizer.timeouts,
+            rate_change_events=optimizer.rate_changes,
+            cpu_busy_time=world.cpu.busy_time,
+            cpu_utilization=(world.cpu.busy_time / end.time
+                             if end.time > 0 else 0.0),
+            disk_busy_time=sum(d.busy_time for d in world.disks),
+            disk_ios=int(sum(d.ios.value for d in world.disks)),
+            disk_seeks=int(sum(d.seeks.value for d in world.disks)),
+            cache_hit_ratio=world.cache.hit_ratio(),
+            memory_peak_bytes=world.memory.peak_bytes,
+            tuples_spilled=int(world.buffer.tuples_spilled.value),
+            tuples_reloaded=int(world.buffer.tuples_reloaded.value),
+            wrapper_stats={w.name: (w.tuples_sent, w.production_time,
+                                    w.blocked_time)
+                           for w in wrappers},
+            fragment_stats={
+                fragment.name: FragmentStat(
+                    name=fragment.name,
+                    kind=fragment.kind.value,
+                    chain=fragment.chain.name,
+                    started_at=fragment.started_at,
+                    finished_at=fragment.finished_at,
+                    tuples_in=fragment.tuples_in,
+                    tuples_out=fragment.tuples_out,
+                    batches=fragment.batches,
+                    cpu_seconds=fragment.cpu_seconds)
+                for fragment in runtime.fragments.values()},
+            reopt_opportunities=list(optimizer.reopt_opportunities),
+            reopt_swaps=list(optimizer.reopt_swaps),
+            statistics=runtime.statistics,
+            tracer=world.tracer if self.trace else None,
+        )
+
+    def lower_bound(self) -> float:
+        """The analytic LWB for this engine's query and delay models."""
+        waits = {name: model.mean_wait()
+                 for name, model in self.delay_models.items()}
+        return lower_bound(self.qep, waits, self.params)

@@ -1,0 +1,282 @@
+"""Runtime query fragments (QFs).
+
+A query fragment is the unit the scheduling plan orders and the DQP
+executes: a pipeline-chain segment bound to an input (a wrapper queue or
+a temp relation) and a terminal sink (a hash-table build, a temp
+materialization, or the query output).  Section 3.3: "the query fragments
+of an SP can be PC's or partial materializations of wrappers results";
+two more kinds exist at runtime: the complement fragment of a degraded PC
+and the continuation fragment the DQO creates when handling memory
+overflow.
+
+Tuple flow is content-free: each batch of ``n`` input tuples expands
+through the segment's operators using the joins' *actual* fanouts, with
+fractional carries so that totals converge to the true cardinalities, and
+the whole batch's instruction count is charged to the mediator CPU in one
+piece.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator, Optional, TYPE_CHECKING, Union
+
+from repro.common.errors import SchedulingError, SimulationError
+from repro.mediator.buffer import HashTable, TempReader, TempWriter
+from repro.mediator.queues import SourceQueue
+from repro.plan.operators import MatOp, Operator, OutputOp, ProbeOp, ScanOp
+from repro.plan.qep import PipelineChain
+from repro.sim.engine import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.runtime import QueryRuntime
+
+
+class FragmentKind(enum.Enum):
+    """What role a fragment plays (Section 3.3 + DQO splitting)."""
+
+    PIPELINE_CHAIN = "pc"       #: a whole PC executed in pipeline
+    MATERIALIZATION = "mf"      #: MF(p): wrapper -> temp (PC degradation)
+    COMPLEMENT = "cf"           #: CF(p): temp -> rest of the degraded PC
+    CONTINUATION = "cont"       #: DQO memory split: temp -> hash build
+
+
+class FragmentStatus(enum.Enum):
+    PENDING = "pending"   #: exists but not yet admitted to any SP
+    RUNNING = "running"   #: has processed at least one batch
+    DONE = "done"         #: input consumed and terminal finalized
+
+
+#: Batch outcome markers returned by :meth:`Fragment.process_batch`.
+BATCH_OK = "ok"
+BATCH_EMPTY = "empty"
+BATCH_FINISHED = "finished"
+BATCH_OVERFLOW = "overflow"
+
+FragmentInput = Union[SourceQueue, TempReader]
+
+
+class Fragment:
+    """One executable query fragment."""
+
+    def __init__(self, runtime: "QueryRuntime", name: str, kind: FragmentKind,
+                 chain: PipelineChain, operators: list[Operator],
+                 source: FragmentInput):
+        if not operators:
+            raise SchedulingError(f"fragment {name!r} has no operators")
+        self.runtime = runtime
+        self.name = name
+        self.kind = kind
+        self.chain = chain
+        self.operators = list(operators)
+        self._carry_keys = [(chain.name, op.name) for op in self.operators]
+        self.source = source
+        #: fractional-tuple accumulators, shared per (chain, operator
+        #: name) across all fragments of the chain: a degraded chain's
+        #: MF/CF/PC parts then produce exactly the same totals as the
+        #: undivided pipeline would, whatever the interleaving.
+        self._carry_pool = runtime.carry_pool
+        self.status = FragmentStatus.PENDING
+        #: a suspended fragment is never C-schedulable (the PC part of a
+        #: degraded chain stays suspended while its MF runs).
+        self.suspended = False
+        #: set by the scheduler to stop a materialization fragment early
+        #: ("partial materialization", Section 3.3): the fragment
+        #: finalizes on its next turn, leaving unconsumed data for the PC.
+        self.stop_requested = False
+        # Terminal sink state (set lazily / by the runtime):
+        self.hash_table: Optional[HashTable] = None
+        self.temp_writer: Optional[TempWriter] = None
+        #: tuples that could not be inserted on a memory overflow; the
+        #: DQO's revision must dispose of them.
+        self.pending_spill = 0
+        # Statistics.
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.batches = 0
+        self.cpu_seconds = 0.0
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def terminal(self) -> Operator:
+        return self.operators[-1]
+
+    @property
+    def builds_join(self) -> Optional[str]:
+        """Name of the join whose hash table this fragment builds, if any."""
+        terminal = self.terminal
+        if isinstance(terminal, MatOp) and terminal.join is not None:
+            return terminal.join.name
+        return None
+
+    @property
+    def writes_temp(self) -> bool:
+        terminal = self.terminal
+        return isinstance(terminal, MatOp) and terminal.join is None
+
+    @property
+    def is_output(self) -> bool:
+        return isinstance(self.terminal, OutputOp)
+
+    def probed_joins(self) -> list[str]:
+        """Names of the joins probed inside this fragment."""
+        return [op.join.name for op in self.operators if isinstance(op, ProbeOp)]
+
+    # -- data availability ---------------------------------------------------
+    @property
+    def source_exhausted(self) -> bool:
+        if isinstance(self.source, SourceQueue):
+            return self.source.exhausted
+        return self.source.exhausted
+
+    def has_work(self) -> bool:
+        """True if processing or finalization can make progress *now*.
+
+        Neither source kind ever blocks the DQP inside a batch: queues
+        hold arrived messages, temp readers hold prefetched tuples.  A
+        stop request or an exhausted source leaves finalization work.
+        """
+        if self.status is FragmentStatus.DONE:
+            return False
+        if self.stop_requested or self.source_exhausted:
+            return True
+        if isinstance(self.source, SourceQueue):
+            return self.source.has_data()
+        return self.source.has_data()
+
+    def wait_event(self) -> SimEvent:
+        """Event that fires when this fragment may have work again."""
+        if isinstance(self.source, SourceQueue):
+            return self.source.data_event()
+        return self.source.wait_event()
+
+    # -- execution -----------------------------------------------------------
+    def process_batch(self, max_tuples: int) -> Generator[SimEvent, Any, str]:
+        """Process one batch; returns a ``BATCH_*`` marker. ``yield from`` me."""
+        if self.status is FragmentStatus.DONE:
+            raise SchedulingError(f"fragment {self.name!r} already done")
+        if self.status is FragmentStatus.PENDING:
+            self.status = FragmentStatus.RUNNING
+            self.started_at = self.runtime.world.sim.now
+        if self.stop_requested or self.source_exhausted:
+            yield from self._finalize()
+            return BATCH_FINISHED
+
+        if isinstance(self.source, SourceQueue):
+            count = self.source.take_batch(max_tuples)
+        else:
+            count = self.source.read_now(max_tuples)
+        if count == 0:
+            # EOF-only message, or the prefetcher has not caught up yet.
+            if self.source_exhausted:
+                yield from self._finalize()
+                return BATCH_FINISHED
+            return BATCH_EMPTY
+
+        instructions, terminal_tuples = self._flow(count)
+        world = self.runtime.world
+        yield from world.cpu.work(instructions)
+        # Pure operator work: queueing behind other CPU users (message
+        # receives, I/O issue costs) is overhead, not fragment work.
+        self.cpu_seconds += world.params.instructions_seconds(instructions)
+        self.tuples_in += count
+        self.batches += 1
+
+        outcome = yield from self._sink(terminal_tuples)
+        if outcome is not None:
+            return outcome
+        self.tuples_out += terminal_tuples
+
+        if self.source_exhausted:
+            yield from self._finalize()
+            return BATCH_FINISHED
+        return BATCH_OK
+
+    def _flow(self, count: int) -> tuple[float, int]:
+        """Instruction cost and terminal tuple count for ``count`` inputs."""
+        params = self.runtime.world.params
+        instructions = 0.0
+        flowing: float = count
+        for i, op in enumerate(self.operators):
+            if isinstance(op, ScanOp):
+                instructions += flowing * params.move_tuple_instructions
+                flowing = self._carry(i, flowing * op.scan_selectivity)
+            elif isinstance(op, ProbeOp):
+                instructions += flowing * params.hash_search_instructions
+                flowing = self._carry(i, flowing * op.join.actual_fanout())
+                instructions += flowing * params.produce_tuple_instructions
+            elif isinstance(op, MatOp):
+                instructions += flowing * params.move_tuple_instructions
+            elif isinstance(op, OutputOp):
+                pass
+            else:
+                raise SchedulingError(f"unknown operator {op!r} in {self.name!r}")
+        return instructions, int(flowing)
+
+    def _carry(self, op_index: int, value: float) -> int:
+        """Accumulate fractional tuples so totals match cardinalities."""
+        key = self._carry_keys[op_index]
+        total = value + self._carry_pool.get(key, 0.0)
+        whole = int(total)
+        self._carry_pool[key] = total - whole
+        return whole
+
+    def _sink(self, tuples: int) -> Generator[SimEvent, Any, Optional[str]]:
+        """Deliver ``tuples`` to the terminal; returns an outcome on overflow."""
+        if self.builds_join is not None:
+            table = self._require_table()
+            if not table.insert(tuples):
+                self.pending_spill = tuples
+                return BATCH_OVERFLOW
+        elif self.writes_temp:
+            self._require_writer().write(tuples)
+        elif self.is_output:
+            if tuples > 0 and self.runtime.result_tuples == 0:
+                self.runtime.first_result_at = self.runtime.world.sim.now
+            self.runtime.result_tuples += tuples
+        else:
+            raise SchedulingError(
+                f"fragment {self.name!r} has unsupported terminal "
+                f"{self.terminal!r}")
+        return None
+        yield  # pragma: no cover - makes this a generator for uniformity
+
+    def _finalize(self) -> Generator[SimEvent, Any, None]:
+        # Hash-table sealing and release are chain-level concerns handled
+        # by the runtime: a degraded chain's CF and PC parts both insert
+        # into (and probe against) the same tables.
+        if self.status is FragmentStatus.DONE:
+            return
+        if self.writes_temp:
+            yield from self._require_writer().finish()
+        self.status = FragmentStatus.DONE
+        self.finished_at = self.runtime.world.sim.now
+        self.runtime.on_fragment_done(self)
+
+    def _require_table(self) -> HashTable:
+        if self.hash_table is None:
+            raise SimulationError(
+                f"fragment {self.name!r} runs without its hash table "
+                "(was it admitted through the scheduler?)")
+        return self.hash_table
+
+    def _require_writer(self) -> TempWriter:
+        if self.temp_writer is None:
+            raise SimulationError(
+                f"fragment {self.name!r} runs without its temp writer")
+        return self.temp_writer
+
+    def describe(self) -> str:
+        ops = " -> ".join(
+            op.name if not isinstance(op, MatOp) else
+            (f"mat[{op.join.name}]" if op.join else "mat[temp]")
+            for op in self.operators)
+        source = (self.source.source if isinstance(self.source, SourceQueue)
+                  else self.source.temp.name)
+        return f"{self.name}({self.kind.value}) {source}: {ops}"
+
+    def __repr__(self) -> str:
+        return (f"Fragment({self.name!r}, {self.kind.value}, "
+                f"{self.status.value}, in={self.tuples_in})")

@@ -1,0 +1,85 @@
+"""Scheduling metrics: critical degree and benefit materialization indicator.
+
+Section 4.3:  ``critical(p) = n_p * (w_p - c_p)`` — the total CPU idle
+time if pipeline chain ``p`` ran with no concurrent work; positive means
+``p`` is *critical* (retrieval slower than processing).
+
+Section 4.4:  ``bmi(p) = w_p / (2 * IO_p)`` — the profitability of
+degrading ``p`` into a materialization fragment plus a complement
+fragment; compared against the threshold ``bmt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import SchedulingError
+from repro.config import SimulationParameters
+from repro.plan.operators import MatOp, Operator, OutputOp, ProbeOp, ScanOp
+
+
+def chain_cpu_seconds_per_source_tuple(
+        operators: Iterable[Operator], params: SimulationParameters,
+        include_receive: bool = True, use_actuals: bool = False) -> float:
+    """Estimated mediator CPU seconds to process one source tuple (``c_p``).
+
+    Walks the operator segment accumulating per-source-tuple instruction
+    counts, expanding by each probe's fanout, exactly mirroring how the
+    runtime charges batches.  ``include_receive`` adds the per-tuple share
+    of the message receive cost (the source tuple had to be received
+    before processing).  ``use_actuals`` switches probe fanouts from the
+    optimizer estimates to the simulation's actual values — the scheduler
+    itself uses estimates, like the paper.
+    """
+    instructions = 0.0
+    flow = 1.0  # tuples reaching the current operator per source tuple
+    for op in operators:
+        if isinstance(op, ScanOp):
+            instructions += flow * params.move_tuple_instructions
+            flow *= op.scan_selectivity
+        elif isinstance(op, ProbeOp):
+            instructions += flow * params.hash_search_instructions
+            fanout = (op.join.actual_fanout() if use_actuals
+                      else op.join.estimated_fanout())
+            flow *= fanout
+            instructions += flow * params.produce_tuple_instructions
+        elif isinstance(op, MatOp):
+            instructions += flow * params.move_tuple_instructions
+        elif isinstance(op, OutputOp):
+            pass  # result tuples were already priced by the producing probe
+        else:
+            raise SchedulingError(f"unknown operator type: {op!r}")
+    seconds = params.instructions_seconds(instructions)
+    if include_receive:
+        seconds += params.receive_cpu_seconds_per_tuple()
+    return seconds
+
+
+def critical_degree(remaining_tuples: float, wait_per_tuple: float,
+                    cpu_per_tuple: float) -> float:
+    """``critical(p) = n_p * (w_p - c_p)``, Section 4.3.
+
+    ``remaining_tuples`` is the number of source tuples still to retrieve
+    — at the start of execution this is the full ``n_p``; the scheduler
+    re-evaluates with what is left.
+    """
+    if remaining_tuples < 0:
+        raise SchedulingError(f"negative remaining tuples: {remaining_tuples}")
+    if wait_per_tuple < 0 or cpu_per_tuple < 0:
+        raise SchedulingError("waiting/processing times must be >= 0")
+    return remaining_tuples * (wait_per_tuple - cpu_per_tuple)
+
+
+def benefit_materialization_indicator(wait_per_tuple: float,
+                                      io_per_tuple: float) -> float:
+    """``bmi = w_p / (2 * IO_p)``, Section 4.4.
+
+    ``io_per_tuple`` is the disk time to write *or* read one tuple of the
+    materialization fragment's output; the factor 2 accounts for writing
+    it now and reading it back later.
+    """
+    if io_per_tuple <= 0:
+        raise SchedulingError(f"io_per_tuple must be positive, got {io_per_tuple}")
+    if wait_per_tuple < 0:
+        raise SchedulingError(f"negative wait: {wait_per_tuple}")
+    return wait_per_tuple / (2.0 * io_per_tuple)

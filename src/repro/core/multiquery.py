@@ -1,0 +1,204 @@
+"""Multi-query execution on one mediator (the paper's future work).
+
+Section 6: "We also plan to study the behavior of our approach in the
+context of multi-query execution.  As soon as we consider such context,
+we face the classical tradeoff between throughput and response time."
+
+:class:`MultiQueryEngine` runs several queries concurrently on one
+simulated machine: the CPU, disks, page cache and (optionally) the
+inbound link are shared; each query keeps its own wrappers, queues,
+rate estimation, memory budget, and its own DQO → DQS → DQP stack.
+Contention arises naturally from the shared resources — no additional
+scheduler is needed above the per-query engines, which is exactly the
+setting the paper's discussion contemplates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Mapping, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.config import SimulationParameters
+from repro.core.dqo import DynamicQEPOptimizer
+from repro.core.dqp import DynamicQueryProcessor
+from repro.core.dqs import DynamicQueryScheduler, PlanningPolicy
+from repro.core.events import EndOfQEP
+from repro.core.runtime import QueryRuntime, World
+from repro.plan.qep import QEP
+from repro.plan.validation import validate_qep
+from repro.sim.engine import Process, SimEvent
+from repro.wrappers.delays import DelayModel
+from repro.wrappers.source import Wrapper
+
+
+@dataclass
+class QuerySubmission:
+    """One query to run: plan, policy, sources and arrival time."""
+
+    name: str
+    catalog: Catalog
+    qep: QEP
+    policy: PlanningPolicy
+    delay_models: Mapping[str, DelayModel]
+    start_time: float = 0.0
+    #: per-query memory budget; None uses the configured default.
+    memory_bytes: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ConfigurationError("submission needs a name")
+        if self.start_time < 0:
+            raise ConfigurationError(
+                f"start_time must be >= 0, got {self.start_time}")
+        validate_qep(self.qep)
+        missing = set(self.qep.source_relations()) - set(self.delay_models)
+        if missing:
+            raise ConfigurationError(
+                f"query {self.name!r}: no delay model for {sorted(missing)}")
+
+
+@dataclass
+class QueryOutcome:
+    """Per-query measurements of a multi-query run."""
+
+    name: str
+    strategy: str
+    start_time: float
+    completion_time: float
+    result_tuples: int
+    degradations: int
+    memory_splits: int
+    stall_time: float
+    planning_phases: int
+
+    @property
+    def response_time(self) -> float:
+        return self.completion_time - self.start_time
+
+
+@dataclass
+class MultiQueryResult:
+    """Aggregate outcome of one multi-query run."""
+
+    outcomes: list[QueryOutcome]
+    makespan: float
+    cpu_busy_time: float
+    disk_busy_time: float
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return (sum(o.response_time for o in self.outcomes)
+                / len(self.outcomes))
+
+    @property
+    def max_response_time(self) -> float:
+        return max((o.response_time for o in self.outcomes), default=0.0)
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per (virtual) second."""
+        if self.makespan <= 0:
+            return 0.0
+        return len(self.outcomes) / self.makespan
+
+    @property
+    def cpu_utilization(self) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.cpu_busy_time / self.makespan
+
+    def outcome(self, name: str) -> QueryOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no query named {name!r}")
+
+
+class MultiQueryEngine:
+    """Runs a batch of query submissions on one shared machine."""
+
+    def __init__(self, params: Optional[SimulationParameters] = None,
+                 seed: int = 0, trace: bool = False):
+        self.params = params if params is not None else SimulationParameters()
+        self.seed = seed
+        self.trace = trace
+        self._submissions: list[QuerySubmission] = []
+
+    def submit(self, submission: QuerySubmission) -> None:
+        """Queue one query for the next :meth:`run`."""
+        if any(existing.name == submission.name
+               for existing in self._submissions):
+            raise ConfigurationError(
+                f"duplicate submission name {submission.name!r}")
+        self._submissions.append(submission)
+
+    def run(self) -> MultiQueryResult:
+        """Execute every submitted query; returns aggregate results."""
+        if not self._submissions:
+            raise ConfigurationError("no queries submitted")
+        machine = World(self.params, seed=self.seed, trace=self.trace)
+        launchers: list[tuple[QuerySubmission, Process]] = []
+        for submission in self._submissions:
+            world = World(self.params, share_machine=machine,
+                          memory_bytes=submission.memory_bytes)
+            process = machine.sim.process(
+                self._launch(submission, world),
+                name=f"query:{submission.name}")
+            process.defused = True
+            launchers.append((submission, process))
+
+        machine.sim.run()
+
+        outcomes = []
+        for submission, process in launchers:
+            if process.failure is not None:
+                raise process.failure
+            outcomes.append(process.value)
+        makespan = max(o.completion_time for o in outcomes)
+        return MultiQueryResult(
+            outcomes=outcomes,
+            makespan=makespan,
+            cpu_busy_time=machine.cpu.busy_time,
+            disk_busy_time=sum(d.busy_time for d in machine.disks),
+        )
+
+    def _launch(self, submission: QuerySubmission,
+                world: World) -> Generator[SimEvent, Any, QueryOutcome]:
+        if submission.start_time > 0:
+            yield world.sim.timeout(submission.start_time)
+        started = world.sim.now
+        for source in submission.qep.source_relations():
+            model = submission.delay_models[source]
+            reset = getattr(model, "reset", None)
+            if reset is not None:
+                reset()
+            wrapper = Wrapper(
+                world.sim, submission.catalog.relation(source), model,
+                world.cm,
+                world.rng(f"{submission.name}:wrapper:{source}"),
+                self.params)
+            wrapper.start()
+
+        runtime = QueryRuntime(world, submission.qep)
+        scheduler = DynamicQueryScheduler(runtime, submission.policy)
+        processor = DynamicQueryProcessor(runtime)
+        optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
+        event = yield from optimizer.run()
+        if not isinstance(event, EndOfQEP):
+            raise SimulationError(
+                f"query {submission.name!r} ended without EndOfQEP")
+        return QueryOutcome(
+            name=submission.name,
+            strategy=submission.policy.name,
+            start_time=started,
+            completion_time=event.time,
+            result_tuples=runtime.result_tuples,
+            degradations=len(runtime.degraded_chains),
+            memory_splits=runtime.memory_splits,
+            stall_time=processor.stall_time,
+            planning_phases=scheduler.planning_phases,
+        )

@@ -1,0 +1,498 @@
+"""Execution world and per-query runtime state.
+
+:class:`World` bundles the simulated machine (clock, CPU, disk, cache,
+network, communication manager, buffer and memory managers) — one per
+simulated execution.  :class:`QueryRuntime` tracks the dynamic state of
+one query over that world: the living set of fragments, chain completion,
+hash-table residency, degradations and memory splits.
+
+A chain may be served by several fragments over its lifetime:
+
+* plain chain:                ``[PC]``
+* degraded (Section 4.4):     ``[MF, CF, PC]`` — the MF materializes while
+  the chain is blocked; once it becomes schedulable the MF is stopped,
+  the CF replays the temp and the (unsuspended) PC consumes the rest of
+  the wrapper data live — this is the paper's *partial* materialization;
+* memory split (Section 4.2): ``[..., CONT]`` — the overflowing fragment
+  spills the rest of its build input to a temp; the continuation reloads
+  it once the fragment's probe tables are released.
+
+The chain is complete when **all** of its fragments are done.  Hash
+tables are sealed when their *build* chain completes and dropped when
+every fragment probing them is done.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import SchedulingError, SimulationError
+from repro.common.rng import RandomStreams
+from repro.config import SimulationParameters
+from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
+from repro.core.statistics import RuntimeStatistics
+from repro.mediator.buffer import BufferManager, HashTable, MemoryManager
+from repro.mediator.comm import CommunicationManager
+from repro.mediator.queues import SourceQueue
+from repro.plan.chains import ancestor_closure
+from repro.plan.operators import MatOp, ScanOp
+from repro.plan.qep import QEP, PipelineChain
+from repro.sim.cache import LRUPageCache
+from repro.sim.engine import Simulator
+from repro.sim.resources import CPU, Disk, NetworkLink
+from repro.sim.tracing import Tracer
+
+
+class World:
+    """One simulated mediator machine, as seen by one query.
+
+    The hardware (clock, CPU, disks, cache, link, buffer manager) can be
+    **shared** between several queries running on the same mediator —
+    pass ``share_machine`` to attach a new query view to an existing
+    machine; the communication manager and the memory budget are always
+    per-query (each query has its own wrappers, queues, rate listeners
+    and memory allotment).
+    """
+
+    def __init__(self, params: SimulationParameters, seed: int = 0,
+                 trace: bool = False,
+                 share_machine: Optional["World"] = None,
+                 memory_bytes: Optional[int] = None):
+        self.params = params
+        if share_machine is None:
+            self.streams = RandomStreams(seed)
+            self.sim = Simulator()
+            self.tracer = Tracer(self.sim, enabled=trace)
+            self.cpu = CPU(self.sim, params.cpu_mips)
+            self.disks = [
+                Disk(self.sim,
+                     latency=params.disk_latency,
+                     seek_time=params.disk_seek_time,
+                     transfer_rate=params.disk_transfer_rate,
+                     page_size=params.page_size,
+                     name=f"disk{i}")
+                for i in range(params.num_local_disks)
+            ]
+            self.cache = LRUPageCache(params.io_cache_pages)
+            self.link = NetworkLink(self.sim,
+                                    bandwidth=params.network_bandwidth_bytes)
+            self.buffer = BufferManager(self.sim, self.cpu, self.disks,
+                                        self.cache, params, self.tracer)
+        else:
+            machine = share_machine
+            self.streams = machine.streams
+            self.sim = machine.sim
+            self.tracer = machine.tracer
+            self.cpu = machine.cpu
+            self.disks = machine.disks
+            self.cache = machine.cache
+            self.link = machine.link
+            self.buffer = machine.buffer
+        self.cm = CommunicationManager(
+            self.sim, self.cpu, params, self.tracer,
+            link=self.link if params.model_link_contention else None)
+        self.memory = MemoryManager(
+            memory_bytes if memory_bytes is not None
+            else params.query_memory_bytes)
+
+    @property
+    def disk(self) -> "Disk":
+        """The first local disk (most configurations have exactly one)."""
+        return self.disks[0]
+
+    def rng(self, label: str) -> np.random.Generator:
+        """A named deterministic random stream."""
+        return self.streams.stream(label)
+
+
+class QueryRuntime:
+    """Dynamic state of one query execution."""
+
+    def __init__(self, world: World, qep: QEP):
+        self.world = world
+        self.qep = qep
+        self.closure = ancestor_closure(qep)
+        self.result_tuples = 0
+        #: virtual time of the first result tuple (time-to-first-tuple).
+        self.first_result_at: Optional[float] = None
+        self.statistics = RuntimeStatistics()
+        for join_name, join in qep.joins.items():
+            self.statistics.register_join(join_name,
+                                          join.estimated_build_cardinality)
+        self.hash_tables: dict[str, HashTable] = {}
+        #: shared fractional-tuple accumulators, keyed by
+        #: (chain name, operator name); see Fragment._carry.
+        self.carry_pool: dict[tuple[str, str], float] = {}
+        self.fragments: dict[str, Fragment] = {}
+        #: fragments of each chain, in creation order.
+        self.chain_fragments: dict[str, list[Fragment]] = {}
+        self.completed_chains: set[str] = set()
+        self.degraded_chains: set[str] = set()
+        self.stopped_materializations: set[str] = set()
+        self.memory_splits = 0
+        #: join name -> name of the chain whose probe consumes it.
+        self._probing_chain = {join_name: qep.chain_probing(join).name
+                               for join_name, join in qep.joins.items()}
+        for chain in qep.chains:
+            self._create_pc_fragment(chain)
+
+    # -- fragment creation ---------------------------------------------------
+    def _register(self, fragment: Fragment) -> Fragment:
+        self.fragments[fragment.name] = fragment
+        return fragment
+
+    def _create_pc_fragment(self, chain: PipelineChain) -> Fragment:
+        queue = self.world.cm.queue(chain.source_relation)
+        fragment = Fragment(self, chain.name, FragmentKind.PIPELINE_CHAIN,
+                            chain, chain.operators, queue)
+        self.chain_fragments[chain.name] = [fragment]
+        return self._register(fragment)
+
+    def degrade_chain(self, chain: PipelineChain,
+                      prefer_memory: Optional[bool] = None) -> Fragment:
+        """PC degradation (Section 4.4): start a materialization fragment.
+
+        The chain's PC fragment is suspended; the returned MF pulls from
+        the wrapper queue, applies the chain's scan and materializes to a
+        temp.  When the chain later becomes schedulable the scheduler
+        stops the MF (:meth:`request_stop_materialization`), after which
+        :meth:`advance_degraded_chains` creates the complement fragment
+        and unsuspends the PC.
+
+        ``prefer_memory`` (default: the ``allow_memory_temps`` setting)
+        materializes into query memory when the estimate fits.
+        """
+        pc = self.fragments[chain.name]
+        if pc.kind is not FragmentKind.PIPELINE_CHAIN:
+            raise SchedulingError(f"{chain.name!r} is not a plain PC fragment")
+        if pc.status is not FragmentStatus.PENDING:
+            raise SchedulingError(f"cannot degrade running chain {chain.name!r}")
+        if chain.name in self.degraded_chains:
+            raise SchedulingError(f"chain {chain.name!r} degraded twice")
+
+        if prefer_memory is None:
+            prefer_memory = self.world.params.allow_memory_temps
+        writer = self.world.buffer.create_temp(
+            f"mf:{chain.name}",
+            memory=self.world.memory,
+            estimated_tuples=self.remaining_source_tuples(chain)
+            * chain.scan.scan_selectivity,
+            prefer_memory=prefer_memory)
+        scan = chain.scan
+        mf_ops = [
+            ScanOp(name=scan.name, relation=scan.relation,
+                   scan_selectivity=scan.scan_selectivity,
+                   estimated_input_cardinality=scan.estimated_input_cardinality,
+                   estimated_output_cardinality=scan.estimated_output_cardinality),
+            MatOp(name="mat[temp]", join=None,
+                  estimated_input_cardinality=scan.estimated_output_cardinality,
+                  estimated_output_cardinality=scan.estimated_output_cardinality),
+        ]
+        mf = Fragment(self, f"MF({chain.name})", FragmentKind.MATERIALIZATION,
+                      chain, mf_ops, pc.source)
+        mf.temp_writer = writer
+        pc.suspended = True
+        self.chain_fragments[chain.name] = [mf, pc]
+        self.degraded_chains.add(chain.name)
+        self.world.tracer.emit("degrade", chain.name,
+                               mf=mf.name, temp=writer.temp.name)
+        return self._register(mf)
+
+    def request_stop_materialization(self, chain: PipelineChain) -> None:
+        """Ask ``chain``'s MF to finalize early (partial materialization)."""
+        mf = self.chain_fragments[chain.name][0]
+        if mf.kind is not FragmentKind.MATERIALIZATION:
+            raise SchedulingError(f"chain {chain.name!r} has no MF to stop")
+        if mf.status is not FragmentStatus.DONE and not mf.stop_requested:
+            mf.stop_requested = True
+            self.stopped_materializations.add(chain.name)
+            self.world.tracer.emit("mf-stop", mf.name)
+
+    def advance_degraded_chains(self) -> list[Fragment]:
+        """Create CFs for finished MFs and unsuspend their PC parts.
+
+        Called by planning policies at the start of each planning phase;
+        returns the complement fragments created.
+        """
+        created = []
+        for chain in self.qep.chains:
+            if chain.name not in self.degraded_chains:
+                continue
+            fragments = self.chain_fragments[chain.name]
+            mf = fragments[0]
+            has_cf = any(f.kind is FragmentKind.COMPLEMENT for f in fragments)
+            if mf.status is not FragmentStatus.DONE or has_cf:
+                continue
+            cf = self._create_cf_fragment(chain, mf)
+            created.append(cf)
+            pc = self.fragments[chain.name]
+            pc.suspended = False
+        return created
+
+    def _create_cf_fragment(self, chain: PipelineChain, mf: Fragment) -> Fragment:
+        temp = mf.temp_writer.temp
+        scan = chain.scan
+        temp_scan = ScanOp(
+            name=f"scan({temp.name})", relation=temp.name,
+            scan_selectivity=1.0,
+            estimated_input_cardinality=scan.estimated_output_cardinality,
+            estimated_output_cardinality=scan.estimated_output_cardinality)
+        cf_ops = [temp_scan] + chain.operators[1:]
+        cf = Fragment(self, f"CF({chain.name})", FragmentKind.COMPLEMENT,
+                      chain, cf_ops, self.world.buffer.reader(temp))
+        self.chain_fragments[chain.name].insert(1, cf)
+        self.world.tracer.emit("cf-create", cf.name, temp=temp.name)
+        return self._register(cf)
+
+    def split_for_memory(self, fragment: Fragment) -> Fragment:
+        """DQO memory-overflow handling (Section 4.2 / [4]).
+
+        The overflowing fragment stops growing its hash table: its
+        terminal is redirected to a disk temp ("insert a materialize
+        operator at the highest possible point"), and a *continuation*
+        fragment is created that — once the fragment finishes and its
+        probe tables are released — reloads the temp and finishes the
+        build.  The spilled batch that triggered the overflow goes
+        straight to the temp.
+        """
+        join_name = fragment.builds_join
+        if join_name is None:
+            raise SchedulingError(
+                f"fragment {fragment.name!r} overflowed without building a table")
+        writer = self.world.buffer.create_temp(f"spill:{fragment.name}")
+        terminal: MatOp = fragment.terminal  # type: ignore[assignment]
+        join = terminal.join
+        fragment.operators[-1] = MatOp(
+            name="mat[temp]", join=None,
+            estimated_input_cardinality=terminal.estimated_input_cardinality,
+            estimated_output_cardinality=terminal.estimated_output_cardinality)
+        fragment.temp_writer = writer
+        if fragment.pending_spill:
+            writer.write(fragment.pending_spill)
+            fragment.tuples_out += fragment.pending_spill
+            fragment.pending_spill = 0
+
+        table = fragment.hash_table
+        fragment.hash_table = None
+        continuation_scan = ScanOp(
+            name=f"scan({writer.temp.name})", relation=writer.temp.name,
+            scan_selectivity=1.0,
+            estimated_input_cardinality=terminal.estimated_input_cardinality,
+            estimated_output_cardinality=terminal.estimated_input_cardinality)
+        continuation_mat = MatOp(
+            name=f"mat[{join.name}]", join=join,
+            estimated_input_cardinality=terminal.estimated_input_cardinality,
+            estimated_output_cardinality=terminal.estimated_output_cardinality)
+        continuation = Fragment(
+            self, f"CONT({fragment.name})", FragmentKind.CONTINUATION,
+            fragment.chain, [continuation_scan, continuation_mat],
+            self.world.buffer.reader(writer.temp))
+        continuation.hash_table = table
+        self.chain_fragments[fragment.chain.name].append(continuation)
+        self.memory_splits += 1
+        self.world.tracer.emit("memory-split", fragment.name,
+                               join=join.name, temp=writer.temp.name)
+        return self._register(continuation)
+
+    # -- QEP-level re-optimization (build/probe swap) ------------------------
+    def can_swap_join(self, join_name: str) -> bool:
+        """True when ``join_name``'s sides may still be swapped.
+
+        Both chains touching the join must be completely untouched (one
+        pristine PC fragment each, not degraded) and the join's table
+        must not hold data.
+        """
+        join = self.qep.joins.get(join_name)
+        if join is None:
+            return False
+        table = self.hash_tables.get(join_name)
+        if table is not None and (table.tuples > 0 or table.complete):
+            return False
+        for chain in (self.qep.chain_feeding(join), self.qep.chain_probing(join)):
+            if chain.name in self.degraded_chains:
+                return False
+            fragments = self.chain_fragments[chain.name]
+            if len(fragments) != 1:
+                return False
+            if fragments[0].status is not FragmentStatus.PENDING:
+                return False
+        return True
+
+    def swap_pending_join(self, join_name: str) -> None:
+        """Apply :func:`repro.plan.reopt.swap_join_sides` to the live plan.
+
+        Replaces the two affected chains' fragments with fresh pristine
+        ones bound to the same wrapper queues; every other chain (and its
+        runtime state) is untouched.
+        """
+        from repro.plan.reopt import swap_join_sides
+
+        if not self.can_swap_join(join_name):
+            raise SchedulingError(f"join {join_name!r} can no longer be swapped")
+        # Drop a table that was reserved by admission but never filled.
+        table = self.hash_tables.pop(join_name, None)
+        if table is not None:
+            old_chain = self.qep.chain_feeding(self.qep.joins[join_name])
+            self.fragments[old_chain.name].hash_table = None
+            table.drop()
+
+        old_join = self.qep.joins[join_name]
+        affected = (self.qep.chain_feeding(old_join).name,
+                    self.qep.chain_probing(old_join).name)
+        self.qep = swap_join_sides(self.qep, join_name,
+                                   self.world.params.tuple_size)
+        self.closure = ancestor_closure(self.qep)
+        self._probing_chain = {name: self.qep.chain_probing(join).name
+                               for name, join in self.qep.joins.items()}
+        for chain_name in affected:
+            old_fragment = self.fragments.pop(chain_name)
+            chain = self.qep.chain(chain_name)
+            fragment = Fragment(self, chain.name, FragmentKind.PIPELINE_CHAIN,
+                                chain, chain.operators, old_fragment.source)
+            self.fragments[fragment.name] = fragment
+            self.chain_fragments[chain_name] = [fragment]
+        self.statistics.update_estimate(
+            join_name, self.qep.joins[join_name].estimated_build_cardinality)
+        self.world.tracer.emit("reopt-swap", join_name,
+                               new_build=self.qep.joins[join_name].build_relations)
+
+    # -- hash tables -----------------------------------------------------------
+    def table_estimate_bytes(self, join_name: str) -> int:
+        """Estimated size of a join's build table (from the plan annotation)."""
+        join = self.qep.joins[join_name]
+        return int(join.estimated_build_cardinality
+                   * self.world.params.tuple_size)
+
+    def ensure_hash_table(self, fragment: Fragment) -> None:
+        """Create or attach the table ``fragment`` builds.
+
+        A degraded chain's CF and PC parts build the *same* table; the
+        first of them to be admitted creates it (the scheduler must have
+        checked the reservation fits), later ones attach.
+        """
+        join_name = fragment.builds_join
+        if join_name is None or fragment.hash_table is not None:
+            return
+        table = self.hash_tables.get(join_name)
+        if table is None:
+            params = self.world.params
+            table = HashTable(
+                join_name, self.world.memory, params.tuple_size,
+                params.page_size,
+                self.qep.joins[join_name].estimated_build_cardinality)
+            self.hash_tables[join_name] = table
+        if table.complete:
+            raise SimulationError(
+                f"fragment {fragment.name!r} attaches to sealed table "
+                f"{join_name!r}")
+        fragment.hash_table = table
+
+    # -- schedulability ---------------------------------------------------------
+    def chain_complete(self, chain_name: str) -> bool:
+        return chain_name in self.completed_chains
+
+    def is_c_schedulable(self, fragment: Fragment) -> bool:
+        """Dependency constraints of Section 4.1, per fragment kind."""
+        if fragment.status is FragmentStatus.DONE or fragment.suspended:
+            return False
+        ancestors_done = all(self.chain_complete(name)
+                             for name in self.closure[fragment.chain.name])
+        if fragment.kind is FragmentKind.MATERIALIZATION:
+            return True  # "MF(p) has no ancestor" (Section 4.4)
+        if fragment.kind is FragmentKind.COMPLEMENT:
+            mf = self.chain_fragments[fragment.chain.name][0]
+            return mf.status is FragmentStatus.DONE and ancestors_done
+        if fragment.kind is FragmentKind.CONTINUATION:
+            # Runnable once everything before it in the chain is done —
+            # that is when the chain's probe tables have been released
+            # and the memory it needs to grow its build table is free.
+            chain_frags = self.chain_fragments[fragment.chain.name]
+            index = chain_frags.index(fragment)
+            return all(f.status is FragmentStatus.DONE
+                       for f in chain_frags[:index])
+        return ancestors_done
+
+    def new_memory_needed(self, fragment: Fragment) -> int:
+        """Bytes the fragment must newly reserve before running.
+
+        Tables it probes are already resident (their build chains are
+        complete); only a table it builds *that does not exist yet* is
+        new — attaching to an existing table (degraded chains) or
+        carrying a partial one (continuations) costs nothing up front.
+        """
+        join_name = fragment.builds_join
+        if join_name is None or fragment.hash_table is not None:
+            return 0
+        if join_name in self.hash_tables:
+            return 0
+        return self.table_estimate_bytes(join_name)
+
+    # -- lifecycle callbacks ------------------------------------------------------
+    def on_fragment_done(self, fragment: Fragment) -> None:
+        """Bookkeeping when a fragment finalizes."""
+        self.world.tracer.emit(
+            "fragment-done", fragment.name,
+            chain=fragment.chain.name, tuples_in=fragment.tuples_in,
+            tuples_out=fragment.tuples_out)
+        self._maybe_drop_tables(fragment)
+        # A fully consumed temp is dead: free its memory/cache.
+        source = fragment.source
+        if not isinstance(source, SourceQueue) and source.exhausted:
+            self.world.buffer.destroy_temp(source.temp)
+        chain_name = fragment.chain.name
+        fragments = self.chain_fragments[chain_name]
+        if all(f.status is FragmentStatus.DONE for f in fragments):
+            self._complete_chain(chain_name)
+
+    def _maybe_drop_tables(self, fragment: Fragment) -> None:
+        """Drop each probed table once no live fragment still probes it."""
+        for join_name in fragment.probed_joins():
+            probing_chain = self._probing_chain[join_name]
+            still_probing = any(
+                f.status is not FragmentStatus.DONE
+                and join_name in f.probed_joins()
+                for f in self.chain_fragments[probing_chain])
+            if still_probing:
+                continue
+            table = self.hash_tables.pop(join_name, None)
+            if table is None:
+                raise SimulationError(
+                    f"fragment {fragment.name!r} probed {join_name!r} "
+                    "but no table is resident")
+            table.drop()
+            self.world.tracer.emit("table-drop", join_name)
+
+    def _complete_chain(self, chain_name: str) -> None:
+        self.completed_chains.add(chain_name)
+        chain = self.qep.chain(chain_name)
+        if chain.feeds is not None:
+            table = self.hash_tables.get(chain.feeds.name)
+            if table is None:
+                raise SimulationError(
+                    f"chain {chain_name!r} completed but its build table "
+                    f"{chain.feeds.name!r} does not exist")
+            table.seal()
+            # The blocking edge is done: its exact cardinality is now a
+            # runtime fact for the DQO (Section 3.1).
+            self.statistics.observe_build(chain.feeds.name, table.tuples,
+                                          self.world.sim.now)
+        self.world.tracer.emit("chain-complete", chain_name)
+
+    @property
+    def all_done(self) -> bool:
+        """The query is complete when the root chain has completed."""
+        return self.qep.root.name in self.completed_chains
+
+    def live_fragments(self) -> list[Fragment]:
+        """Fragments not yet done, in stable creation order."""
+        return [f for f in self.fragments.values()
+                if f.status is not FragmentStatus.DONE]
+
+    def remaining_source_tuples(self, chain: PipelineChain) -> float:
+        """Source tuples of ``chain`` not yet delivered to the mediator."""
+        if chain.source_relation not in self.world.cm.estimators:
+            return chain.scan.estimated_input_cardinality
+        delivered = self.world.cm.estimator(chain.source_relation).tuples_delivered
+        return max(0.0, chain.scan.estimated_input_cardinality - delivered)

@@ -1,0 +1,9 @@
+"""Planning-policy base class (re-exported from the scheduler module).
+
+The abstract interface lives with the DQS because admission is the
+scheduler's job; strategies only choose and order candidates.
+"""
+
+from repro.core.dqs import PlanningPolicy
+
+__all__ = ["PlanningPolicy"]

@@ -1,0 +1,167 @@
+"""DSE: Dynamic Scheduling Execution — the paper's strategy.
+
+Each planning phase (Section 4.5):
+
+1. take the current delivery-rate snapshot from the communication
+   manager (and re-arm its rate-change baseline);
+2. *degrade* critical, non-C-schedulable PCs whose benefit
+   materialization indicator exceeds the threshold ``bmt`` (Section 4.4);
+3. collect every C-schedulable fragment and order by **critical degree**
+   (Section 4.3), most critical first — local (temp-backed) fragments
+   have no waiting time, so they sort naturally to the back;
+4. memory admission is handled by the shared scheduler.
+
+The returned order is the DQP's priority list: a lower-priority fragment
+only gets a batch when every higher-priority fragment is out of data.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimulationParameters
+from repro.core.dqs import PlanningPolicy
+from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
+from repro.core.metrics import (
+    benefit_materialization_indicator,
+    chain_cpu_seconds_per_source_tuple,
+    critical_degree,
+)
+from repro.core.runtime import QueryRuntime
+from repro.mediator.queues import SourceQueue
+from repro.plan.qep import PipelineChain
+
+
+class DsePolicy(PlanningPolicy):
+    """Critical-degree scheduling with bmi-gated PC degradation."""
+
+    name = "DSE"
+    wants_rate_events = True
+
+    def __init__(self):
+        self.last_priorities: dict[str, float] = {}
+        self.degradations: list[str] = []
+
+    def select(self, runtime: QueryRuntime) -> list[Fragment]:
+        params = runtime.world.params
+        waits = runtime.world.cm.wait_snapshot(default=params.w_min)
+        runtime.world.cm.arm_rate_baseline()
+
+        runtime.advance_degraded_chains()
+        self._stop_satisfied_materializations(runtime)
+        self._degrade_critical_chains(runtime, waits)
+
+        candidates = [fragment for fragment in runtime.live_fragments()
+                      if runtime.is_c_schedulable(fragment)]
+        chain_index = {chain.name: i
+                       for i, chain in enumerate(runtime.qep.chains)}
+        keys = {fragment.name: self._priority_key(runtime, fragment, waits,
+                                                  chain_index)
+                for fragment in candidates}
+        self.last_priorities = {name: key[1] for name, key in keys.items()}
+        candidates.sort(key=lambda f: (
+            -keys[f.name][0],          # band: sparse > dense > local
+            keys[f.name][2],           # dense band: pipeline before MF
+            -keys[f.name][1],          # critical degree within the band
+            chain_index[f.chain.name],
+            runtime.chain_fragments[f.chain.name].index(f),
+        ))
+        return candidates
+
+    def priorities(self, runtime: QueryRuntime) -> dict[str, float]:
+        return dict(self.last_priorities)
+
+    # -- partial materialization (Section 3.3) -----------------------------
+    @staticmethod
+    def _stop_satisfied_materializations(runtime: QueryRuntime) -> None:
+        """Stop MFs whose chains have become schedulable.
+
+        The remaining wrapper data then streams through the pipeline
+        directly — materialization stays *partial*, covering only the
+        period during which the chain was blocked.
+        """
+        for chain in runtime.qep.chains:
+            if chain.name not in runtime.degraded_chains:
+                continue
+            mf = runtime.chain_fragments[chain.name][0]
+            if (mf.kind is FragmentKind.MATERIALIZATION
+                    and mf.status is not FragmentStatus.DONE
+                    and not mf.stop_requested):
+                ancestors_done = all(runtime.chain_complete(name)
+                                     for name in runtime.closure[chain.name])
+                if ancestors_done:
+                    runtime.request_stop_materialization(chain)
+
+    # -- degradation (Section 4.4) ----------------------------------------
+    def _degrade_critical_chains(self, runtime: QueryRuntime,
+                                 waits: dict[str, float]) -> None:
+        params = runtime.world.params
+        io_per_tuple = self._bmi_io_seconds(params)
+        for chain in runtime.qep.chains:
+            if (chain.name in runtime.degraded_chains
+                    or runtime.chain_complete(chain.name)):
+                continue
+            fragment = runtime.fragments.get(chain.name)
+            if fragment is None or fragment.status is not FragmentStatus.PENDING:
+                continue
+            if runtime.is_c_schedulable(fragment):
+                continue  # will run in pipeline; no reason to materialize
+            remaining = runtime.remaining_source_tuples(chain)
+            if remaining <= 2 * params.tuples_per_message:
+                continue  # nothing worth materializing anymore
+            wait = waits.get(chain.source_relation, params.w_min)
+            cpu = chain_cpu_seconds_per_source_tuple(chain.operators, params)
+            if critical_degree(remaining, wait, cpu) <= 0:
+                continue
+            if benefit_materialization_indicator(wait, io_per_tuple) > params.bmt:
+                runtime.degrade_chain(chain)
+                self.degradations.append(chain.name)
+
+    @staticmethod
+    def _bmi_io_seconds(params: SimulationParameters) -> float:
+        """``IO_p`` for the bmi: sequential transfer time of one tuple.
+
+        The materialization fragment streams through the write-behind
+        path, so the positioning costs are a second-order term the rough
+        bmi approximation ignores (the *charged* simulation costs include
+        them in full).
+        """
+        return params.tuple_size / params.disk_transfer_rate
+
+    # -- priorities (Section 4.3, plus demand banding) -----------------------
+    #
+    # The paper orders fragments by critical degree and the DQP serves
+    # them in strict priority.  Strict priority is only safe when the
+    # top fragments have *sparse* data (w >> c): their rare batches
+    # preempt nothing for long.  When several fragments are *dense*
+    # (c comparable to w, i.e. the CPU cannot keep up with everyone),
+    # whoever sits on top monopolizes the processor and — much worse —
+    # a starved pipeline chain stalls the whole dependency DAG behind
+    # it.  The paper itself observes that its total order misbehaves
+    # "when several PC's have quite the same critical degree"
+    # (Section 5.3); the banding below is our concrete resolution:
+    #
+    #   band 2 — sparse remote fragments (c/w <= threshold), by
+    #            critical degree: the paper's rule where it works;
+    #   band 1 — dense remote fragments: pipeline chains first (they
+    #            gate the DAG), then materializations, iterator order;
+    #   band 0 — local replay fragments (CF/CONT): data always
+    #            available, so they absorb whatever is left.
+    def _priority_key(self, runtime: QueryRuntime, fragment: Fragment,
+                      waits: dict[str, float],
+                      chain_index: dict[str, int]) -> tuple[int, float, int]:
+        params = runtime.world.params
+        if isinstance(fragment.source, SourceQueue):
+            wait = waits.get(fragment.source.source, params.w_min)
+            remaining = runtime.remaining_source_tuples(fragment.chain)
+            cpu = chain_cpu_seconds_per_source_tuple(fragment.operators, params)
+            crit = critical_degree(remaining, wait, cpu)
+            sparse = wait > 0 and (cpu / wait) <= params.sparse_demand_threshold
+            if sparse:
+                return (2, crit, 0)
+            is_mf = fragment.kind is FragmentKind.MATERIALIZATION
+            return (1, crit, 1 if is_mf else 0)
+        # Temp-backed fragment: the local disk never makes the engine
+        # wait for "delivery"; its (negative) critical degree is -n*c.
+        remaining = fragment.source.temp.tuples - fragment.source.tuples_read
+        cpu = chain_cpu_seconds_per_source_tuple(
+            fragment.operators, params, include_receive=False)
+        return (0, critical_degree(max(0.0, remaining), 0.0, cpu), 0)

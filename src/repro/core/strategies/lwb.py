@@ -1,0 +1,45 @@
+"""LWB: the analytic response-time lower bound (Section 5.1.2).
+
+    LWB(Q) = max(  Σ_p n_p · c_p ,   max_p (n_p · w_p)  )
+
+The first term is the total mediator CPU work (the engine is a
+monoprocessor: it cannot finish before having executed every
+instruction); the second is the retrieval time of the slowest wrapper
+(the result is not complete before its last tuple arrived).  "No
+execution strategy can obtain an execution time lower than LWB", and it
+is generally not attainable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.common.errors import SchedulingError
+from repro.config import SimulationParameters
+from repro.core.metrics import chain_cpu_seconds_per_source_tuple
+from repro.plan.qep import QEP
+
+
+def lower_bound(qep: QEP, mean_waits: Mapping[str, float],
+                params: SimulationParameters) -> float:
+    """The LWB for ``qep`` given each source's mean per-tuple wait.
+
+    ``mean_waits`` maps every source relation to its analytic average
+    waiting time (e.g. ``DelayModel.mean_wait()``); actual fanouts are
+    used for the CPU term, since the bound is about what really executes.
+    """
+    total_cpu = 0.0
+    slowest_retrieval = 0.0
+    for chain in qep.chains:
+        source = chain.source_relation
+        try:
+            wait = mean_waits[source]
+        except KeyError:
+            raise SchedulingError(
+                f"no mean wait provided for source {source!r}") from None
+        tuples = chain.scan.estimated_input_cardinality
+        cpu = chain_cpu_seconds_per_source_tuple(
+            chain.operators, params, include_receive=True, use_actuals=True)
+        total_cpu += tuples * cpu
+        slowest_retrieval = max(slowest_retrieval, tuples * wait)
+    return max(total_cpu, slowest_retrieval)

@@ -1,0 +1,54 @@
+"""MA: Materialize All (Urhan, Franklin, Amsaleg [1]).
+
+Two phases (Section 5.1.2): first, every remote relation is materialized
+on the mediator's disk *simultaneously*, so delivery delays of different
+sources overlap each other (but not query processing); second, the query
+runs sequentially against the local copies.  MA pays the full
+materialization I/O for every relation, which is why it loses when
+delays are small relative to the I/O overhead (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from repro.core.dqs import PlanningPolicy
+from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
+from repro.core.runtime import QueryRuntime
+
+
+class MaterializeAllPolicy(PlanningPolicy):
+    """Phase 1: all MFs concurrently; phase 2: sequential from disk."""
+
+    name = "MA"
+    wants_rate_events = False
+
+    def select(self, runtime: QueryRuntime) -> list[Fragment]:
+        self._ensure_degraded(runtime)
+        runtime.advance_degraded_chains()
+        materializations = [
+            fragment
+            for chain in runtime.qep.chains
+            for fragment in runtime.chain_fragments[chain.name]
+            if fragment.kind is FragmentKind.MATERIALIZATION
+            and fragment.status is not FragmentStatus.DONE
+        ]
+        if materializations:
+            return materializations
+        # Phase 2: iterator order over the complement fragments.
+        for chain in runtime.qep.chains:
+            if runtime.chain_complete(chain.name):
+                continue
+            for fragment in runtime.chain_fragments[chain.name]:
+                if fragment.status is not FragmentStatus.DONE:
+                    return [fragment]
+        return []
+
+    @staticmethod
+    def _ensure_degraded(runtime: QueryRuntime) -> None:
+        """Degrade every chain once, on the first planning phase.
+
+        MA materializes "on the disk of the mediator" ([1]) — never into
+        query memory, whatever the configuration says.
+        """
+        for chain in runtime.qep.chains:
+            if chain.name not in runtime.degraded_chains:
+                runtime.degrade_chain(chain, prefer_memory=False)

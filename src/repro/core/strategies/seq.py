@@ -1,0 +1,29 @@
+"""SEQ: the classical iterator-model execution (Section 2.3).
+
+One pipeline chain at a time, in the QEP's iterator order; the engine
+consumes a wrapper entirely before touching the next one, and therefore
+stalls whenever the current wrapper is slow.  The paper uses SEQ as the
+baseline "when nothing is done to handle unpredictable data delivery".
+"""
+
+from __future__ import annotations
+
+from repro.core.dqs import PlanningPolicy
+from repro.core.fragments import Fragment, FragmentStatus
+from repro.core.runtime import QueryRuntime
+
+
+class SequentialPolicy(PlanningPolicy):
+    """Schedule exactly one fragment: the next one in iterator order."""
+
+    name = "SEQ"
+    wants_rate_events = False
+
+    def select(self, runtime: QueryRuntime) -> list[Fragment]:
+        for chain in runtime.qep.chains:
+            if runtime.chain_complete(chain.name):
+                continue
+            for fragment in runtime.chain_fragments[chain.name]:
+                if fragment.status is not FragmentStatus.DONE:
+                    return [fragment]
+        return []

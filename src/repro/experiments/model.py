@@ -1,0 +1,95 @@
+"""Closed-form performance models for cross-validating the simulator.
+
+The paper notes that "the sequential execution performance results are
+easy to predict analytically" (Section 5.1.2) and uses SEQ as the
+baseline precisely because of that.  This module writes those
+predictions down:
+
+* **SEQ** — chains run one at a time in iterator order; within a chain,
+  processing overlaps retrieval (the queue buffers), so each chain costs
+  ``max(retrieval, processing)`` of the tuples *not yet buffered*, plus
+  the head start earlier chains gave the wrapper (bounded by the queue
+  capacity).  We use the simpler upper/lower envelope:
+  ``Σ_p max(n_p·w_p, n_p·c_p)`` bounded below by the LWB.
+* **DSE bound** — the best any schedule can do:
+  ``max(total CPU work, slowest retrieval)`` (this *is* the LWB).
+
+These models intentionally ignore second-order effects (window-protocol
+head starts, receive-CPU contention bursts, materialization overheads),
+so tests compare with a tolerance band — close agreement validates that
+the simulator's accounting matches the arithmetic the paper reasons
+with.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.config import SimulationParameters
+from repro.core.metrics import chain_cpu_seconds_per_source_tuple
+from repro.plan.qep import QEP
+
+
+def predicted_seq_response(qep: QEP, mean_waits: Mapping[str, float],
+                           params: SimulationParameters) -> float:
+    """Analytic SEQ response time: per-chain max(retrieval, processing).
+
+    Slightly optimistic: it ignores the receive-CPU the engine spends on
+    *other* wrappers' arrivals while a chain runs, and slightly
+    pessimistic: it ignores the head start buffered by the window
+    protocol before a chain begins.  The two roughly cancel.
+    """
+    total = 0.0
+    for chain in qep.chains:
+        tuples = chain.scan.estimated_input_cardinality
+        wait = mean_waits[chain.source_relation]
+        cpu = chain_cpu_seconds_per_source_tuple(
+            chain.operators, params, include_receive=True, use_actuals=True)
+        total += max(tuples * wait, tuples * cpu)
+    return total
+
+
+def predicted_best_response(qep: QEP, mean_waits: Mapping[str, float],
+                            params: SimulationParameters) -> float:
+    """The schedule-independent floor: CPU work vs slowest retrieval."""
+    total_cpu = 0.0
+    slowest = 0.0
+    for chain in qep.chains:
+        tuples = chain.scan.estimated_input_cardinality
+        cpu = chain_cpu_seconds_per_source_tuple(
+            chain.operators, params, include_receive=True, use_actuals=True)
+        total_cpu += tuples * cpu
+        slowest = max(slowest, tuples * mean_waits[chain.source_relation])
+    return max(total_cpu, slowest)
+
+
+def predicted_ma_response(qep: QEP, mean_waits: Mapping[str, float],
+                          params: SimulationParameters) -> float:
+    """Analytic MA response: materialize-all phase, then local execution.
+
+    Phase 1 overlaps every wrapper's retrieval but must push all tuples
+    through the mediator (receive + scan + mat move + write I/O); phase 2
+    replays everything from disk through the pipelines.
+    """
+    total_tuples = sum(chain.scan.estimated_input_cardinality
+                       for chain in qep.chains)
+    slowest = max(chain.scan.estimated_input_cardinality
+                  * mean_waits[chain.source_relation]
+                  for chain in qep.chains)
+    per_tuple_ingest = (params.receive_cpu_seconds_per_tuple()
+                        + params.instructions_seconds(
+                            2 * params.move_tuple_instructions))
+    write_io = total_tuples * params.io_seconds_per_tuple()
+    phase1 = max(slowest, total_tuples * per_tuple_ingest, write_io)
+
+    phase2_cpu = 0.0
+    for chain in qep.chains:
+        tuples = chain.scan.estimated_input_cardinality
+        cpu = chain_cpu_seconds_per_source_tuple(
+            chain.operators, params, include_receive=False, use_actuals=True)
+        # Reading back from the temp adds one extra move per tuple.
+        cpu += params.instructions_seconds(params.move_tuple_instructions)
+        phase2_cpu += tuples * cpu
+    read_io = total_tuples * params.io_seconds_per_tuple()
+    phase2 = max(phase2_cpu, read_io)
+    return phase1 + phase2

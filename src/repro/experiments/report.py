@@ -1,0 +1,51 @@
+"""Plain-text table rendering and CSV export for experiment reports."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Render an aligned text table (right-aligned numeric-ish cells)."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def write_csv(path: "str | Path", headers: Sequence[str],
+              rows: Sequence[Sequence[str]]) -> Path:
+    """Write an experiment table as CSV (for external plotting).
+
+    Returns the resolved path.  Parent directories are created.
+    """
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row {row!r} does not match {columns} headers")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return target.resolve()

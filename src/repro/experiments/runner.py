@@ -1,0 +1,74 @@
+"""Generic experiment running: repeated measurements, strategy sweeps.
+
+The paper repeats each measurement 3 times and averages (Section 5.1.3);
+:func:`average_response_time` does the same with distinct seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.catalog.catalog import Catalog
+from repro.config import SimulationParameters
+from repro.core.engine import ExecutionResult, QueryEngine
+from repro.core.strategies import make_policy
+from repro.plan.qep import QEP
+from repro.wrappers.delays import DelayModel
+
+#: Builds fresh delay models for one run (models can be stateful).
+DelayFactory = Callable[[], Mapping[str, DelayModel]]
+
+
+@dataclass
+class MeasuredPoint:
+    """An averaged measurement for one strategy at one parameter point."""
+
+    strategy: str
+    response_time: float
+    repetitions: int
+    last_result: ExecutionResult
+
+
+def run_once(catalog: Catalog, qep: QEP, strategy: str,
+             delay_factory: DelayFactory,
+             params: SimulationParameters, seed: int = 0,
+             trace: bool = False) -> ExecutionResult:
+    """One simulated execution of ``strategy`` ("SEQ", "MA" or "DSE")."""
+    engine = QueryEngine(catalog, qep, make_policy(strategy),
+                         delay_factory(), params=params, seed=seed,
+                         trace=trace)
+    return engine.run()
+
+
+def average_response_time(catalog: Catalog, qep: QEP, strategy: str,
+                          delay_factory: DelayFactory,
+                          params: SimulationParameters,
+                          repetitions: int | None = None,
+                          base_seed: int = 0) -> MeasuredPoint:
+    """Average the response time over ``repetitions`` seeded runs."""
+    reps = repetitions if repetitions is not None else params.repetitions
+    if reps < 1:
+        raise ValueError(f"repetitions must be >= 1, got {reps}")
+    total = 0.0
+    result: ExecutionResult | None = None
+    for i in range(reps):
+        result = run_once(catalog, qep, strategy, delay_factory, params,
+                          seed=base_seed + i)
+        total += result.response_time
+    assert result is not None
+    return MeasuredPoint(strategy, total / reps, reps, result)
+
+
+def run_strategies(catalog: Catalog, qep: QEP, strategies: list[str],
+                   delay_factory: DelayFactory,
+                   params: SimulationParameters,
+                   repetitions: int | None = None,
+                   base_seed: int = 0) -> dict[str, MeasuredPoint]:
+    """Measure several strategies on identical workloads and seeds."""
+    return {
+        strategy: average_response_time(
+            catalog, qep, strategy, delay_factory, params,
+            repetitions=repetitions, base_seed=base_seed)
+        for strategy in strategies
+    }

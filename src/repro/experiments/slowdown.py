@@ -1,0 +1,81 @@
+"""The one-slowed-down-relation experiments (Figures 6 and 7).
+
+One input relation's average waiting time ``w`` is increased so that its
+total retrieval time (``n_p * w``, the X axis of the figures) sweeps a
+range; every other relation stays at ``w_min``.  SEQ, MA and DSE are
+measured at each point and the analytic LWB is computed alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationParameters
+from repro.core.strategies.lwb import lower_bound
+from repro.experiments.runner import run_strategies
+from repro.experiments.workloads import Figure5Workload
+from repro.wrappers.delays import UniformDelay
+
+STRATEGIES = ["SEQ", "MA", "DSE"]
+
+
+@dataclass
+class SlowdownPoint:
+    """One X position of Figure 6/7: retrieval time of the slowed relation."""
+
+    slowed_relation: str
+    retrieval_time: float          #: n_p * w of the slowed relation (X axis)
+    wait: float                    #: the w this corresponds to
+    response_times: dict[str, float]  #: strategy -> averaged response time
+    lwb: float
+
+    def row(self) -> list[str]:
+        cells = [f"{self.retrieval_time:.2f}"]
+        cells += [f"{self.response_times[s]:.3f}" for s in STRATEGIES]
+        cells.append(f"{self.lwb:.3f}")
+        return cells
+
+
+def slowdown_waits(workload: Figure5Workload, slowed_relation: str,
+                   retrieval_time: float,
+                   params: SimulationParameters) -> dict[str, float]:
+    """Mean waits per relation with one relation slowed down.
+
+    ``retrieval_time`` is the total time to retrieve the slowed relation
+    entirely (the figures' X axis); every other relation runs at
+    ``w_min``.  The slowed relation never goes *below* ``w_min``.
+    """
+    cardinality = workload.catalog.relation(slowed_relation).cardinality
+    slowed_wait = max(params.w_min, retrieval_time / cardinality)
+    waits = {name: params.w_min for name in workload.relation_names}
+    waits[slowed_relation] = slowed_wait
+    return waits
+
+
+def run_slowdown_experiment(workload: Figure5Workload, slowed_relation: str,
+                            retrieval_times: list[float],
+                            params: SimulationParameters,
+                            repetitions: int | None = None,
+                            base_seed: int = 0) -> list[SlowdownPoint]:
+    """Measure all strategies across the retrieval-time sweep."""
+    if slowed_relation not in workload.relation_names:
+        raise ValueError(f"unknown relation {slowed_relation!r}")
+    points = []
+    for retrieval_time in retrieval_times:
+        waits = slowdown_waits(workload, slowed_relation, retrieval_time,
+                               params)
+
+        def delay_factory(waits=waits):
+            return {name: UniformDelay(wait) for name, wait in waits.items()}
+
+        measured = run_strategies(workload.catalog, workload.qep, STRATEGIES,
+                                  delay_factory, params,
+                                  repetitions=repetitions,
+                                  base_seed=base_seed)
+        points.append(SlowdownPoint(
+            slowed_relation=slowed_relation,
+            retrieval_time=retrieval_time,
+            wait=waits[slowed_relation],
+            response_times={s: m.response_time for s, m in measured.items()},
+            lwb=lower_bound(workload.qep, waits, params)))
+    return points

@@ -1,0 +1,90 @@
+"""Export executions as Chrome-tracing timelines.
+
+``write_chrome_trace`` turns an :class:`ExecutionResult` into the Trace
+Event JSON consumed by ``chrome://tracing`` / Perfetto: one lane per
+pipeline chain with a complete-event span per fragment, plus instant
+events for the scheduler's decisions (degradations, MF stops, memory
+splits, plan revisions) when the run was traced.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.engine import ExecutionResult
+
+#: trace categories exported as instant events, when a tracer is present.
+DECISION_CATEGORIES = (
+    "degrade", "mf-stop", "cf-create", "memory-split", "reopt-swap",
+    "rate-change", "timeout", "chain-complete",
+)
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
+    """The trace-event list for ``result`` (fragments + decisions)."""
+    events: list[dict[str, Any]] = []
+    chains = sorted({stat.chain for stat in result.fragment_stats.values()})
+    tids = {chain: i + 1 for i, chain in enumerate(chains)}
+
+    for stat in result.timeline():
+        if stat.started_at is None or stat.finished_at is None:
+            continue
+        events.append({
+            "name": stat.name,
+            "cat": stat.kind,
+            "ph": "X",
+            "ts": stat.started_at * _SECONDS_TO_US,
+            "dur": max(1.0, (stat.finished_at - stat.started_at)
+                       * _SECONDS_TO_US),
+            "pid": 1,
+            "tid": tids[stat.chain],
+            "args": {
+                "tuples_in": stat.tuples_in,
+                "tuples_out": stat.tuples_out,
+                "batches": stat.batches,
+                "cpu_seconds": stat.cpu_seconds,
+            },
+        })
+
+    for chain, tid in tids.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": chain},
+        })
+
+    if result.tracer is not None:
+        for category in DECISION_CATEGORIES:
+            for trace_event in result.tracer.filter(category):
+                events.append({
+                    "name": f"{category}: {trace_event.message}",
+                    "cat": "decision",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": trace_event.time * _SECONDS_TO_US,
+                    "pid": 1,
+                    "tid": 0,
+                    "args": dict(trace_event.payload),
+                })
+    return events
+
+
+def write_chrome_trace(path: "str | Path",
+                       result: ExecutionResult) -> Path:
+    """Write ``result`` as a Chrome-tracing JSON file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "traceEvents": chrome_trace_events(result),
+        "displayTimeUnit": "ms",
+        "otherData": {"strategy": result.strategy,
+                      "response_time_s": result.response_time},
+    }
+    target.write_text(json.dumps(payload, default=str))
+    return target.resolve()

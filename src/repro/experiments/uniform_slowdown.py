@@ -1,0 +1,64 @@
+"""The several-slowed-down-relations experiment (Figure 8).
+
+All wrappers get the same increasing ``w_min``; the figure plots the
+performance *gain* of DSE over SEQ:  ``gain = (SEQ - DSE) / SEQ``.
+High ``w_min`` stands for slow networks, low for fast ones (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SimulationParameters
+from repro.core.strategies.lwb import lower_bound
+from repro.experiments.runner import run_strategies
+from repro.experiments.workloads import Figure5Workload
+from repro.wrappers.delays import UniformDelay
+
+
+@dataclass
+class GainPoint:
+    """One X position of Figure 8."""
+
+    w_min: float
+    seq_response: float
+    dse_response: float
+    lwb: float
+
+    @property
+    def gain(self) -> float:
+        """DSE's relative gain over SEQ (the figure's Y axis)."""
+        if self.seq_response <= 0:
+            return 0.0
+        return (self.seq_response - self.dse_response) / self.seq_response
+
+    def row(self) -> list[str]:
+        return [f"{self.w_min * 1e6:.0f}", f"{self.seq_response:.3f}",
+                f"{self.dse_response:.3f}", f"{self.gain * 100:.1f}",
+                f"{self.lwb:.3f}"]
+
+
+def run_uniform_slowdown_experiment(workload: Figure5Workload,
+                                    w_values: list[float],
+                                    params: SimulationParameters,
+                                    repetitions: int | None = None,
+                                    base_seed: int = 0) -> list[GainPoint]:
+    """Sweep the common ``w_min`` and measure SEQ vs DSE."""
+    points = []
+    for w in w_values:
+        point_params = params.with_overrides(w_min=w)
+        waits = {name: w for name in workload.relation_names}
+
+        def delay_factory(w=w):
+            return {name: UniformDelay(w) for name in workload.relation_names}
+
+        measured = run_strategies(workload.catalog, workload.qep,
+                                  ["SEQ", "DSE"], delay_factory, point_params,
+                                  repetitions=repetitions,
+                                  base_seed=base_seed)
+        points.append(GainPoint(
+            w_min=w,
+            seq_response=measured["SEQ"].response_time,
+            dse_response=measured["DSE"].response_time,
+            lwb=lower_bound(workload.qep, waits, point_params)))
+    return points

@@ -1,0 +1,14 @@
+"""Classical compile-time optimizer.
+
+The paper's experiment query "was generated using the algorithm of [14]
+and optimized in a classical dynamic programming query optimizer"
+(Section 5.1.1).  This package provides exactly that: a cost model priced
+in CPU instructions (:mod:`repro.optimizer.cost`) and a dynamic-programming
+enumerator over connected sub-queries producing bushy hash-join trees
+(:mod:`repro.optimizer.dp`).
+"""
+
+from repro.optimizer.cost import CostModel, OperatorCosts
+from repro.optimizer.dp import DynamicProgrammingOptimizer
+
+__all__ = ["CostModel", "DynamicProgrammingOptimizer", "OperatorCosts"]

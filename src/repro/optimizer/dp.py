@@ -1,0 +1,150 @@
+"""Dynamic-programming join enumeration producing bushy trees.
+
+Enumerates connected sub-queries by subset (bitmask) dynamic programming,
+splitting each connected set S into connected complementary pairs (L, R)
+with at least one join edge between them — cross products are never
+considered, as in classical System-R-descended optimizers.  Bushy trees
+are considered in full ("bushy plans are the most general and the most
+appealing", Section 2.2).
+
+The winning (sub-)plan orients each join with the **smaller estimated
+side as the build** (left child), which is both the classical choice and
+what macro-expansion expects.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import OptimizerError
+from repro.optimizer.cost import CostModel
+from repro.query.tree import JoinTree, Query
+
+#: Hard cap: subset DP is exponential; beyond this, refuse rather than hang.
+MAX_RELATIONS = 14
+
+
+class DynamicProgrammingOptimizer:
+    """Exhaustive bushy DP optimizer over connected subsets."""
+
+    def __init__(self, cost_model: CostModel):
+        self.cost_model = cost_model
+
+    def optimize(self, query: Query) -> JoinTree:
+        """Return the cheapest bushy join tree for ``query``."""
+        names = query.relation_names
+        n = len(names)
+        if n > MAX_RELATIONS:
+            raise OptimizerError(
+                f"query has {n} relations; DP supports at most {MAX_RELATIONS}")
+        if n == 1:
+            return JoinTree.leaf(names[0])
+
+        index = {name: i for i, name in enumerate(names)}
+        adjacency = [0] * n
+        selectivity: dict[tuple[int, int], float] = {}
+        for a, b, sel in query.join_edges():
+            ia, ib = index[a], index[b]
+            adjacency[ia] |= 1 << ib
+            adjacency[ib] |= 1 << ia
+            selectivity[(min(ia, ib), max(ia, ib))] = sel
+
+        cards = [query.catalog.relation(name).cardinality for name in names]
+        best_cost: dict[int, float] = {}
+        best_tree: dict[int, JoinTree] = {}
+        set_cardinality: dict[int, float] = {}
+
+        for i, name in enumerate(names):
+            mask = 1 << i
+            best_cost[mask] = self.cost_model.scan_cost(name)
+            best_tree[mask] = JoinTree.leaf(name)
+            set_cardinality[mask] = float(cards[i])
+
+        full = (1 << n) - 1
+        for mask in range(1, full + 1):
+            if mask.bit_count() < 2 or not self._connected(mask, adjacency):
+                continue
+            set_cardinality[mask] = self._cardinality(mask, cards, selectivity)
+            self._solve_set(mask, adjacency, set_cardinality, best_cost, best_tree)
+
+        if full not in best_tree:
+            raise OptimizerError("no connected plan covers the whole query "
+                                 "(disconnected join graph?)")
+        return best_tree[full]
+
+    # -- internals ---------------------------------------------------------
+    def _solve_set(self, mask: int, adjacency: list[int],
+                   set_cardinality: dict[int, float],
+                   best_cost: dict[int, float],
+                   best_tree: dict[int, JoinTree]) -> None:
+        """Try every connected complementary split of ``mask``."""
+        best: float | None = None
+        best_pair: tuple[int, int] | None = None
+        # Enumerate proper non-empty subsets of mask; visit each unordered
+        # pair once by requiring the lowest set bit of mask to stay in left.
+        lowest = mask & -mask
+        sub = (mask - 1) & mask
+        while sub:
+            left, right = sub, mask ^ sub
+            if left & lowest:
+                if (left in best_cost and right in best_cost
+                        and self._edge_between(left, right, adjacency)):
+                    out_card = set_cardinality[mask]
+                    for build, probe in ((left, right), (right, left)):
+                        cost = (best_cost[build] + best_cost[probe]
+                                + self.cost_model.join_cost(
+                                    set_cardinality[build],
+                                    set_cardinality[probe],
+                                    out_card))
+                        # Tie-break on build-side size: a smaller hash
+                        # table is strictly better for memory.
+                        better = best is None or cost < best * (1 - 1e-12)
+                        tied = (best is not None
+                                and abs(cost - best) <= best * 1e-12
+                                and set_cardinality[build]
+                                < set_cardinality[best_pair[0]])
+                        if better or tied:
+                            best = cost
+                            best_pair = (build, probe)
+            sub = (sub - 1) & mask
+        if best is not None and best_pair is not None:
+            build, probe = best_pair
+            best_cost[mask] = best
+            best_tree[mask] = JoinTree.join(best_tree[build], best_tree[probe])
+
+    @staticmethod
+    def _connected(mask: int, adjacency: list[int]) -> bool:
+        start = mask & -mask
+        seen = start
+        frontier = start
+        while frontier:
+            bit_index = (frontier & -frontier).bit_length() - 1
+            frontier &= frontier - 1
+            neighbours = adjacency[bit_index] & mask & ~seen
+            seen |= neighbours
+            frontier |= neighbours
+        return seen == mask
+
+    @staticmethod
+    def _edge_between(left: int, right: int, adjacency: list[int]) -> bool:
+        remaining = left
+        while remaining:
+            bit_index = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            if adjacency[bit_index] & right:
+                return True
+        return False
+
+    @staticmethod
+    def _cardinality(mask: int, cards: list[float],
+                     selectivity: dict[tuple[int, int], float]) -> float:
+        result = 1.0
+        members = []
+        remaining = mask
+        while remaining:
+            bit_index = (remaining & -remaining).bit_length() - 1
+            remaining &= remaining - 1
+            members.append(bit_index)
+            result *= cards[bit_index]
+        for (a, b), sel in selectivity.items():
+            if mask >> a & 1 and mask >> b & 1:
+                result *= sel
+        return result

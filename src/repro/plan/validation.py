@@ -1,0 +1,91 @@
+"""Structural validation of query execution plans.
+
+``validate_qep`` checks every invariant the runtime relies on and raises
+:class:`~repro.common.errors.PlanError` with a precise message on the
+first violation.  Strategies call it once before execution so that
+scheduling bugs surface as plan errors instead of simulation deadlocks.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import PlanError
+from repro.plan.chains import ancestor_closure, iterator_order
+from repro.plan.operators import MatOp, OutputOp, ProbeOp, ScanOp
+from repro.plan.qep import QEP
+
+
+def validate_qep(qep: QEP) -> None:
+    """Raise :class:`PlanError` unless ``qep`` is structurally sound."""
+    _check_chain_shapes(qep)
+    _check_sources_unique(qep)
+    _check_joins(qep)
+    # These raise on cycles / order violations as a side effect.
+    ancestor_closure(qep)
+    iterator_order(qep)
+    _check_cardinality_flow(qep)
+
+
+def _check_chain_shapes(qep: QEP) -> None:
+    for chain in qep.chains:
+        ops = chain.operators
+        if not isinstance(ops[0], ScanOp):
+            raise PlanError(f"chain {chain.name!r} does not start with a scan")
+        if not isinstance(ops[-1], (MatOp, OutputOp)):
+            raise PlanError(f"chain {chain.name!r} must end with mat or output "
+                            f"(a blocking edge needs an explicit mat)")
+        for op in ops[1:-1]:
+            if not isinstance(op, ProbeOp):
+                raise PlanError(f"chain {chain.name!r}: interior operator "
+                                f"{op.name!r} is not a probe")
+        if ops[0].relation != chain.source_relation:
+            raise PlanError(f"chain {chain.name!r}: scan reads "
+                            f"{ops[0].relation!r}, chain source is "
+                            f"{chain.source_relation!r}")
+
+
+def _check_sources_unique(qep: QEP) -> None:
+    seen: set[str] = set()
+    for chain in qep.chains:
+        if chain.source_relation in seen:
+            raise PlanError(f"relation {chain.source_relation!r} is scanned "
+                            "by more than one chain")
+        seen.add(chain.source_relation)
+
+
+def _check_joins(qep: QEP) -> None:
+    fed: set[str] = set()
+    probed: set[str] = set()
+    for chain in qep.chains:
+        if chain.feeds is not None:
+            if chain.feeds.name in fed:
+                raise PlanError(f"join {chain.feeds.name!r} is fed twice")
+            fed.add(chain.feeds.name)
+        for join in chain.probe_joins():
+            if join.name in probed:
+                raise PlanError(f"join {join.name!r} is probed twice")
+            probed.add(join.name)
+    declared = set(qep.joins)
+    if fed != declared:
+        raise PlanError(f"fed joins {sorted(fed)} do not match declared "
+                        f"joins {sorted(declared)}")
+    if probed != declared:
+        raise PlanError(f"probed joins {sorted(probed)} do not match declared "
+                        f"joins {sorted(declared)}")
+
+
+def _check_cardinality_flow(qep: QEP) -> None:
+    for chain in qep.chains:
+        previous_out = None
+        for op in chain.operators:
+            if op.estimated_input_cardinality < 0 or op.estimated_output_cardinality < 0:
+                raise PlanError(f"chain {chain.name!r}: operator {op.name!r} "
+                                "has negative cardinality estimates")
+            if previous_out is not None:
+                drift = abs(op.estimated_input_cardinality - previous_out)
+                tolerance = 1e-6 * max(1.0, previous_out)
+                if drift > tolerance:
+                    raise PlanError(
+                        f"chain {chain.name!r}: operator {op.name!r} input "
+                        f"estimate {op.estimated_input_cardinality} does not "
+                        f"match upstream output {previous_out}")
+            previous_out = op.estimated_output_cardinality

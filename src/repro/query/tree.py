@@ -1,0 +1,148 @@
+"""Queries and logical join trees."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.common.errors import PlanError
+
+
+class Query:
+    """A join query: a set of relations connected by catalog join edges.
+
+    The query graph must be connected, otherwise the query contains a
+    cross product, which this system (like the paper's optimizer) refuses.
+    """
+
+    def __init__(self, catalog: Catalog, relation_names: list[str]):
+        if not relation_names:
+            raise PlanError("a query needs at least one relation")
+        if len(set(relation_names)) != len(relation_names):
+            raise PlanError(f"duplicate relations in query: {relation_names}")
+        for name in relation_names:
+            catalog.relation(name)  # raises CatalogError on unknown names
+        self.catalog = catalog
+        self.relation_names = list(relation_names)
+        if len(relation_names) > 1:
+            self._check_connected()
+
+    def _check_connected(self) -> None:
+        names = set(self.relation_names)
+        seen = {self.relation_names[0]}
+        frontier = [self.relation_names[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in self.catalog.statistics.neighbours(current):
+                if other in names and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        if seen != names:
+            missing = sorted(names - seen)
+            raise PlanError(f"query graph is disconnected; unreachable: {missing}")
+
+    def join_edges(self) -> list[tuple[str, str, float]]:
+        """Join edges with both endpoints inside this query."""
+        inside = set(self.relation_names)
+        return [(a, b, sel) for a, b, sel in self.catalog.statistics.edges()
+                if a in inside and b in inside]
+
+    def __len__(self) -> int:
+        return len(self.relation_names)
+
+    def __repr__(self) -> str:
+        return f"Query({' ⋈ '.join(self.relation_names)})"
+
+
+class JoinTree:
+    """A binary logical join tree (bushy in general).
+
+    Leaves carry a relation name; inner nodes join their two children.
+    Immutable once built; estimated cardinalities are computed on demand
+    from a catalog.
+    """
+
+    __slots__ = ("relation", "left", "right", "_relations")
+
+    def __init__(self, relation: Optional[str] = None,
+                 left: Optional["JoinTree"] = None,
+                 right: Optional["JoinTree"] = None):
+        is_leaf = relation is not None
+        has_children = left is not None or right is not None
+        if is_leaf == has_children:
+            raise PlanError("a JoinTree node is either a leaf or has two children")
+        if not is_leaf and (left is None or right is None):
+            raise PlanError("an inner JoinTree node needs both children")
+        self.relation = relation
+        self.left = left
+        self.right = right
+        if is_leaf:
+            self._relations = (relation,)
+        else:
+            overlap = set(left._relations) & set(right._relations)
+            if overlap:
+                raise PlanError(f"relation(s) {sorted(overlap)} appear on both "
+                                "sides of a join")
+            self._relations = left._relations + right._relations
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def leaf(relation: str) -> "JoinTree":
+        return JoinTree(relation=relation)
+
+    @staticmethod
+    def join(left: "JoinTree", right: "JoinTree") -> "JoinTree":
+        return JoinTree(left=left, right=right)
+
+    @staticmethod
+    def left_deep(relations: list[str]) -> "JoinTree":
+        """Convenience: a left-deep tree over ``relations`` in order."""
+        if not relations:
+            raise PlanError("left_deep needs at least one relation")
+        tree = JoinTree.leaf(relations[0])
+        for name in relations[1:]:
+            tree = JoinTree.join(tree, JoinTree.leaf(name))
+        return tree
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        return self.relation is not None
+
+    def relations(self) -> tuple[str, ...]:
+        """All relation names in this subtree (left-to-right leaf order)."""
+        return self._relations
+
+    def leaves(self) -> Iterator["JoinTree"]:
+        """Iterate leaf nodes left to right."""
+        if self.is_leaf:
+            yield self
+        else:
+            yield from self.left.leaves()
+            yield from self.right.leaves()
+
+    def inner_nodes(self) -> Iterator["JoinTree"]:
+        """Iterate join nodes bottom-up, left subtree first."""
+        if not self.is_leaf:
+            yield from self.left.inner_nodes()
+            yield from self.right.inner_nodes()
+            yield self
+
+    def depth(self) -> int:
+        """Longest root-to-leaf path length (a single leaf has depth 0)."""
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def estimated_cardinality(self, catalog: Catalog) -> float:
+        """Estimated output cardinality of this subtree."""
+        return catalog.estimate_cardinality(self._relations)
+
+    def render(self) -> str:
+        """Parenthesised text form, e.g. ``((A ⋈ B) ⋈ C)``."""
+        if self.is_leaf:
+            return self.relation
+        return f"({self.left.render()} ⋈ {self.right.render()})"
+
+    def __repr__(self) -> str:
+        return f"JoinTree({self.render()})"

@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel and hardware resource models.
+
+This package is the substrate the paper's prototype ran on: a virtual
+machine with a CPU rated in MIPS, a single local disk, a network link and a
+small LRU I/O cache (Table 1 of the paper).  The kernel itself
+(:mod:`repro.sim.engine`) is a minimal generator-based process simulator in
+the style of SimPy: processes yield events and the kernel resumes them when
+those events trigger.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Process,
+    SimEvent,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import CPU, Disk, NetworkLink, Resource, Store
+from repro.sim.cache import LRUPageCache
+from repro.sim.stats import Counter, TimeWeightedStat, WelfordStat
+from repro.sim.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "CPU",
+    "Counter",
+    "Disk",
+    "Interrupt",
+    "LRUPageCache",
+    "NetworkLink",
+    "Process",
+    "Resource",
+    "SimEvent",
+    "Simulator",
+    "Store",
+    "TimeWeightedStat",
+    "Timeout",
+    "TraceEvent",
+    "Tracer",
+    "WelfordStat",
+]

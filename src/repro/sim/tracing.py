@@ -1,0 +1,64 @@
+"""Execution tracing.
+
+The paper diagnoses scheduler behaviour by "checking the execution traces"
+(Section 5.3).  :class:`Tracer` is the equivalent here: runtime components
+emit categorized :class:`TraceEvent` records which tests and experiment
+reports can filter and assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped trace record."""
+
+    time: float
+    category: str
+    message: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = f" {self.payload}" if self.payload else ""
+        return f"[{self.time:12.6f}] {self.category:<12} {self.message}{extra}"
+
+
+class Tracer:
+    """Collects trace events; disabled tracers drop everything cheaply."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+
+    def emit(self, category: str, message: str, **payload: Any) -> None:
+        """Record one event at the current virtual time (if enabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(self.sim.now, category, message, payload))
+
+    def filter(self, category: Optional[str] = None,
+               since: float = 0.0) -> Iterator[TraceEvent]:
+        """Iterate events, optionally restricted to a category / start time."""
+        for event in self.events:
+            if category is not None and event.category != category:
+                continue
+            if event.time < since:
+                continue
+            yield event
+
+    def count(self, category: str) -> int:
+        """Number of recorded events in ``category``."""
+        return sum(1 for _ in self.filter(category))
+
+    def dump(self) -> str:
+        """The whole trace as printable text."""
+        return "\n".join(str(event) for event in self.events)
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.events)} events, enabled={self.enabled})"

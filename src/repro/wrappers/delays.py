@@ -1,0 +1,217 @@
+"""Per-tuple delay models.
+
+A delay model produces, for ``n`` tuples, the waiting time *preceding*
+each tuple (Section 4.3's ``w_p`` is the average of these).  Models are
+stateless descriptions; randomness comes from the generator passed in.
+
+The taxonomy of Section 1.2:
+
+* **initial delay** — :class:`InitialDelay`: a long wait before the first
+  tuple, then normal delivery;
+* **bursty arrival** — :class:`BurstyDelay`: groups of tuples back to
+  back, separated by long silences;
+* **slow delivery** — a regular but slow rate: :class:`UniformDelay` (or
+  :class:`ConstantDelay`) with a large ``w``; :func:`slow_delivery` is the
+  explicit spelling.
+
+The experiments' default (Section 5.1.3) is :class:`UniformDelay`:
+per-tuple delays uniform on ``[0, 2w]``, hence an average of ``w``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+class DelayModel(ABC):
+    """Produces per-tuple waiting times."""
+
+    @abstractmethod
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Waiting time preceding each of ``n`` tuples (seconds)."""
+
+    @abstractmethod
+    def mean_wait(self) -> float:
+        """Analytic long-run average waiting time per tuple (seconds)."""
+
+    @staticmethod
+    def _check_n(n: int) -> None:
+        if n < 0:
+            raise ConfigurationError(f"tuple count must be >= 0, got {n}")
+
+
+class ConstantDelay(DelayModel):
+    """Exactly ``w`` seconds before every tuple."""
+
+    def __init__(self, w: float):
+        if w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {w}")
+        self.w = w
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return np.full(n, self.w)
+
+    def mean_wait(self) -> float:
+        return self.w
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay(w={self.w:g})"
+
+
+class UniformDelay(DelayModel):
+    """Per-tuple delays uniform on ``[0, 2w]`` (the paper's experiments)."""
+
+    def __init__(self, w: float):
+        if w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {w}")
+        self.w = w
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        if self.w == 0:
+            return np.zeros(n)
+        return rng.uniform(0.0, 2.0 * self.w, size=n)
+
+    def mean_wait(self) -> float:
+        return self.w
+
+    def __repr__(self) -> str:
+        return f"UniformDelay(w={self.w:g})"
+
+
+def slow_delivery(w: float) -> UniformDelay:
+    """Slow-delivery model: regular arrival, just slower than normal."""
+    return UniformDelay(w)
+
+
+class ExponentialDelay(DelayModel):
+    """Memoryless per-tuple delays (Poisson tuple arrivals) with mean ``w``.
+
+    Heavier-tailed than the experiments' uniform model: occasional long
+    gaps stress the scheduler's ability to absorb irregularity.
+    """
+
+    def __init__(self, w: float):
+        if w < 0:
+            raise ConfigurationError(f"w must be >= 0, got {w}")
+        self.w = w
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        if self.w == 0:
+            return np.zeros(n)
+        return rng.exponential(self.w, size=n)
+
+    def mean_wait(self) -> float:
+        return self.w
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(w={self.w:g})"
+
+
+class NormalDelay(DelayModel):
+    """Gaussian per-tuple delays truncated at zero.
+
+    ``mean_wait`` reports the truncated mean, so the analytic lower
+    bound stays a true bound.
+    """
+
+    def __init__(self, mean: float, std: float):
+        if mean < 0 or std < 0:
+            raise ConfigurationError(
+                f"mean and std must be >= 0, got {mean}, {std}")
+        self.mean = mean
+        self.std = std
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        return np.maximum(0.0, rng.normal(self.mean, self.std, size=n))
+
+    def mean_wait(self) -> float:
+        if self.std == 0:
+            return self.mean
+        # E[max(0, X)] for X ~ N(mean, std).
+        from math import erf, exp, pi, sqrt
+        z = self.mean / self.std
+        pdf = exp(-0.5 * z * z) / sqrt(2.0 * pi)
+        cdf = 0.5 * (1.0 + erf(z / sqrt(2.0)))
+        return self.mean * cdf + self.std * pdf
+
+    def __repr__(self) -> str:
+        return f"NormalDelay(mean={self.mean:g}, std={self.std:g})"
+
+
+class InitialDelay(DelayModel):
+    """A single long delay before the first tuple, then a base model."""
+
+    def __init__(self, initial: float, base: DelayModel):
+        if initial < 0:
+            raise ConfigurationError(f"initial delay must be >= 0, got {initial}")
+        self.initial = initial
+        self.base = base
+        self._first_emitted = False
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        waits = self.base.waiting_times(n, rng)
+        if n > 0 and not self._first_emitted:
+            waits = waits.copy()
+            waits[0] += self.initial
+            self._first_emitted = True
+        return waits
+
+    def reset(self) -> None:
+        """Re-arm the initial delay (models are reused across repetitions)."""
+        self._first_emitted = False
+
+    def mean_wait(self) -> float:
+        # The one-off initial delay vanishes in the long-run average.
+        return self.base.mean_wait()
+
+    def __repr__(self) -> str:
+        return f"InitialDelay({self.initial:g}, base={self.base!r})"
+
+
+class BurstyDelay(DelayModel):
+    """Bursts of tuples separated by long periods of silence.
+
+    ``burst_tuples`` arrive with ``within_burst_wait`` between them, then a
+    ``gap`` of silence precedes the next burst.
+    """
+
+    def __init__(self, burst_tuples: int, gap: float,
+                 within_burst_wait: float = 0.0):
+        if burst_tuples < 1:
+            raise ConfigurationError(
+                f"burst_tuples must be >= 1, got {burst_tuples}")
+        if gap < 0 or within_burst_wait < 0:
+            raise ConfigurationError("gap and within_burst_wait must be >= 0")
+        self.burst_tuples = burst_tuples
+        self.gap = gap
+        self.within_burst_wait = within_burst_wait
+        self._position = 0  # index within the current burst
+
+    def waiting_times(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check_n(n)
+        waits = np.full(n, self.within_burst_wait)
+        for i in range(n):
+            if self._position == 0:
+                waits[i] += self.gap
+            self._position = (self._position + 1) % self.burst_tuples
+        return waits
+
+    def reset(self) -> None:
+        """Restart at a burst boundary."""
+        self._position = 0
+
+    def mean_wait(self) -> float:
+        return self.within_burst_wait + self.gap / self.burst_tuples
+
+    def __repr__(self) -> str:
+        return (f"BurstyDelay(burst={self.burst_tuples}, gap={self.gap:g}, "
+                f"within={self.within_burst_wait:g})")

@@ -1,0 +1,102 @@
+"""Simulated wrapper processes.
+
+A wrapper ships its whole relation to the mediator in fixed-size messages.
+Before each message it waits the sum of the per-tuple waiting times drawn
+from its delay model — exactly the methodology of Section 5.1.3 ("we delay
+the production of each tuple by a delay uniformly distributed in
+[0, 2w]").  Delivery goes through the communication manager, so a full
+queue suspends the wrapper (window protocol) and every message charges
+the mediator's per-message receive CPU cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.catalog.schema import Relation
+from repro.common.errors import SimulationError
+from repro.config import SimulationParameters
+from repro.mediator.comm import CommunicationManager
+from repro.sim.engine import Process, SimEvent, Simulator
+from repro.sim.resources import Store
+from repro.wrappers.delays import DelayModel
+
+
+class Wrapper:
+    """One simulated remote source."""
+
+    def __init__(self, sim: Simulator, relation: Relation,
+                 delay_model: DelayModel, cm: CommunicationManager,
+                 rng: np.random.Generator, params: SimulationParameters):
+        self.sim = sim
+        self.relation = relation
+        self.delay_model = delay_model
+        self.cm = cm
+        self.rng = rng
+        self.params = params
+        self.tuples_sent = 0
+        self.production_time = 0.0      # time spent producing (delay model)
+        self.blocked_time = 0.0         # time suspended by the window protocol
+        self.finished_at: Optional[float] = None
+        self._process: Optional[Process] = None
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    def start(self) -> Process:
+        """Register with the CM and start shipping tuples."""
+        if self._process is not None:
+            raise SimulationError(f"wrapper {self.name!r} started twice")
+        self.cm.register_source(self.name)
+        self._process = self.sim.process(self._run(), name=f"wrapper:{self.name}")
+        return self._process
+
+    def _run(self) -> Generator[SimEvent, Any, None]:
+        """Producer half: applies the delay model, fills the send pipeline.
+
+        Production is *pipelined* with delivery (a real source keeps
+        computing the next block while the previous one is on the wire):
+        a small outbound buffer decouples this process from the sender
+        process, so the mediator's receive cost and the window protocol
+        only throttle production once the pipeline is full.
+        """
+        outbound = Store(self.sim, capacity=2, name=f"outbound:{self.name}")
+        sender = self.sim.process(self._send(outbound),
+                                  name=f"sender:{self.name}")
+        remaining = self.relation.cardinality
+        if remaining == 0:
+            yield outbound.put((0, True, 0.0))
+            yield sender
+            self.finished_at = self.sim.now
+            return
+        per_message = self.params.tuples_per_message
+        while remaining > 0:
+            count = min(per_message, remaining)
+            waits = self.delay_model.waiting_times(count, self.rng)
+            production = float(np.sum(waits))
+            if production > 0:
+                yield self.sim.timeout(production)
+            self.production_time += production
+            before_put = self.sim.now
+            yield outbound.put((count, remaining == count, production))
+            self.blocked_time += self.sim.now - before_put
+            remaining -= count
+        yield sender  # join: the wrapper is done once everything is delivered
+        self.finished_at = self.sim.now
+
+    def _send(self, outbound: Store) -> Generator[SimEvent, Any, None]:
+        """Sender half: drains the pipeline through the window protocol."""
+        while True:
+            count, eof, production = yield outbound.get()
+            yield from self.cm.deliver(self.name, count, eof=eof,
+                                       production_seconds=production)
+            self.tuples_sent += count
+            if eof:
+                return
+
+    def __repr__(self) -> str:
+        return (f"Wrapper({self.name!r}, sent={self.tuples_sent}/"
+                f"{self.relation.cardinality}, model={self.delay_model!r})")

@@ -1,0 +1,67 @@
+"""Shared fixtures: small catalogs, scaled workloads, fast parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Catalog, JoinStatistics, Relation
+from repro.config import SimulationParameters
+from repro.experiments import figure5_workload
+from repro.plan import build_qep
+from repro.query import JoinTree, Query
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def params() -> SimulationParameters:
+    """Default Table 1 parameters."""
+    return SimulationParameters()
+
+
+@pytest.fixture
+def small_catalog() -> Catalog:
+    """Three tiny relations joined in a chain R-S-T."""
+    stats = JoinStatistics({
+        ("R", "S"): 1.0 / 1000,
+        ("S", "T"): 1.0 / 2000,
+    })
+    return Catalog([
+        Relation("R", 1000),
+        Relation("S", 2000),
+        Relation("T", 1500),
+    ], stats)
+
+
+@pytest.fixture
+def small_query(small_catalog) -> Query:
+    return Query(small_catalog, ["R", "S", "T"])
+
+
+@pytest.fixture
+def small_tree() -> JoinTree:
+    """((R ⋈ S) ⋈ T) with builds on the left."""
+    return JoinTree.join(
+        JoinTree.join(JoinTree.leaf("R"), JoinTree.leaf("S")),
+        JoinTree.leaf("T"))
+
+
+@pytest.fixture
+def small_qep(small_catalog, small_tree):
+    return build_qep(small_catalog, small_tree)
+
+
+@pytest.fixture
+def tiny_fig5():
+    """The Figure 5 workload at 2% scale (runs in milliseconds)."""
+    return figure5_workload(scale=0.02)
+
+
+@pytest.fixture
+def mini_fig5():
+    """The Figure 5 workload at 10% scale (still fast, more realistic)."""
+    return figure5_workload(scale=0.1)

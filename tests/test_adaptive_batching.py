@@ -1,0 +1,66 @@
+"""Tests for dynamic batch sizing (the paper's footnote 1)."""
+
+import pytest
+
+from repro import QueryEngine, SimulationParameters, UniformDelay, make_policy
+from repro.experiments import slowdown_waits
+
+
+def run(workload, strategy="DSE", seed=1, waits=None, **overrides):
+    params = SimulationParameters().with_overrides(**overrides)
+    if waits is None:
+        waits = {n: params.w_min for n in workload.relation_names}
+    delays = {n: UniformDelay(w) for n, w in waits.items()}
+    return QueryEngine(workload.catalog, workload.qep, make_policy(strategy),
+                       delays, params=params, seed=seed).run()
+
+
+def test_adaptive_same_answer(mini_fig5):
+    fixed = run(mini_fig5)
+    adaptive = run(mini_fig5, adaptive_batching=True)
+    assert adaptive.result_tuples == fixed.result_tuples
+
+
+def test_adaptive_uses_fewer_batches_on_backlogs(mini_fig5):
+    """A slow consumer lets queues build: adaptive batches get bigger."""
+    params = SimulationParameters()
+    waits = slowdown_waits(mini_fig5, "F", 1.0, params)
+    fixed = run(mini_fig5, waits=waits)
+    adaptive = run(mini_fig5, waits=waits, adaptive_batching=True)
+    assert adaptive.batches_processed < fixed.batches_processed
+    assert adaptive.result_tuples == fixed.result_tuples
+
+
+def test_adaptive_with_expensive_switches(mini_fig5):
+    """With costly context switches, adaptive batching must not lose."""
+    kwargs = dict(context_switch_instructions=20_000.0)
+    fixed = run(mini_fig5, **kwargs)
+    adaptive = run(mini_fig5, adaptive_batching=True, **kwargs)
+    assert adaptive.response_time <= fixed.response_time * 1.05
+
+
+def test_adaptive_floor_is_one_message(mini_fig5):
+    """Trickling sources still get served one message at a time."""
+    result = run(mini_fig5, adaptive_batching=True,
+                 waits={n: 100e-6 for n in mini_fig5.relation_names})
+    # With sparse arrivals the backlog stays small: batch count is close
+    # to the message count (ratio bounded by the ceiling).
+    params = SimulationParameters()
+    total_messages = sum(
+        -(-mini_fig5.catalog.relation(n).cardinality
+          // params.tuples_per_message)
+        for n in mini_fig5.relation_names)
+    assert result.batches_processed >= total_messages / (
+        params.adaptive_batch_max_messages + 1)
+
+
+def test_adaptive_works_for_all_strategies(mini_fig5):
+    for strategy in ["SEQ", "MA", "DSE"]:
+        result = run(mini_fig5, strategy=strategy, adaptive_batching=True)
+        assert result.result_tuples == 5000, strategy
+
+
+def test_adaptive_ceiling_validation():
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        SimulationParameters(adaptive_batch_max_messages=0)

@@ -1,0 +1,111 @@
+"""API-surface tests: public helpers, renderings and exports."""
+
+import pytest
+
+import repro
+from repro.plan.operators import JoinSpec, Operator
+
+
+# --------------------------------------------------------------------------
+# Package exports
+# --------------------------------------------------------------------------
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2
+
+
+def test_experiments_exports_resolve():
+    import repro.experiments as experiments
+    for name in experiments.__all__:
+        assert hasattr(experiments, name), name
+
+
+def test_core_exports_resolve():
+    import repro.core as core
+    for name in core.__all__:
+        assert hasattr(core, name), name
+
+
+# --------------------------------------------------------------------------
+# Plan renderings and helpers
+# --------------------------------------------------------------------------
+
+def test_qep_describe_lists_chains_and_edges(small_qep):
+    text = small_qep.describe()
+    for chain in small_qep.chains:
+        assert chain.name in text
+    assert "(blocking)" in text
+
+
+def test_qep_peak_memory_estimate(small_qep):
+    # Upper bound: sum of every operator's memory annotation.
+    expected = sum(op.memory_bytes for chain in small_qep.chains
+                   for op in chain)
+    assert small_qep.peak_memory_estimate() == expected
+
+
+def test_joinspec_str():
+    join = JoinSpec("J1", ("R",), ("S", "T"), crossing_selectivity=0.01)
+    text = str(join)
+    assert "J1" in text and "build={R}" in text and "probe={S,T}" in text
+
+
+def test_operator_selectivity():
+    op = Operator("x", estimated_input_cardinality=100,
+                  estimated_output_cardinality=25)
+    assert op.selectivity() == 0.25
+    assert Operator("y").selectivity() == 0.0
+
+
+def test_chain_iteration_and_len(small_qep):
+    chain = small_qep.chain("pS")
+    assert len(list(chain)) == len(chain) == 3
+
+
+def test_qep_len_and_iter(small_qep):
+    assert len(small_qep) == 3
+    assert [c.name for c in small_qep] == ["pR", "pS", "pT"]
+
+
+# --------------------------------------------------------------------------
+# Tracer / result renderings
+# --------------------------------------------------------------------------
+
+def test_trace_event_str_includes_payload(sim):
+    from repro.sim import Tracer
+    tracer = Tracer(sim)
+    tracer.emit("cat", "hello", key=7)
+    text = str(tracer.events[0])
+    assert "cat" in text and "hello" in text and "'key': 7" in text
+
+
+def test_execution_result_dataclass_fields(tiny_fig5):
+    from repro import (QueryEngine, SimulationParameters, UniformDelay,
+                       make_policy)
+    params = SimulationParameters()
+    delays = {n: UniformDelay(params.w_min) for n in tiny_fig5.relation_names}
+    result = QueryEngine(tiny_fig5.catalog, tiny_fig5.qep,
+                         make_policy("SEQ"), delays, params=params,
+                         seed=1).run()
+    # The contract downstream tooling relies on.
+    assert result.strategy == "SEQ"
+    assert result.planning_phases > 0
+    assert result.batches_processed > 0
+    assert result.memory_peak_bytes > 0
+    assert isinstance(result.reopt_opportunities, list)
+    assert result.statistics is not None
+
+
+def test_symmetric_result_summary(tiny_fig5):
+    from repro import SimulationParameters, SymmetricHashJoinEngine, UniformDelay
+    params = SimulationParameters()
+    delays = {n: UniformDelay(params.w_min) for n in tiny_fig5.relation_names}
+    result = SymmetricHashJoinEngine(tiny_fig5.catalog, tiny_fig5.tree,
+                                     delays, params=params, seed=1).run()
+    text = result.summary()
+    assert "DPHJ" in text and "MB" in text

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface and CSV export."""
+
+import csv
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.report import write_csv
+
+
+# --------------------------------------------------------------------------
+# CSV export
+# --------------------------------------------------------------------------
+
+def test_write_csv_roundtrip(tmp_path):
+    target = tmp_path / "out" / "series.csv"
+    written = write_csv(target, ["a", "b"], [["1", "2"], ["3", "4"]])
+    assert written.exists()
+    with written.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_write_csv_rejects_ragged(tmp_path):
+    with pytest.raises(ValueError):
+        write_csv(tmp_path / "x.csv", ["a", "b"], [["1"]])
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for argv in [["table1"], ["plan"], ["fig6"], ["fig8"],
+                 ["run"], ["multiquery"]]:
+        args = parser.parse_args(argv)
+        assert args.command == argv[0]
+
+
+# --------------------------------------------------------------------------
+# Commands (tiny scales so they run in milliseconds)
+# --------------------------------------------------------------------------
+
+def test_cmd_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "CPU Speed" in out and "100 Mips" in out
+
+
+def test_cmd_plan(capsys):
+    assert main(["plan", "--scale", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "pA: scan(A)" in out
+    assert "blocking" in out
+
+
+def test_cmd_fig6(capsys, tmp_path):
+    target = tmp_path / "fig6.csv"
+    assert main(["fig6", "--scale", "0.02", "--retrieval-times", "0.1",
+                 "--csv", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert target.exists()
+
+
+def test_cmd_fig6_relation_f_is_fig7(capsys):
+    assert main(["fig6", "--scale", "0.02", "--relation", "F",
+                 "--retrieval-times", "0.1"]) == 0
+    assert "Figure 7" in capsys.readouterr().out
+
+
+def test_cmd_fig8(capsys, tmp_path):
+    target = tmp_path / "fig8.csv"
+    assert main(["fig8", "--scale", "0.02", "--waits-us", "10", "40",
+                 "--csv", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    with target.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["w_min_us", "SEQ_s", "DSE_s", "gain_pct", "LWB_s"]
+    assert len(rows) == 3
+
+
+def test_cmd_run(capsys):
+    assert main(["run", "--scale", "0.02", "--strategy", "SEQ"]) == 0
+    out = capsys.readouterr().out
+    assert "SEQ:" in out and "LWB" in out
+
+
+def test_cmd_run_with_slow_source(capsys):
+    assert main(["run", "--scale", "0.02", "--strategy", "DSE",
+                 "--slow", "F:10", "--trace"]) == 0
+    out = capsys.readouterr().out
+    assert "DSE:" in out
+
+
+def test_cmd_run_bad_slow_spec():
+    with pytest.raises(SystemExit):
+        main(["run", "--scale", "0.02", "--slow", "nonsense"])
+
+
+def test_cmd_run_unknown_relation():
+    with pytest.raises(SystemExit):
+        main(["run", "--scale", "0.02", "--slow", "Z:10"])
+
+
+def test_cmd_run_dphj(capsys):
+    assert main(["run", "--scale", "0.02", "--strategy", "DPHJ"]) == 0
+    out = capsys.readouterr().out
+    assert "DPHJ:" in out and "peak" in out
+
+
+def test_cmd_run_with_error_and_reopt(capsys):
+    assert main(["run", "--scale", "0.02", "--strategy", "SEQ",
+                 "--error", "J1:3", "--reopt"]) == 0
+    out = capsys.readouterr().out
+    assert "misestimates detected" in out
+    assert "joins swapped" in out
+
+
+def test_cmd_run_unknown_error_join():
+    with pytest.raises(SystemExit):
+        main(["run", "--scale", "0.02", "--error", "J9:3"])
+
+
+def test_cmd_fig6_unknown_relation():
+    with pytest.raises(SystemExit):
+        main(["fig6", "--scale", "0.02", "--relation", "Z",
+              "--retrieval-times", "0.1"])
+
+
+def test_cmd_multiquery(capsys):
+    assert main(["multiquery", "--scale", "0.02", "--queries", "2",
+                 "--waits-us", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "concurrent queries" in out

@@ -1,0 +1,163 @@
+"""Tests for the delay models (the paper's delay taxonomy, Section 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.wrappers import (
+    BurstyDelay,
+    ConstantDelay,
+    ExponentialDelay,
+    InitialDelay,
+    NormalDelay,
+    UniformDelay,
+    slow_delivery,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+def test_constant_delay(rng):
+    model = ConstantDelay(2e-5)
+    waits = model.waiting_times(5, rng)
+    assert np.allclose(waits, 2e-5)
+    assert model.mean_wait() == 2e-5
+
+
+def test_constant_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        ConstantDelay(-1.0)
+
+
+def test_uniform_delay_range_and_mean(rng):
+    model = UniformDelay(1e-3)
+    waits = model.waiting_times(10_000, rng)
+    assert waits.min() >= 0.0
+    assert waits.max() <= 2e-3
+    assert waits.mean() == pytest.approx(1e-3, rel=0.05)
+    assert model.mean_wait() == 1e-3
+
+
+def test_uniform_zero_wait(rng):
+    model = UniformDelay(0.0)
+    assert np.all(model.waiting_times(10, rng) == 0.0)
+
+
+def test_slow_delivery_is_uniform():
+    model = slow_delivery(5e-3)
+    assert isinstance(model, UniformDelay)
+    assert model.mean_wait() == 5e-3
+
+
+def test_initial_delay_applies_once(rng):
+    model = InitialDelay(1.0, ConstantDelay(0.001))
+    first = model.waiting_times(3, rng)
+    assert first[0] == pytest.approx(1.001)
+    assert np.allclose(first[1:], 0.001)
+    second = model.waiting_times(3, rng)
+    assert np.allclose(second, 0.001)
+
+
+def test_initial_delay_reset(rng):
+    model = InitialDelay(1.0, ConstantDelay(0.001))
+    model.waiting_times(1, rng)
+    model.reset()
+    again = model.waiting_times(1, rng)
+    assert again[0] == pytest.approx(1.001)
+
+
+def test_initial_delay_mean_ignores_one_off():
+    model = InitialDelay(100.0, ConstantDelay(0.5))
+    assert model.mean_wait() == 0.5
+
+
+def test_initial_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        InitialDelay(-1.0, ConstantDelay(0.0))
+
+
+def test_bursty_delay_pattern(rng):
+    model = BurstyDelay(burst_tuples=3, gap=1.0, within_burst_wait=0.1)
+    waits = model.waiting_times(7, rng)
+    expected = [1.1, 0.1, 0.1, 1.1, 0.1, 0.1, 1.1]
+    assert np.allclose(waits, expected)
+
+
+def test_bursty_state_continues_across_calls(rng):
+    model = BurstyDelay(burst_tuples=3, gap=1.0)
+    first = model.waiting_times(2, rng)
+    second = model.waiting_times(2, rng)
+    assert first[0] == pytest.approx(1.0)   # burst boundary
+    assert second[0] == pytest.approx(0.0)  # third tuple of the burst
+    assert second[1] == pytest.approx(1.0)  # next burst
+
+
+def test_bursty_reset(rng):
+    model = BurstyDelay(burst_tuples=4, gap=2.0)
+    model.waiting_times(2, rng)
+    model.reset()
+    assert model.waiting_times(1, rng)[0] == pytest.approx(2.0)
+
+
+def test_bursty_mean_wait():
+    model = BurstyDelay(burst_tuples=4, gap=2.0, within_burst_wait=0.5)
+    assert model.mean_wait() == pytest.approx(0.5 + 2.0 / 4)
+
+
+def test_bursty_validation():
+    with pytest.raises(ConfigurationError):
+        BurstyDelay(burst_tuples=0, gap=1.0)
+    with pytest.raises(ConfigurationError):
+        BurstyDelay(burst_tuples=2, gap=-1.0)
+
+
+def test_exponential_mean_and_positivity(rng):
+    model = ExponentialDelay(1e-3)
+    waits = model.waiting_times(20_000, rng)
+    assert waits.min() >= 0.0
+    assert waits.mean() == pytest.approx(1e-3, rel=0.05)
+    assert model.mean_wait() == 1e-3
+
+
+def test_exponential_zero_wait(rng):
+    assert np.all(ExponentialDelay(0.0).waiting_times(5, rng) == 0.0)
+
+
+def test_exponential_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        ExponentialDelay(-1.0)
+
+
+def test_normal_truncated_at_zero(rng):
+    model = NormalDelay(mean=1e-3, std=2e-3)  # heavy truncation
+    waits = model.waiting_times(20_000, rng)
+    assert waits.min() >= 0.0
+    # The analytic truncated mean matches the empirical one.
+    assert waits.mean() == pytest.approx(model.mean_wait(), rel=0.05)
+    # Truncation raises the mean above the untruncated one.
+    assert model.mean_wait() > 1e-3
+
+
+def test_normal_zero_std_is_constant(rng):
+    model = NormalDelay(mean=5e-4, std=0.0)
+    assert np.allclose(model.waiting_times(10, rng), 5e-4)
+    assert model.mean_wait() == 5e-4
+
+
+def test_normal_validation():
+    with pytest.raises(ConfigurationError):
+        NormalDelay(-1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        NormalDelay(1.0, -1.0)
+
+
+def test_negative_count_rejected(rng):
+    with pytest.raises(ConfigurationError):
+        UniformDelay(1.0).waiting_times(-1, rng)
+
+
+def test_zero_count_allowed(rng):
+    assert len(UniformDelay(1.0).waiting_times(0, rng)) == 0

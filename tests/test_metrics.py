@@ -1,0 +1,101 @@
+"""Tests for critical degree, bmi and per-tuple CPU cost estimation."""
+
+import pytest
+
+from repro.common.errors import SchedulingError
+from repro.config import SimulationParameters
+from repro.core.metrics import (
+    benefit_materialization_indicator,
+    chain_cpu_seconds_per_source_tuple,
+    critical_degree,
+)
+
+
+# --------------------------------------------------------------------------
+# critical degree (Section 4.3)
+# --------------------------------------------------------------------------
+
+def test_critical_degree_formula():
+    assert critical_degree(1000, 20e-6, 12e-6) == pytest.approx(8e-3)
+
+
+def test_critical_degree_negative_when_cpu_bound():
+    assert critical_degree(1000, 5e-6, 12e-6) < 0
+
+
+def test_critical_degree_zero_tuples():
+    assert critical_degree(0, 1.0, 0.5) == 0.0
+
+
+def test_critical_degree_validation():
+    with pytest.raises(SchedulingError):
+        critical_degree(-1, 1.0, 1.0)
+    with pytest.raises(SchedulingError):
+        critical_degree(1, -1.0, 1.0)
+
+
+# --------------------------------------------------------------------------
+# bmi (Section 4.4)
+# --------------------------------------------------------------------------
+
+def test_bmi_formula():
+    assert benefit_materialization_indicator(20e-6, 5e-6) == pytest.approx(2.0)
+
+
+def test_bmi_low_when_io_expensive():
+    assert benefit_materialization_indicator(10e-6, 20e-6) < 1.0
+
+
+def test_bmi_validation():
+    with pytest.raises(SchedulingError):
+        benefit_materialization_indicator(1.0, 0.0)
+    with pytest.raises(SchedulingError):
+        benefit_materialization_indicator(-1.0, 1.0)
+
+
+# --------------------------------------------------------------------------
+# chain CPU cost (c_p)
+# --------------------------------------------------------------------------
+
+def test_scan_only_chain_cost(small_qep, params):
+    chain = small_qep.chain("pR")
+    cost = chain_cpu_seconds_per_source_tuple(chain.operators, params,
+                                              include_receive=False)
+    # scan move (100) + mat move (100) at 100 MIPS = 2 us per tuple.
+    assert cost == pytest.approx(2e-6)
+
+
+def test_receive_share_added(small_qep, params):
+    chain = small_qep.chain("pR")
+    with_receive = chain_cpu_seconds_per_source_tuple(chain.operators, params)
+    without = chain_cpu_seconds_per_source_tuple(chain.operators, params,
+                                                 include_receive=False)
+    assert with_receive - without == pytest.approx(
+        params.receive_cpu_seconds_per_tuple())
+
+
+def test_probe_chain_cost_includes_fanout(small_qep, params):
+    chain = small_qep.chain("pS")  # scan -> probe J1 (fanout 1) -> mat
+    cost = chain_cpu_seconds_per_source_tuple(chain.operators, params,
+                                              include_receive=False)
+    # move 100 + search 100 + produce 50*1 + mat move 100*1 = 350 -> 3.5 us.
+    assert cost == pytest.approx(3.5e-6)
+
+
+def test_use_actuals_switches_fanout(small_catalog, small_tree, params):
+    from repro.plan import build_qep
+    qep = build_qep(small_catalog, small_tree,
+                    actual_output_factors={"J1": 3.0})
+    chain = qep.chain("pS")
+    estimated = chain_cpu_seconds_per_source_tuple(
+        chain.operators, params, include_receive=False)
+    actual = chain_cpu_seconds_per_source_tuple(
+        chain.operators, params, include_receive=False, use_actuals=True)
+    assert actual > estimated
+
+
+def test_every_pc_critical_at_w_min(tiny_fig5, params):
+    """Section 4.3: any PC consuming remote data is critical at w_min."""
+    for chain in tiny_fig5.qep.chains:
+        cost = chain_cpu_seconds_per_source_tuple(chain.operators, params)
+        assert cost < params.w_min, chain.name

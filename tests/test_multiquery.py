@@ -1,0 +1,133 @@
+"""Tests for multi-query execution on a shared mediator."""
+
+import pytest
+
+from repro import (
+    ConfigurationError,
+    MultiQueryEngine,
+    QuerySubmission,
+    SimulationParameters,
+    UniformDelay,
+    make_policy,
+)
+
+
+def submission(workload, params, name="Q1", strategy="SEQ", start=0.0,
+               memory=None, wait=None):
+    wait = wait if wait is not None else params.w_min
+    return QuerySubmission(
+        name=name, catalog=workload.catalog, qep=workload.qep,
+        policy=make_policy(strategy),
+        delay_models={n: UniformDelay(wait)
+                      for n in workload.relation_names},
+        start_time=start, memory_bytes=memory)
+
+
+@pytest.fixture
+def params():
+    return SimulationParameters()
+
+
+def test_single_query_matches_single_engine(tiny_fig5, params):
+    from repro import QueryEngine
+    multi = MultiQueryEngine(params=params, seed=1)
+    multi.submit(submission(tiny_fig5, params))
+    result = multi.run()
+    assert len(result.outcomes) == 1
+    assert result.outcomes[0].result_tuples == 1000
+    assert result.makespan == result.outcomes[0].response_time
+
+
+def test_no_submissions_rejected(params):
+    with pytest.raises(ConfigurationError):
+        MultiQueryEngine(params=params).run()
+
+
+def test_duplicate_names_rejected(tiny_fig5, params):
+    engine = MultiQueryEngine(params=params)
+    engine.submit(submission(tiny_fig5, params, name="Q"))
+    with pytest.raises(ConfigurationError):
+        engine.submit(submission(tiny_fig5, params, name="Q"))
+
+
+def test_concurrent_queries_all_complete(tiny_fig5, params):
+    engine = MultiQueryEngine(params=params, seed=2)
+    for i in range(3):
+        engine.submit(submission(tiny_fig5, params, name=f"Q{i}",
+                                 strategy="DSE"))
+    result = engine.run()
+    assert len(result.outcomes) == 3
+    assert all(o.result_tuples == 1000 for o in result.outcomes)
+    assert result.throughput > 0
+
+
+def test_contention_slows_queries_down(tiny_fig5, params):
+    solo = MultiQueryEngine(params=params, seed=3)
+    solo.submit(submission(tiny_fig5, params, name="alone"))
+    alone = solo.run().outcomes[0].response_time
+
+    crowd = MultiQueryEngine(params=params, seed=3)
+    for i in range(4):
+        crowd.submit(submission(tiny_fig5, params, name=f"Q{i}"))
+    slowest = crowd.run().max_response_time
+    assert slowest > alone  # shared CPU: somebody waits
+
+
+def test_staggered_start_times(tiny_fig5, params):
+    engine = MultiQueryEngine(params=params, seed=4)
+    engine.submit(submission(tiny_fig5, params, name="early", start=0.0))
+    engine.submit(submission(tiny_fig5, params, name="late", start=0.5))
+    result = engine.run()
+    late = result.outcome("late")
+    assert late.start_time == pytest.approx(0.5)
+    assert late.completion_time > 0.5
+    assert result.makespan >= late.completion_time - 1e-9
+
+
+def test_negative_start_rejected(tiny_fig5, params):
+    with pytest.raises(ConfigurationError):
+        submission(tiny_fig5, params, start=-1.0)
+
+
+def test_per_query_memory_budgets(tiny_fig5, params):
+    """One query gets a tight budget and must split; the other is roomy."""
+    engine = MultiQueryEngine(params=params, seed=5)
+    engine.submit(submission(tiny_fig5, params, name="roomy"))
+    # At 2% scale the peak residency is ~176 KB (J2+J3 during pF) and the
+    # floor ~144 KB; 150 KB forces at least one split but stays feasible.
+    engine.submit(submission(tiny_fig5, params, name="tight",
+                             memory=150 * 1024))
+    result = engine.run()
+    assert result.outcome("tight").memory_splits >= 1
+    assert result.outcome("roomy").memory_splits == 0
+    assert all(o.result_tuples == 1000 for o in result.outcomes)
+
+
+def test_mixed_strategies(tiny_fig5, params):
+    engine = MultiQueryEngine(params=params, seed=6)
+    engine.submit(submission(tiny_fig5, params, name="seq", strategy="SEQ"))
+    engine.submit(submission(tiny_fig5, params, name="dse", strategy="DSE"))
+    result = engine.run()
+    assert result.outcome("seq").strategy == "SEQ"
+    assert result.outcome("dse").strategy == "DSE"
+    assert all(o.result_tuples == 1000 for o in result.outcomes)
+
+
+def test_deterministic(tiny_fig5, params):
+    def run():
+        engine = MultiQueryEngine(params=params, seed=7)
+        for i in range(2):
+            engine.submit(submission(tiny_fig5, params, name=f"Q{i}",
+                                     strategy="DSE"))
+        result = engine.run()
+        return [(o.name, o.response_time) for o in result.outcomes]
+
+    assert run() == run()
+
+
+def test_unknown_outcome_name(tiny_fig5, params):
+    engine = MultiQueryEngine(params=params, seed=8)
+    engine.submit(submission(tiny_fig5, params))
+    result = engine.run()
+    with pytest.raises(KeyError):
+        result.outcome("ghost")

@@ -1,0 +1,167 @@
+"""Tests for the cost model and the DP join-order optimizer."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.catalog import Catalog, JoinStatistics, Relation
+from repro.common.errors import OptimizerError
+from repro.optimizer import CostModel, DynamicProgrammingOptimizer, OperatorCosts
+from repro.query import JoinTree, Query, QueryGenerator
+
+
+# --------------------------------------------------------------------------
+# Cost model
+# --------------------------------------------------------------------------
+
+def test_scan_cost(small_catalog):
+    model = CostModel(small_catalog)
+    assert model.scan_cost("R") == 1000 * 100
+
+
+def test_join_cost_components(small_catalog):
+    model = CostModel(small_catalog)
+    cost = model.join_cost(10, 20, 5)
+    assert cost == 10 * 100 + 20 * 100 + 5 * 50
+
+
+def test_custom_operator_costs(small_catalog):
+    model = CostModel(small_catalog, OperatorCosts(move_tuple=1,
+                                                   hash_search=2,
+                                                   produce_tuple=3))
+    assert model.join_cost(1, 1, 1) == 6
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(OptimizerError):
+        OperatorCosts(move_tuple=-1)
+
+
+def test_tree_cost_totals(small_catalog, small_tree):
+    model = CostModel(small_catalog)
+    cost = model.tree_cost(small_tree)
+    scans = (1000 + 2000 + 1500) * 100
+    j1 = 1000 * 100 + 2000 * 100 + 2000 * 50
+    j2 = 2000 * 100 + 1500 * 100 + 1500 * 50
+    assert cost == pytest.approx(scans + j1 + j2)
+
+
+def test_tree_cost_negative_cardinality_rejected(small_catalog):
+    model = CostModel(small_catalog)
+    with pytest.raises(OptimizerError):
+        model.join_cost(-1, 1, 1)
+
+
+# --------------------------------------------------------------------------
+# DP optimizer
+# --------------------------------------------------------------------------
+
+def _optimize(catalog, names):
+    query = Query(catalog, names)
+    return DynamicProgrammingOptimizer(CostModel(catalog)).optimize(query)
+
+
+def test_single_relation(small_catalog):
+    tree = _optimize(small_catalog, ["R"])
+    assert tree.is_leaf and tree.relation == "R"
+
+
+def test_two_relations_smaller_is_build(small_catalog):
+    tree = _optimize(small_catalog, ["R", "S"])
+    assert tree.left.relation == "R"  # |R| = 1000 < |S| = 2000
+    assert tree.right.relation == "S"
+
+
+def test_chain_query_covers_all(small_catalog):
+    tree = _optimize(small_catalog, ["R", "S", "T"])
+    assert sorted(tree.relations()) == ["R", "S", "T"]
+
+
+def test_no_cross_products():
+    """The optimizer must never join disconnected sub-queries."""
+    stats = JoinStatistics({("A", "B"): 0.001, ("B", "C"): 0.001,
+                            ("C", "D"): 0.001})
+    catalog = Catalog([Relation(n, 1000) for n in "ABCD"], stats)
+    tree = _optimize(catalog, ["A", "B", "C", "D"])
+    for node in tree.inner_nodes():
+        left, right = set(node.left.relations()), set(node.right.relations())
+        crossing = any(stats.has_edge(a, b) for a in left for b in right)
+        assert crossing, f"cross product at {node.render()}"
+
+
+def _brute_force_best(catalog, names):
+    """Exhaustive enumeration of all bushy trees (for small n)."""
+    model = CostModel(catalog)
+    stats = catalog.statistics
+
+    def trees(relations):
+        if len(relations) == 1:
+            yield JoinTree.leaf(relations[0])
+            return
+        rels = list(relations)
+        n = len(rels)
+        for mask in range(1, 2 ** n - 1):
+            left = [rels[i] for i in range(n) if mask >> i & 1]
+            right = [rels[i] for i in range(n) if not mask >> i & 1]
+            if not any(stats.has_edge(a, b) for a in left for b in right):
+                continue
+            for lt in trees(left):
+                for rt in trees(right):
+                    yield JoinTree.join(lt, rt)
+
+    def connected(subset):
+        seen = {subset[0]}
+        frontier = [subset[0]]
+        while frontier:
+            cur = frontier.pop()
+            for other in stats.neighbours(cur):
+                if other in subset and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(subset)
+
+    best = None
+    for tree in trees(names):
+        ok = all(connected(list(node.relations()))
+                 for node in tree.inner_nodes())
+        if not ok:
+            continue
+        cost = model.tree_cost(tree)
+        if best is None or cost < best:
+            best = cost
+    return best
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_dp_matches_brute_force(seed):
+    gen = QueryGenerator(np.random.default_rng(seed),
+                         min_cardinality=100, max_cardinality=1000)
+    workload = gen.generate(5, shape="tree")
+    dp_tree = DynamicProgrammingOptimizer(
+        CostModel(workload.catalog)).optimize(workload.query)
+    dp_cost = CostModel(workload.catalog).tree_cost(dp_tree)
+    best = _brute_force_best(workload.catalog, workload.relation_names)
+    assert dp_cost == pytest.approx(best)
+
+
+def test_dp_rejects_oversized_queries():
+    gen = QueryGenerator(np.random.default_rng(0),
+                         min_cardinality=10, max_cardinality=20)
+    workload = gen.generate(15, shape="chain")
+    optimizer = DynamicProgrammingOptimizer(CostModel(workload.catalog))
+    with pytest.raises(OptimizerError, match="at most"):
+        optimizer.optimize(workload.query)
+
+
+def test_dp_build_side_is_left_and_smaller():
+    stats = JoinStatistics({("A", "B"): 1e-4})
+    catalog = Catalog([Relation("A", 50_000), Relation("B", 100)], stats)
+    tree = _optimize(catalog, ["A", "B"])
+    assert tree.left.relation == "B"
+
+
+def test_dp_deterministic(small_catalog):
+    first = _optimize(small_catalog, ["R", "S", "T"]).render()
+    second = _optimize(small_catalog, ["R", "S", "T"]).render()
+    assert first == second

@@ -1,0 +1,137 @@
+"""Fast regressions of the paper's headline result *shapes*.
+
+The benchmarks regenerate the full-scale figures; these tests pin the
+same qualitative claims at 10% scale so the plain test suite catches any
+regression of the reproduction itself within seconds.
+"""
+
+import pytest
+
+from repro import QueryEngine, SimulationParameters, UniformDelay, make_policy
+from repro.core.strategies import lower_bound
+from repro.experiments import figure5_workload, slowdown_waits
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # 25%: large enough that fixed overheads (chunked I/O positioning,
+    # planning) no longer compress the gains, still fast to simulate.
+    return figure5_workload(scale=0.25)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimulationParameters()
+
+
+def run(workload, strategy, waits, seed=1):
+    params = SimulationParameters()
+    delays = {n: UniformDelay(w) for n, w in waits.items()}
+    return QueryEngine(workload.catalog, workload.qep, make_policy(strategy),
+                       delays, params=params, seed=seed).run()
+
+
+def sweep(workload, strategy, relation, retrievals, params):
+    out = []
+    for retrieval in retrievals:
+        waits = slowdown_waits(workload, relation, retrieval, params)
+        out.append(run(workload, strategy, waits).response_time)
+    return out
+
+
+# -- Figure 6 shape -----------------------------------------------------
+
+def test_seq_grows_linearly_with_slowdown(workload, params):
+    retrievals = [0.5, 1.0, 1.5, 2.0]
+    seq = sweep(workload, "SEQ", "A", retrievals, params)
+    assert all(b > a for a, b in zip(seq, seq[1:]))
+    slope = (seq[-1] - seq[0]) / (retrievals[-1] - retrievals[0])
+    assert 0.7 <= slope <= 1.3
+
+
+def test_ma_roughly_constant_under_single_slowdown(workload, params):
+    retrievals = [0.5, 1.2, 2.0]
+    ma = sweep(workload, "MA", "A", retrievals, params)
+    seq = sweep(workload, "SEQ", "A", retrievals, params)
+    assert max(ma) - min(ma) < 0.4 * (max(seq) - min(seq))
+
+
+def test_dse_below_seq_across_the_sweep(workload, params):
+    retrievals = [0.5, 1.2, 2.0]
+    for relation in ("A", "F"):
+        seq = sweep(workload, "SEQ", relation, retrievals, params)
+        dse = sweep(workload, "DSE", relation, retrievals, params)
+        assert all(d < s for d, s in zip(dse, seq)), relation
+
+
+def test_dse_gain_at_w_min(workload, params):
+    """The paper's surprise: a large gain with no slowdown at all."""
+    waits = {n: params.w_min for n in workload.relation_names}
+    seq = run(workload, "SEQ", waits).response_time
+    dse = run(workload, "DSE", waits).response_time
+    assert dse < 0.88 * seq
+
+
+# -- Figure 7 shape -----------------------------------------------------
+
+def test_dse_hides_f_almost_to_the_bound(workload, params):
+    waits = slowdown_waits(workload, "F", 2.0, params)
+    dse = run(workload, "DSE", waits).response_time
+    assert dse <= lower_bound(workload.qep, waits, params) * 1.3
+
+
+def test_f_gain_exceeds_a_gain_at_high_slowdown(workload, params):
+    gains = {}
+    for relation in ("A", "F"):
+        waits = slowdown_waits(workload, relation, 2.0, params)
+        seq = run(workload, "SEQ", waits).response_time
+        dse = run(workload, "DSE", waits).response_time
+        gains[relation] = 1 - dse / seq
+    assert gains["F"] > gains["A"]
+
+
+# -- Figure 8 shape -----------------------------------------------------
+
+def test_gain_rises_with_uniform_slowdown(workload, params):
+    def gain(w):
+        waits = {n: w for n in workload.relation_names}
+        point_params = params.with_overrides(w_min=w)
+        delays = lambda: {n: UniformDelay(w)
+                          for n in workload.relation_names}
+        seq = QueryEngine(workload.catalog, workload.qep, make_policy("SEQ"),
+                          delays(), params=point_params, seed=1).run()
+        dse = QueryEngine(workload.catalog, workload.qep, make_policy("DSE"),
+                          delays(), params=point_params, seed=1).run()
+        return 1 - dse.response_time / seq.response_time
+
+    fast = gain(5e-6)
+    operating = gain(20e-6)
+    slow = gain(100e-6)
+    assert abs(fast) < 0.05       # CPU bound: nothing to gain
+    assert operating > 0.12       # the paper's 100 Mb/s point
+    assert slow > operating       # rising toward the plateau
+    assert slow > 0.5
+    # Plateau is bounded by the structural overlap limit.
+    cards = [r.cardinality for r in workload.catalog]
+    assert slow <= 1 - max(cards) / sum(cards) + 0.05
+
+
+# -- Section 5.4 lessons ------------------------------------------------
+
+def test_ma_worst_at_small_delays(workload, params):
+    """Lesson (Section 5.4): MA 'fails since it may generate more
+    overhead than gains' when delays are small."""
+    waits = {n: params.w_min for n in workload.relation_names}
+    ma = run(workload, "MA", waits).response_time
+    dse = run(workload, "DSE", waits).response_time
+    assert ma > dse
+
+
+def test_gain_present_even_for_20us_delays(workload, params):
+    """Lesson (i): 'potentially an important gain even with a rather
+    small query and small slowdowns (around 20µs per tuple)'."""
+    waits = {n: params.w_min for n in workload.relation_names}
+    waits["F"] = 40e-6  # 20 µs of added slowdown
+    seq = run(workload, "SEQ", waits).response_time
+    dse = run(workload, "DSE", waits).response_time
+    assert dse < seq

@@ -1,0 +1,209 @@
+"""Tests for macro-expansion, pipeline chains and plan validation."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.plan import (
+    MatOp,
+    OutputOp,
+    ProbeOp,
+    ScanOp,
+    ancestor_closure,
+    build_qep,
+    direct_ancestors,
+    iterator_order,
+    validate_qep,
+)
+from repro.plan.operators import JoinSpec
+from repro.plan.qep import QEP, PipelineChain
+from repro.query import JoinTree
+
+
+# --------------------------------------------------------------------------
+# Macro-expansion (builder)
+# --------------------------------------------------------------------------
+
+def test_left_deep_expansion(small_qep):
+    assert [c.name for c in small_qep.chains] == ["pR", "pS", "pT"]
+    assert small_qep.chain("pR").describe() == "pR: scan(R) -> mat[J1]"
+    assert small_qep.chain("pS").describe() == "pS: scan(S) -> probe[J1] -> mat[J2]"
+    assert small_qep.chain("pT").describe() == "pT: scan(T) -> probe[J2] -> output"
+
+
+def test_exactly_one_root(small_qep):
+    assert small_qep.root.name == "pT"
+    assert sum(1 for c in small_qep.chains if c.is_root) == 1
+
+
+def test_bushy_expansion_iterator_order(tiny_fig5):
+    # Build sides expand before probe sides: {pA, pB, pF, pE, pD, pC}.
+    assert [c.name for c in tiny_fig5.qep.chains] == [
+        "pA", "pB", "pF", "pE", "pD", "pC"]
+
+
+def test_fig5_dependency_constraints(tiny_fig5):
+    closure = ancestor_closure(tiny_fig5.qep)
+    # pA blocks pB and pF (Section 5.2).
+    assert "pA" in closure["pB"]
+    assert "pA" in closure["pF"]
+    # pC blocks no other PC.
+    assert all("pC" not in ancestors for name, ancestors in closure.items()
+               if name != "pC")
+    # The root depends on everything.
+    assert closure["pC"] == {"pA", "pB", "pD", "pE", "pF"}
+
+
+def test_cardinality_annotations_flow(small_catalog, small_tree):
+    qep = build_qep(small_catalog, small_tree)
+    j1 = qep.joins["J1"]
+    assert j1.estimated_build_cardinality == pytest.approx(1000)
+    assert j1.estimated_output_cardinality == pytest.approx(2000)
+    j2 = qep.joins["J2"]
+    assert j2.estimated_build_cardinality == pytest.approx(2000)
+    assert j2.estimated_output_cardinality == pytest.approx(1500)
+
+
+def test_scan_selectivity_applies(small_catalog, small_tree):
+    qep = build_qep(small_catalog, small_tree,
+                    scan_selectivities={"S": 0.5})
+    scan = qep.chain("pS").scan
+    assert scan.estimated_output_cardinality == pytest.approx(1000)
+    # Downstream estimates shrink accordingly.
+    assert qep.joins["J1"].estimated_output_cardinality == pytest.approx(1000)
+
+
+def test_actual_output_factors(small_catalog, small_tree):
+    qep = build_qep(small_catalog, small_tree,
+                    actual_output_factors={"J1": 2.0})
+    j1 = qep.joins["J1"]
+    assert j1.estimated_output_cardinality == pytest.approx(2000)
+    assert j1.actual_output_cardinality == pytest.approx(4000)
+    # The error propagates into J2's actual build cardinality.
+    j2 = qep.joins["J2"]
+    assert j2.actual_build_cardinality == pytest.approx(4000)
+    assert j2.estimated_build_cardinality == pytest.approx(2000)
+
+
+def test_unknown_factor_rejected(small_catalog, small_tree):
+    with pytest.raises(PlanError):
+        build_qep(small_catalog, small_tree, actual_output_factors={"J9": 2.0})
+
+
+def test_cross_product_rejected(small_catalog):
+    tree = JoinTree.join(JoinTree.leaf("R"), JoinTree.leaf("T"))  # no edge
+    with pytest.raises(PlanError, match="cross product"):
+        build_qep(small_catalog, tree)
+
+
+def test_memory_annotation_is_build_size(small_catalog, small_tree):
+    qep = build_qep(small_catalog, small_tree)
+    mat = qep.chain("pR").terminal
+    assert isinstance(mat, MatOp)
+    assert mat.memory_bytes == 1000 * 40
+    probe = qep.chain("pS").operators[1]
+    assert isinstance(probe, ProbeOp)
+    assert probe.memory_bytes == 1000 * 40
+
+
+# --------------------------------------------------------------------------
+# Chains / dependency analysis
+# --------------------------------------------------------------------------
+
+def test_direct_ancestors(small_qep):
+    direct = direct_ancestors(small_qep)
+    assert direct == {"pR": set(), "pS": {"pR"}, "pT": {"pS"}}
+
+
+def test_ancestor_closure_transitive(small_qep):
+    closure = ancestor_closure(small_qep)
+    assert closure["pT"] == {"pR", "pS"}
+
+
+def test_iterator_order_valid(small_qep):
+    assert iterator_order(small_qep) == ["pR", "pS", "pT"]
+
+
+def test_iterator_order_rejects_misordering(small_qep):
+    reordered = QEP(list(reversed(small_qep.chains)), small_qep.joins)
+    with pytest.raises(PlanError, match="appears before"):
+        iterator_order(reordered)
+
+
+def test_chain_memory_requirement(small_qep):
+    chain = small_qep.chain("pS")
+    # probe J1 table (40 KB) + mat J2 table (80 KB)
+    assert chain.memory_requirement() == 1000 * 40 + 2000 * 40
+
+
+def test_chain_accessors(small_qep):
+    chain = small_qep.chain("pS")
+    assert chain.feeds.name == "J2"
+    assert [j.name for j in chain.probe_joins()] == ["J1"]
+    assert not chain.is_root
+    assert len(chain) == 3
+    assert small_qep.chain_feeding(small_qep.joins["J1"]).name == "pR"
+    assert small_qep.chain_probing(small_qep.joins["J1"]).name == "pS"
+
+
+def test_unknown_chain_rejected(small_qep):
+    with pytest.raises(PlanError):
+        small_qep.chain("pZ")
+
+
+# --------------------------------------------------------------------------
+# Validation
+# --------------------------------------------------------------------------
+
+def test_validate_accepts_built_plans(small_qep, tiny_fig5):
+    validate_qep(small_qep)
+    validate_qep(tiny_fig5.qep)
+
+
+def _chain(name, source, ops):
+    return PipelineChain(name, source, ops)
+
+
+def test_validate_rejects_duplicate_scan(small_catalog):
+    join = JoinSpec("J1", ("R",), ("S",), crossing_selectivity=0.001,
+                    estimated_build_cardinality=10)
+    chains = [
+        _chain("p1", "R", [ScanOp(name="s", relation="R"),
+                           MatOp(name="m", join=join)]),
+        _chain("p2", "R", [ScanOp(name="s", relation="R"),
+                           ProbeOp(name="p", join=join),
+                           OutputOp(name="o")]),
+    ]
+    qep = QEP(chains, {"J1": join})
+    with pytest.raises(PlanError, match="scanned"):
+        validate_qep(qep)
+
+
+def test_validate_rejects_chain_without_terminal():
+    with pytest.raises(PlanError):
+        validate_chain_shape = PipelineChain(
+            "p1", "R", [ScanOp(name="s", relation="R")])
+        qep = QEP([validate_chain_shape], {})
+        validate_qep(qep)
+
+
+def test_validate_rejects_cardinality_mismatch(small_qep):
+    small_qep.chain("pS").operators[1].estimated_input_cardinality = 99.0
+    with pytest.raises(PlanError, match="does not match upstream"):
+        validate_qep(small_qep)
+
+
+def test_pipeline_chain_requires_scan_head():
+    with pytest.raises(PlanError):
+        PipelineChain("p", "R", [OutputOp(name="o")])
+
+
+def test_qep_requires_single_root(small_catalog):
+    join = JoinSpec("J1", ("R",), ("S",), crossing_selectivity=0.001)
+    chains = [
+        _chain("p1", "R", [ScanOp(name="s", relation="R"),
+                           OutputOp(name="o")]),
+        _chain("p2", "S", [ScanOp(name="s", relation="S"),
+                           OutputOp(name="o")]),
+    ]
+    with pytest.raises(PlanError, match="root"):
+        QEP(chains, {"J1": join})

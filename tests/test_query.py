@@ -1,0 +1,164 @@
+"""Tests for the logical query model and the random query generator."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Catalog, JoinStatistics, Relation
+from repro.common.errors import ConfigurationError, PlanError
+from repro.query import JoinTree, Query, QueryGenerator
+
+
+# --------------------------------------------------------------------------
+# Query
+# --------------------------------------------------------------------------
+
+def test_query_requires_known_relations(small_catalog):
+    from repro.common.errors import CatalogError
+    with pytest.raises(CatalogError):
+        Query(small_catalog, ["R", "Z"])
+
+
+def test_query_rejects_duplicates(small_catalog):
+    with pytest.raises(PlanError):
+        Query(small_catalog, ["R", "R"])
+
+
+def test_query_rejects_disconnected(small_catalog):
+    with pytest.raises(PlanError, match="disconnected"):
+        Query(small_catalog, ["R", "T"])  # no R-T edge
+
+
+def test_query_join_edges(small_query):
+    edges = [(a, b) for a, b, _ in small_query.join_edges()]
+    assert ("R", "S") in edges and ("S", "T") in edges
+
+
+def test_single_relation_query(small_catalog):
+    assert len(Query(small_catalog, ["R"])) == 1
+
+
+# --------------------------------------------------------------------------
+# JoinTree
+# --------------------------------------------------------------------------
+
+def test_join_tree_leaf():
+    tree = JoinTree.leaf("R")
+    assert tree.is_leaf
+    assert tree.relations() == ("R",)
+    assert tree.depth() == 0
+    assert tree.render() == "R"
+
+
+def test_join_tree_structure(small_tree):
+    assert not small_tree.is_leaf
+    assert small_tree.relations() == ("R", "S", "T")
+    assert small_tree.depth() == 2
+    assert small_tree.render() == "((R ⋈ S) ⋈ T)"
+
+
+def test_join_tree_rejects_overlap():
+    with pytest.raises(PlanError):
+        JoinTree.join(JoinTree.leaf("R"),
+                      JoinTree.join(JoinTree.leaf("R"), JoinTree.leaf("S")))
+
+
+def test_join_tree_leaf_xor_children():
+    with pytest.raises(PlanError):
+        JoinTree(relation="R", left=JoinTree.leaf("S"), right=JoinTree.leaf("T"))
+    with pytest.raises(PlanError):
+        JoinTree()
+
+
+def test_left_deep_constructor():
+    tree = JoinTree.left_deep(["A", "B", "C"])
+    assert tree.render() == "((A ⋈ B) ⋈ C)"
+
+
+def test_inner_nodes_bottom_up(small_tree):
+    renders = [node.render() for node in small_tree.inner_nodes()]
+    assert renders == ["(R ⋈ S)", "((R ⋈ S) ⋈ T)"]
+
+
+def test_leaves_left_to_right(small_tree):
+    assert [leaf.relation for leaf in small_tree.leaves()] == ["R", "S", "T"]
+
+
+def test_estimated_cardinality(small_tree, small_catalog):
+    assert small_tree.estimated_cardinality(small_catalog) == pytest.approx(1500)
+
+
+# --------------------------------------------------------------------------
+# QueryGenerator
+# --------------------------------------------------------------------------
+
+def _generator(seed=7, **kwargs):
+    return QueryGenerator(np.random.default_rng(seed), **kwargs)
+
+
+def test_generator_produces_connected_query():
+    workload = _generator().generate(6, shape="tree")
+    assert len(workload.query) == 6  # Query() validates connectivity
+
+
+@pytest.mark.parametrize("shape", ["chain", "star", "tree"])
+def test_generator_shapes(shape):
+    workload = _generator().generate(5, shape=shape)
+    edges = workload.query.join_edges()
+    assert len(edges) == 4  # acyclic: n-1 edges
+    if shape == "star":
+        hub = workload.relation_names[0]
+        assert all(hub in (a, b) for a, b, _ in edges)
+
+
+def test_generator_cardinality_ranges():
+    gen = _generator(min_cardinality=1000, max_cardinality=2000,
+                     small_fraction=0.0)
+    workload = gen.generate(8)
+    for relation in workload.catalog:
+        assert 1000 <= relation.cardinality <= 2000
+
+
+def test_generator_small_relations():
+    gen = _generator(min_cardinality=1000, max_cardinality=2000,
+                     small_fraction=1.0)
+    workload = gen.generate(8)
+    for relation in workload.catalog:
+        assert relation.cardinality <= 200
+
+
+def test_generator_selectivities_bound_intermediates():
+    workload = _generator().generate(6)
+    for a, b, sel in workload.query.join_edges():
+        card_a = workload.catalog.relation(a).cardinality
+        card_b = workload.catalog.relation(b).cardinality
+        output = card_a * card_b * sel
+        assert output <= 2.0 * max(card_a, card_b) * 1.001
+
+
+def test_generator_deterministic_per_seed():
+    first = _generator(seed=11).generate(5)
+    second = _generator(seed=11).generate(5)
+    assert ([r.cardinality for r in first.catalog]
+            == [r.cardinality for r in second.catalog])
+
+
+def test_generator_single_relation():
+    workload = _generator().generate(1)
+    assert workload.relation_names == ["A"]
+    assert workload.query.join_edges() == []
+
+
+def test_generator_validation():
+    with pytest.raises(ConfigurationError):
+        _generator().generate(0)
+    with pytest.raises(ConfigurationError):
+        _generator().generate(3, shape="ring")
+    with pytest.raises(ConfigurationError):
+        _generator(min_cardinality=0)
+    with pytest.raises(ConfigurationError):
+        _generator(small_fraction=2.0)
+
+
+def test_generator_names_beyond_alphabet():
+    workload = _generator().generate(28, shape="chain")
+    assert "R26" in workload.relation_names

@@ -1,0 +1,204 @@
+"""Tests for QEP-level re-optimization (build/probe side swapping)."""
+
+import pytest
+
+from repro import (
+    QueryEngine,
+    SimulationParameters,
+    UniformDelay,
+    build_qep,
+    make_policy,
+    validate_qep,
+)
+from repro.common.errors import PlanError, SchedulingError
+from repro.core.runtime import QueryRuntime, World
+from repro.plan.reopt import swap_join_sides
+from repro.experiments import figure5_workload
+
+
+# --------------------------------------------------------------------------
+# Plan-level transformation
+# --------------------------------------------------------------------------
+
+def test_swap_exchanges_sides(small_qep):
+    swapped = swap_join_sides(small_qep, "J1", tuple_size=40)
+    j1 = swapped.joins["J1"]
+    assert j1.build_relations == ("S",)
+    assert j1.probe_relations == ("R",)
+    assert j1.estimated_build_cardinality == pytest.approx(2000)
+    assert j1.estimated_probe_cardinality == pytest.approx(1000)
+
+
+def test_swap_moves_downstream_pipeline(small_qep):
+    swapped = swap_join_sides(small_qep, "J1", tuple_size=40)
+    # pR now probes J1 and inherits pS's downstream (mat[J2]).
+    assert swapped.chain("pR").describe() == "pR: scan(R) -> probe[J1] -> mat[J2]"
+    assert swapped.chain("pS").describe() == "pS: scan(S) -> mat[J1]"
+    # pT untouched.
+    assert swapped.chain("pT").describe() == small_qep.chain("pT").describe()
+
+
+def test_swap_result_is_valid_and_reordered(small_qep):
+    swapped = swap_join_sides(small_qep, "J1", tuple_size=40)
+    validate_qep(swapped)
+    names = [c.name for c in swapped.chains]
+    # pS (now the feeder) must come before pR (now the prober).
+    assert names.index("pS") < names.index("pR")
+
+
+def test_swap_preserves_output_cardinality(small_qep):
+    before = small_qep.root.estimated_output_cardinality
+    swapped = swap_join_sides(small_qep, "J1", tuple_size=40)
+    assert swapped.root.estimated_output_cardinality == pytest.approx(before)
+
+
+def test_swap_preserves_actuals(small_catalog, small_tree):
+    qep = build_qep(small_catalog, small_tree,
+                    actual_output_factors={"J1": 2.0})
+    swapped = swap_join_sides(qep, "J1", tuple_size=40)
+    j1 = swapped.joins["J1"]
+    assert j1.actual_fanout_factor == 2.0
+    # Actual output is invariant: sel * |L| * |R| * factor.
+    assert (j1.actual_probe_cardinality * j1.actual_fanout()
+            == pytest.approx(qep.joins["J1"].actual_output_cardinality))
+
+
+def test_swap_unknown_join_rejected(small_qep):
+    with pytest.raises(PlanError):
+        swap_join_sides(small_qep, "J9", tuple_size=40)
+
+
+def test_swap_is_an_involution(small_qep):
+    twice = swap_join_sides(
+        swap_join_sides(small_qep, "J1", tuple_size=40), "J1", tuple_size=40)
+    assert twice.chain("pR").describe() == small_qep.chain("pR").describe()
+    assert twice.chain("pS").describe() == small_qep.chain("pS").describe()
+
+
+def test_swap_root_join(small_qep):
+    swapped = swap_join_sides(small_qep, "J2", tuple_size=40)
+    validate_qep(swapped)
+    # pT becomes the feeder; pS inherits the output operator.
+    assert swapped.chain("pT").feeds.name == "J2"
+    assert swapped.root.name == "pS"
+
+
+def test_swap_bushy_plan(tiny_fig5):
+    swapped = swap_join_sides(tiny_fig5.qep, "J4", tuple_size=40)
+    validate_qep(swapped)
+    assert swapped.joins["J4"].build_relations == ("D",)
+
+
+# --------------------------------------------------------------------------
+# Runtime application
+# --------------------------------------------------------------------------
+
+@pytest.fixture
+def rt(small_qep):
+    world = World(SimulationParameters(), seed=1)
+    for name in small_qep.source_relations():
+        world.cm.register_source(name)
+    return QueryRuntime(world, small_qep)
+
+
+def test_can_swap_pristine_join(rt):
+    assert rt.can_swap_join("J1")
+    assert rt.can_swap_join("J2")
+
+
+def test_cannot_swap_after_start(rt):
+    from repro.mediator.queues import Message
+    fragment = rt.fragments["pR"]
+    rt.ensure_hash_table(fragment)
+    rt.world.cm.queue("R").put(Message(100))
+
+    def once():
+        outcome = yield from fragment.process_batch(1000)
+        return outcome
+
+    rt.world.sim.process(once())
+    rt.world.sim.run()
+    assert not rt.can_swap_join("J1")
+    with pytest.raises(SchedulingError):
+        rt.swap_pending_join("J1")
+
+
+def test_cannot_swap_degraded_chain(rt, small_qep):
+    rt.degrade_chain(small_qep.chain("pS"))
+    assert not rt.can_swap_join("J1")  # pS (the prober) is degraded
+    assert not rt.can_swap_join("J2")  # pS feeds J2 too
+
+
+def test_swap_releases_admitted_empty_table(rt):
+    rt.ensure_hash_table(rt.fragments["pR"])  # reserved but never filled
+    used_before = rt.world.memory.used_bytes
+    assert used_before > 0
+    rt.swap_pending_join("J1")
+    assert rt.world.memory.used_bytes == 0
+    assert "J1" not in rt.hash_tables
+
+
+def test_swap_rebuilds_fragments(rt):
+    old = rt.fragments["pR"]
+    rt.swap_pending_join("J1")
+    assert rt.fragments["pR"] is not old
+    assert rt.fragments["pR"].chain.describe().startswith(
+        "pR: scan(R) -> probe[J1]")
+    # The new fragments stay bound to the original wrapper queues.
+    assert rt.fragments["pR"].source is rt.world.cm.queue("R")
+
+
+def test_swap_updates_dependencies(rt):
+    rt.swap_pending_join("J1")
+    assert rt.closure["pR"] == {"pS"}
+    assert rt.closure["pS"] == set()
+    assert rt.is_c_schedulable(rt.fragments["pS"])
+    assert not rt.is_c_schedulable(rt.fragments["pR"])
+
+
+# --------------------------------------------------------------------------
+# End-to-end through the engine
+# --------------------------------------------------------------------------
+
+def run_fig5(scale, factor, reopt, strategy="SEQ", seed=1):
+    workload = figure5_workload(scale=scale)
+    qep = build_qep(workload.catalog, workload.tree,
+                    actual_output_factors={"J1": factor})
+    params = SimulationParameters().with_overrides(
+        enable_reoptimization=reopt)
+    delays = {name: UniformDelay(params.w_min)
+              for name in workload.relation_names}
+    engine = QueryEngine(workload.catalog, qep, make_policy(strategy), delays,
+                         params=params, seed=seed)
+    return engine.run()
+
+
+def test_reopt_disabled_by_default(tiny_fig5):
+    result = run_fig5(0.02, 3.0, reopt=False)
+    assert result.reopt_swaps == []
+    assert result.reopt_opportunities  # still detected
+
+
+def test_reopt_swaps_on_misestimate():
+    result = run_fig5(0.05, 3.0, reopt=True)
+    assert result.reopt_swaps
+    # The swap must not change the answer.
+    baseline = run_fig5(0.05, 3.0, reopt=False)
+    assert result.result_tuples == baseline.result_tuples
+
+
+def test_reopt_reduces_memory_peak():
+    with_reopt = run_fig5(0.05, 3.0, reopt=True)
+    without = run_fig5(0.05, 3.0, reopt=False)
+    assert with_reopt.memory_peak_bytes < without.memory_peak_bytes
+
+
+def test_reopt_no_swaps_with_exact_estimates():
+    result = run_fig5(0.05, 1.0, reopt=True)
+    assert result.reopt_swaps == []
+
+
+def test_reopt_under_dse():
+    result = run_fig5(0.05, 3.0, reopt=True, strategy="DSE")
+    baseline = run_fig5(0.05, 3.0, reopt=False, strategy="DSE")
+    assert result.result_tuples == baseline.result_tuples

@@ -1,0 +1,265 @@
+"""Tests for the resource models: Resource, Store, CPU, Disk, NetworkLink."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import CPU, Disk, NetworkLink, Resource, Store
+
+
+# --------------------------------------------------------------------------
+# Resource
+# --------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity(sim):
+    resource = Resource(sim, capacity=2)
+    first = resource.request()
+    second = resource.request()
+    third = resource.request()
+    sim.run()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.queue_length == 1
+
+
+def test_resource_release_wakes_waiter(sim):
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    waiting = resource.request()
+    sim.run()
+    assert not waiting.triggered
+    resource.release()
+    sim.run()
+    assert waiting.triggered
+
+
+def test_resource_release_idle_rejected(sim):
+    resource = Resource(sim)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_resource_fifo_order(sim):
+    resource = Resource(sim, capacity=1)
+    resource.request()
+    waiters = [resource.request() for _ in range(3)]
+    resource.release()
+    sim.run()
+    assert waiters[0].triggered
+    assert not waiters[1].triggered
+
+
+def test_resource_capacity_validation(sim):
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+# --------------------------------------------------------------------------
+# Store
+# --------------------------------------------------------------------------
+
+def test_store_put_get_fifo(sim):
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    got = store.get()
+    sim.run()
+    assert got.value == "a"
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    got = store.get()
+    sim.run()
+    assert not got.triggered
+    store.put("x")
+    sim.run()
+    assert got.value == "x"
+
+
+def test_store_put_blocks_at_capacity(sim):
+    store = Store(sim, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    sim.run()
+    assert first.triggered
+    assert not second.triggered
+    store.get()
+    sim.run()
+    assert second.triggered
+    assert list(store.items) == ["b"]
+
+
+def test_store_handoff_to_waiting_getter(sim):
+    store = Store(sim, capacity=1)
+    got = store.get()
+    store.put("direct")
+    sim.run()
+    assert got.value == "direct"
+    assert len(store) == 0
+
+
+def test_store_try_get(sim):
+    store = Store(sim)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    store.put("v")
+    ok, item = store.try_get()
+    assert ok and item == "v"
+
+
+# --------------------------------------------------------------------------
+# CPU
+# --------------------------------------------------------------------------
+
+def test_cpu_work_duration(sim):
+    cpu = CPU(sim, mips=100.0)
+
+    def worker():
+        yield from cpu.work(1_000_000)  # 1M instructions at 100 MIPS = 10 ms
+
+    sim.process(worker())
+    sim.run()
+    assert sim.now == pytest.approx(0.01)
+    assert cpu.busy_time == pytest.approx(0.01)
+
+
+def test_cpu_serializes_concurrent_work(sim):
+    cpu = CPU(sim, mips=100.0)
+
+    def worker():
+        yield from cpu.work(1_000_000)
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    assert sim.now == pytest.approx(0.02)
+
+
+def test_cpu_utilization(sim):
+    cpu = CPU(sim, mips=100.0)
+
+    def worker():
+        yield from cpu.work(1_000_000)
+        yield sim.timeout(0.01)  # idle period
+
+    sim.process(worker())
+    sim.run()
+    assert cpu.utilization() == pytest.approx(0.5)
+
+
+def test_cpu_invalid_mips(sim):
+    with pytest.raises(SimulationError):
+        CPU(sim, mips=0)
+
+
+def test_cpu_negative_instructions(sim):
+    cpu = CPU(sim, mips=100.0)
+    with pytest.raises(SimulationError):
+        cpu.seconds_for(-5)
+
+
+# --------------------------------------------------------------------------
+# Disk
+# --------------------------------------------------------------------------
+
+def _disk(sim, **overrides):
+    settings = dict(latency=17e-3, seek_time=5e-3, transfer_rate=6_000_000,
+                    page_size=8192)
+    settings.update(overrides)
+    return Disk(sim, **settings)
+
+
+def test_disk_random_access_pays_positioning(sim):
+    disk = _disk(sim)
+
+    def worker():
+        yield from disk.transfer(extent=1, start_page=0, num_pages=1)
+
+    sim.process(worker())
+    sim.run()
+    expected = 17e-3 + 5e-3 + 8192 / 6_000_000
+    assert sim.now == pytest.approx(expected)
+    assert disk.seeks.value == 1
+
+
+def test_disk_sequential_access_transfer_only(sim):
+    disk = _disk(sim)
+
+    def worker():
+        yield from disk.transfer(1, 0, 4)
+        yield from disk.transfer(1, 4, 4)  # continues where the head is
+
+    sim.process(worker())
+    sim.run()
+    expected = (17e-3 + 5e-3) + 8 * 8192 / 6_000_000
+    assert sim.now == pytest.approx(expected)
+    assert disk.seeks.value == 1
+
+
+def test_disk_interleaved_extents_seek(sim):
+    disk = _disk(sim)
+
+    def worker():
+        yield from disk.transfer(1, 0, 1)
+        yield from disk.transfer(2, 0, 1)
+        yield from disk.transfer(1, 1, 1)
+
+    sim.process(worker())
+    sim.run()
+    assert disk.seeks.value == 3
+
+
+def test_disk_serializes_requests(sim):
+    disk = _disk(sim, latency=0.0, seek_time=0.0)
+
+    def worker():
+        yield from disk.transfer(1, 0, 6)
+
+    sim.process(worker())
+
+    def worker2():
+        yield from disk.transfer(2, 0, 6)
+
+    sim.process(worker2())
+    sim.run()
+    assert sim.now == pytest.approx(12 * 8192 / 6_000_000)
+
+
+def test_disk_zero_pages_rejected(sim):
+    disk = _disk(sim)
+    with pytest.raises(SimulationError):
+        list(disk.transfer(1, 0, 0))
+
+
+# --------------------------------------------------------------------------
+# NetworkLink
+# --------------------------------------------------------------------------
+
+def test_link_transmission_time(sim):
+    link = NetworkLink(sim, bandwidth=12_500_000)  # 100 Mb/s in bytes
+
+    def worker():
+        yield from link.transmit(12_500)
+
+    sim.process(worker())
+    sim.run()
+    assert sim.now == pytest.approx(0.001)
+    assert link.messages.value == 1
+
+
+def test_link_serializes_messages(sim):
+    link = NetworkLink(sim, bandwidth=1000)
+
+    def worker():
+        yield from link.transmit(500)
+
+    sim.process(worker())
+    sim.process(worker())
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_link_negative_size_rejected(sim):
+    link = NetworkLink(sim, bandwidth=1000)
+    with pytest.raises(SimulationError):
+        link.transmission_time(-1)

@@ -1,0 +1,94 @@
+"""Tests for the XJoin-style spilling variant of DPHJ."""
+
+import pytest
+
+from repro import SimulationParameters, UniformDelay
+from repro.common.errors import MemoryOverflowError
+from repro.core.symmetric import SymmetricHashJoinEngine, SymmetricPlan
+
+
+def run_dphj(workload, *, allow_spill, budget_bytes=None, seed=1, waits=None):
+    params = SimulationParameters()
+    if budget_bytes is not None:
+        params = params.with_overrides(query_memory_bytes=budget_bytes)
+    if waits is None:
+        waits = {name: params.w_min for name in workload.relation_names}
+    delays = {name: UniformDelay(w) for name, w in waits.items()}
+    return SymmetricHashJoinEngine(workload.catalog, workload.tree, delays,
+                                   params=params, seed=seed,
+                                   allow_spill=allow_spill).run()
+
+
+def plan_bytes(workload):
+    return SymmetricPlan(workload.catalog, workload.tree).total_table_bytes()
+
+
+def test_no_spill_when_memory_suffices(tiny_fig5):
+    result = run_dphj(tiny_fig5, allow_spill=True)
+    assert result.tuples_spilled == 0
+    assert result.cleanup_time == 0.0
+    assert result.strategy == "DPHJ-X"
+
+
+def test_spill_keeps_result_exact(tiny_fig5):
+    roomy = run_dphj(tiny_fig5, allow_spill=True)
+    tight = run_dphj(tiny_fig5, allow_spill=True,
+                     budget_bytes=plan_bytes(tiny_fig5) // 2)
+    assert tight.tuples_spilled > 0
+    assert tight.cleanup_time > 0
+    assert tight.result_tuples == pytest.approx(roomy.result_tuples, abs=5)
+
+
+def test_spill_respects_budget(tiny_fig5):
+    budget = plan_bytes(tiny_fig5) // 2
+    result = run_dphj(tiny_fig5, allow_spill=True, budget_bytes=budget)
+    assert result.memory_peak_bytes <= budget
+
+
+def test_tighter_budget_spills_more(tiny_fig5):
+    total = plan_bytes(tiny_fig5)
+    half = run_dphj(tiny_fig5, allow_spill=True, budget_bytes=total // 2)
+    quarter = run_dphj(tiny_fig5, allow_spill=True, budget_bytes=total // 4)
+    assert quarter.tuples_spilled > half.tuples_spilled
+    assert quarter.response_time >= half.response_time
+
+
+def test_spill_costs_response_time(tiny_fig5):
+    roomy = run_dphj(tiny_fig5, allow_spill=True)
+    tight = run_dphj(tiny_fig5, allow_spill=True,
+                     budget_bytes=plan_bytes(tiny_fig5) // 2)
+    assert tight.response_time > roomy.response_time
+
+
+def test_plain_dphj_still_refuses(tiny_fig5):
+    with pytest.raises(MemoryOverflowError):
+        run_dphj(tiny_fig5, allow_spill=False,
+                 budget_bytes=plan_bytes(tiny_fig5) // 2)
+
+
+def test_spill_under_slow_source(tiny_fig5):
+    """Spilling composes with delay absorption (exactness under delays)."""
+    waits = {name: 20e-6 for name in tiny_fig5.relation_names}
+    waits["F"] = 200e-6
+    result = run_dphj(tiny_fig5, allow_spill=True,
+                      budget_bytes=plan_bytes(tiny_fig5) // 2, waits=waits)
+    baseline = run_dphj(tiny_fig5, allow_spill=True)
+    assert result.result_tuples == pytest.approx(baseline.result_tuples,
+                                                 abs=5)
+
+
+def test_spill_deterministic(tiny_fig5):
+    budget = plan_bytes(tiny_fig5) // 2
+    first = run_dphj(tiny_fig5, allow_spill=True, budget_bytes=budget)
+    second = run_dphj(tiny_fig5, allow_spill=True, budget_bytes=budget)
+    assert first.response_time == second.response_time
+    assert first.tuples_spilled == second.tuples_spilled
+
+
+def test_continuations_cover_every_join(tiny_fig5):
+    plan = SymmetricPlan(tiny_fig5.catalog, tiny_fig5.tree)
+    root = plan.joins[-1]
+    assert root.continuation == []
+    for join in plan.joins[:-1]:
+        assert join.continuation, join.name
+        assert join.continuation[-1][0] is root

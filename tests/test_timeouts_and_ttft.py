@@ -1,0 +1,120 @@
+"""Tests for bounded timeout aborts and time-to-first-tuple tracking."""
+
+import pytest
+
+from repro import (
+    QueryEngine,
+    QueryTimeoutError,
+    SimulationParameters,
+    SymmetricHashJoinEngine,
+    UniformDelay,
+    make_policy,
+)
+from repro.wrappers import ConstantDelay, InitialDelay
+
+
+# --------------------------------------------------------------------------
+# Bounded timeouts
+# --------------------------------------------------------------------------
+
+def dead_source_delays(workload, params, dead="A"):
+    """Every source normal except one that is silent for a very long time."""
+    delays = {n: UniformDelay(params.w_min) for n in workload.relation_names}
+    delays[dead] = InitialDelay(1e6, UniformDelay(params.w_min))
+    return delays
+
+
+def test_dead_source_aborts_after_limit(tiny_fig5):
+    params = SimulationParameters().with_overrides(
+        timeout=0.5, max_consecutive_timeouts=3)
+    engine = QueryEngine(tiny_fig5.catalog, tiny_fig5.qep, make_policy("SEQ"),
+                         dead_source_delays(tiny_fig5, params),
+                         params=params, seed=1)
+    with pytest.raises(QueryTimeoutError) as excinfo:
+        engine.run()
+    assert excinfo.value.timeouts == 3
+
+
+def test_unlimited_timeouts_waits_through(tiny_fig5):
+    """Default (0 = unlimited): a *long* initial delay eventually passes."""
+    params = SimulationParameters().with_overrides(timeout=0.5)
+    delays = {n: UniformDelay(params.w_min)
+              for n in tiny_fig5.relation_names}
+    delays["A"] = InitialDelay(5.0, UniformDelay(params.w_min))
+    engine = QueryEngine(tiny_fig5.catalog, tiny_fig5.qep, make_policy("SEQ"),
+                         delays, params=params, seed=1)
+    result = engine.run()
+    assert result.result_tuples == 1000
+    assert result.timeouts >= 5  # it kept waiting through them
+
+
+def test_progress_resets_the_timeout_counter(tiny_fig5):
+    """Timeouts interleaved with real progress never hit the limit."""
+    params = SimulationParameters().with_overrides(
+        timeout=0.4, max_consecutive_timeouts=3)
+    delays = {n: UniformDelay(params.w_min)
+              for n in tiny_fig5.relation_names}
+    # Each source has a ~1-timeout initial delay; progress in between
+    # resets the counter, so the query completes.
+    for name in tiny_fig5.relation_names:
+        delays[name] = InitialDelay(0.5, UniformDelay(params.w_min))
+    engine = QueryEngine(tiny_fig5.catalog, tiny_fig5.qep, make_policy("SEQ"),
+                         delays, params=params, seed=1)
+    result = engine.run()
+    assert result.result_tuples == 1000
+
+
+def test_timeout_limit_validation():
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        SimulationParameters(max_consecutive_timeouts=-1)
+
+
+# --------------------------------------------------------------------------
+# Time to first tuple
+# --------------------------------------------------------------------------
+
+def run_strategy(workload, strategy, seed=1):
+    params = SimulationParameters()
+    delays = {n: UniformDelay(params.w_min) for n in workload.relation_names}
+    return QueryEngine(workload.catalog, workload.qep, make_policy(strategy),
+                       delays, params=params, seed=seed).run()
+
+
+def test_ttft_recorded_and_bounded(tiny_fig5):
+    result = run_strategy(tiny_fig5, "SEQ")
+    assert result.time_to_first_tuple is not None
+    assert 0 < result.time_to_first_tuple <= result.response_time
+
+
+def test_blocking_plan_first_tuple_is_late(tiny_fig5):
+    """The root probe cannot start before every upstream build completed."""
+    result = run_strategy(tiny_fig5, "SEQ")
+    assert result.time_to_first_tuple > 0.5 * result.response_time
+
+
+def test_dphj_first_tuple_is_early(tiny_fig5):
+    params = SimulationParameters()
+    delays = {n: UniformDelay(params.w_min) for n in tiny_fig5.relation_names}
+    dphj = SymmetricHashJoinEngine(tiny_fig5.catalog, tiny_fig5.tree, delays,
+                                   params=params, seed=1).run()
+    seq = run_strategy(tiny_fig5, "SEQ")
+    assert dphj.time_to_first_tuple < seq.time_to_first_tuple
+
+
+def test_ttft_none_for_empty_result(small_catalog):
+    """A query whose join produces nothing has no first tuple."""
+    from repro.catalog import Catalog, JoinStatistics, Relation
+    from repro.plan import build_qep
+    from repro.query import JoinTree
+
+    stats = JoinStatistics({("R", "S"): 1e-9})  # effectively empty join
+    catalog = Catalog([Relation("R", 100), Relation("S", 100)], stats)
+    qep = build_qep(catalog, JoinTree.join(JoinTree.leaf("R"),
+                                           JoinTree.leaf("S")))
+    params = SimulationParameters()
+    delays = {n: UniformDelay(params.w_min) for n in ("R", "S")}
+    result = QueryEngine(catalog, qep, make_policy("SEQ"), delays,
+                         params=params, seed=1).run()
+    assert result.result_tuples == 0
+    assert result.time_to_first_tuple is None

@@ -1,0 +1,98 @@
+"""Tests for unit helpers and the error hierarchy."""
+
+import pytest
+
+from repro.common import (
+    CatalogError,
+    MemoryOverflowError,
+    OptimizerError,
+    PlanError,
+    QueryTimeoutError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    bytes_to_pages,
+    format_bytes,
+    format_seconds,
+)
+
+
+# --------------------------------------------------------------------------
+# bytes_to_pages
+# --------------------------------------------------------------------------
+
+def test_bytes_to_pages_exact():
+    assert bytes_to_pages(8192, 8192) == 1
+
+
+def test_bytes_to_pages_rounds_up():
+    assert bytes_to_pages(8193, 8192) == 2
+    assert bytes_to_pages(1, 8192) == 1
+
+
+def test_bytes_to_pages_zero():
+    assert bytes_to_pages(0, 8192) == 0
+
+
+def test_bytes_to_pages_validation():
+    with pytest.raises(ValueError):
+        bytes_to_pages(100, 0)
+    with pytest.raises(ValueError):
+        bytes_to_pages(-1, 100)
+
+
+# --------------------------------------------------------------------------
+# format helpers
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("value,expected", [
+    (0, "0 B"),
+    (999, "999 B"),
+    (1500, "1.5 KB"),
+    (12_500_000, "12.5 MB"),
+    (3_000_000_000, "3.0 GB"),
+])
+def test_format_bytes(value, expected):
+    assert format_bytes(value) == expected
+
+
+@pytest.mark.parametrize("value,expected", [
+    (5e-7, "0.5 µs"),
+    (2e-5, "20.0 µs"),
+    (1.5e-3, "1.5 ms"),
+    (2.25, "2.250 s"),
+])
+def test_format_seconds(value, expected):
+    assert format_seconds(value) == expected
+
+
+def test_format_seconds_negative():
+    assert format_seconds(-1.5e-3) == "-1.5 ms"
+
+
+# --------------------------------------------------------------------------
+# error hierarchy
+# --------------------------------------------------------------------------
+
+@pytest.mark.parametrize("exc_class", [
+    CatalogError, OptimizerError, PlanError, SchedulingError,
+    SimulationError,
+])
+def test_all_errors_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, ReproError)
+
+
+def test_memory_overflow_error_carries_context():
+    error = MemoryOverflowError("pA", required=1000, available=400)
+    assert isinstance(error, ReproError)
+    assert error.chain_name == "pA"
+    assert error.required == 1000
+    assert error.available == 400
+    assert "pA" in str(error)
+
+
+def test_query_timeout_error_carries_context():
+    error = QueryTimeoutError(timeouts=4, stalled_for=240.0)
+    assert isinstance(error, ReproError)
+    assert error.timeouts == 4
+    assert "4 consecutive" in str(error)
