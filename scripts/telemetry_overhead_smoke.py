@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Smoke check: disabled telemetry must be (near-)free.
+
+Runs the smallest Figure 6 point (retrieval time 2.0 s for relation A,
+full-scale workload, one repetition) with telemetry disabled and with it
+fully enabled, taking the best of a few wall-clock timings each.  The
+disabled path goes through the same instrumented code but every metric
+resolves to the shared no-op ``NULL_METRIC``, so it must not run
+measurably slower than the enabled path — the check fails if the
+disabled run exceeds enabled * 1.05 plus a small absolute grace for
+timer noise.
+
+Also asserts the structural guarantees of the disabled path: the
+registry hands out the null metric without registering it, the result
+carries no metrics object, and no samples are collected.
+
+Exit status 0 on success; used as a CI step.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import QueryEngine, UniformDelay, make_policy
+from repro.config import SimulationParameters
+from repro.experiments import figure5_workload, run_slowdown_experiment
+from repro.observability import NULL_METRIC, MetricsRegistry
+
+ROUNDS = 3
+RETRIEVAL_TIME = 2.0  # the smallest Figure 6 point
+
+
+def timed_sweep(workload, params) -> float:
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        run_slowdown_experiment(workload, "A", [RETRIEVAL_TIME], params,
+                                repetitions=1)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    disabled_registry = MetricsRegistry(enabled=False)
+    assert disabled_registry.counter("smoke") is NULL_METRIC
+    assert len(disabled_registry) == 0
+
+    workload = figure5_workload()
+    disabled = timed_sweep(workload, SimulationParameters())
+    enabled = timed_sweep(workload, SimulationParameters(
+        telemetry_enabled=True, telemetry_sample_interval=0.05))
+
+    params = SimulationParameters()
+    small = figure5_workload(scale=0.05)
+    delays = {name: UniformDelay(params.w_min)
+              for name in small.relation_names}
+    result = QueryEngine(small.catalog, small.qep, make_policy("DSE"),
+                         delays, params=params, seed=1).run()
+    assert result.metrics is None, "disabled run must not carry a registry"
+    assert result.samples == [], "disabled run must not collect samples"
+
+    budget = enabled * 1.05 + 0.05  # 5% relative + 50 ms timer grace
+    print(f"disabled telemetry: {disabled:.3f} s (best of {ROUNDS})")
+    print(f"enabled  telemetry: {enabled:.3f} s (best of {ROUNDS})")
+    print(f"budget for disabled path: {budget:.3f} s")
+    if disabled > budget:
+        print("FAIL: disabled-telemetry path is measurably slower than "
+              "the enabled path — the no-op instrumentation is not free")
+        return 1
+    print("OK: disabled-telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

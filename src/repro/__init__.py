@@ -60,6 +60,15 @@ from repro.core.strategies import (
     lower_bound,
     make_policy,
 )
+from repro.observability import (
+    DecisionAuditLog,
+    DecisionRecord,
+    MetricsRegistry,
+    SamplePoint,
+    StallAttribution,
+    Telemetry,
+    telemetry_snapshot,
+)
 from repro.optimizer import CostModel, DynamicProgrammingOptimizer
 from repro.plan import QEP, PipelineChain, build_qep, validate_qep
 from repro.query import JoinTree, Query, QueryGenerator
@@ -85,6 +94,8 @@ __all__ = [
     "ConfigurationError",
     "ConstantDelay",
     "CostModel",
+    "DecisionAuditLog",
+    "DecisionRecord",
     "DelayModel",
     "DsePolicy",
     "DynamicProgrammingOptimizer",
@@ -96,6 +107,7 @@ __all__ = [
     "JoinTree",
     "MaterializeAllPolicy",
     "MemoryOverflowError",
+    "MetricsRegistry",
     "MultiQueryEngine",
     "MultiQueryResult",
     "OptimizerError",
@@ -111,17 +123,21 @@ __all__ = [
     "Relation",
     "RuntimeStatistics",
     "ReproError",
+    "SamplePoint",
     "SchedulingError",
     "SequentialPolicy",
     "SimulationError",
     "SimulationParameters",
+    "StallAttribution",
     "SymmetricHashJoinEngine",
     "SymmetricResult",
+    "Telemetry",
     "UniformDelay",
     "W_MIN_DEFAULT",
     "build_qep",
     "lower_bound",
     "make_policy",
     "slow_delivery",
+    "telemetry_snapshot",
     "validate_qep",
 ]

@@ -8,6 +8,10 @@ writing any code:
 * ``fig6`` — the one-slowed-relation sweep (``--relation F`` for Fig. 7);
 * ``fig8`` — the uniform-slowdown gain sweep;
 * ``run`` — one execution of one strategy, with optional slow sources;
+* ``metrics`` — run one strategy with telemetry and export the metrics,
+  stall breakdown and decision log (JSON / CSV / Prometheus text);
+* ``trace`` — run one strategy traced and write the Chrome timeline plus
+  the decision audit log;
 * ``multiquery`` — the Section 6 throughput experiment.
 
 Every sweep accepts ``--csv PATH`` to export the series for plotting.
@@ -85,6 +89,44 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the per-fragment schedule")
     run.add_argument("--chrome-trace", metavar="PATH",
                      help="write a chrome://tracing timeline JSON")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write the Chrome/Perfetto trace JSON to PATH "
+                          "(implies collecting trace events)")
+
+    metrics = sub.add_parser(
+        "metrics", help="run one strategy with telemetry and export "
+                        "metrics/stalls/decisions")
+    _common(metrics)
+    metrics.add_argument("--strategy", default="DSE",
+                         help="SEQ, MA, DSE or DSE-ND (default DSE)")
+    metrics.add_argument("--slow", action="append", default=[],
+                         metavar="REL:FACTOR",
+                         help="slow one relation by a factor of w_min "
+                              "(repeatable), e.g. --slow F:10")
+    metrics.add_argument("--sample-interval", type=float, default=0.05,
+                         help="virtual-time sampling interval in seconds "
+                              "(0 disables periodic samples)")
+    metrics.add_argument("--json", metavar="PATH",
+                         help="write only the JSON export to PATH")
+    metrics.add_argument("--csv", metavar="PATH",
+                         help="write only the CSV export to PATH")
+    metrics.add_argument("--prom", metavar="PATH",
+                         help="write only the Prometheus text export to PATH")
+    metrics.add_argument("--out", default="telemetry",
+                         help="directory receiving all three exports when no "
+                              "single format is selected (default ./telemetry)")
+
+    trace = sub.add_parser(
+        "trace", help="run one strategy traced; write the Chrome timeline "
+                      "and print the decision audit log")
+    _common(trace)
+    trace.add_argument("--strategy", default="DSE",
+                       help="SEQ, MA, DSE or DSE-ND (default DSE)")
+    trace.add_argument("--slow", action="append", default=[],
+                       metavar="REL:FACTOR",
+                       help="slow one relation by a factor of w_min")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace output path (default ./trace.json)")
 
     anatomy = sub.add_parser(
         "anatomy", help="side-by-side response-time anatomy of strategies")
@@ -129,6 +171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "fig6": _cmd_fig6,
         "fig8": _cmd_fig8,
         "run": _cmd_run,
+        "metrics": _cmd_metrics,
+        "trace": _cmd_trace,
         "anatomy": _cmd_anatomy,
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
@@ -213,14 +257,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     waits = {name: params.w_min * slow.get(name, 1.0)
              for name in workload.relation_names}
     delays = {name: UniformDelay(wait) for name, wait in waits.items()}
+    collect_trace = args.trace or bool(args.trace_out)
 
     if args.strategy.upper() == "DPHJ":
         from repro.core.symmetric import SymmetricHashJoinEngine
         result = SymmetricHashJoinEngine(
             workload.catalog, workload.tree, delays, params=params,
-            seed=args.seed, trace=args.trace).run()
+            seed=args.seed, trace=collect_trace).run()
         print(result.summary())
         print(f"LWB: {lower_bound(workload.qep, waits, params):.3f}s")
+        if args.trace_out:
+            from repro.experiments.trace_export import write_chrome_trace
+            print("trace:", write_chrome_trace(args.trace_out, result))
         return 0
 
     qep = workload.qep
@@ -234,7 +282,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from None
     engine = QueryEngine(workload.catalog, qep,
                          make_policy(args.strategy), delays, params=params,
-                         seed=args.seed, trace=args.trace)
+                         seed=args.seed, trace=collect_trace)
     result = engine.run()
     print(result.summary())
     if result.reopt_opportunities:
@@ -245,15 +293,93 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.timeline:
         print()
         print(result.render_timeline())
-    if args.chrome_trace:
+    if args.chrome_trace or args.trace_out:
         from repro.experiments.trace_export import write_chrome_trace
-        print("chrome trace:", write_chrome_trace(args.chrome_trace, result))
+        for path in (args.chrome_trace, args.trace_out):
+            if path:
+                print("chrome trace:", write_chrome_trace(path, result))
     if args.trace and result.tracer is not None:
         print()
         for category in ["plan", "degrade", "mf-stop", "chain-complete",
                          "memory-split", "reopt-opportunity", "reopt-swap"]:
             for event in result.tracer.filter(category):
                 print(event)
+    return 0
+
+
+def _run_with_telemetry(args: argparse.Namespace, sample_interval: float,
+                        trace: bool):
+    """One telemetry-enabled execution shared by ``metrics`` and ``trace``."""
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters().with_overrides(
+        telemetry_enabled=True,
+        telemetry_sample_interval=sample_interval)
+    slow = _parse_slow(args.slow)
+    unknown = set(slow) - set(workload.relation_names)
+    if unknown:
+        raise SystemExit(f"unknown relation(s) in --slow: {sorted(unknown)}")
+    waits = {name: params.w_min * slow.get(name, 1.0)
+             for name in workload.relation_names}
+    delays = {name: UniformDelay(wait) for name, wait in waits.items()}
+    engine = QueryEngine(workload.catalog, workload.qep,
+                         make_policy(args.strategy), delays, params=params,
+                         seed=args.seed, trace=trace)
+    return engine.run()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.observability import (
+        telemetry_snapshot,
+        write_metrics_csv,
+        write_metrics_json,
+        write_metrics_prometheus,
+    )
+
+    result = _run_with_telemetry(args, args.sample_interval, trace=False)
+    print(result.summary())
+    print("stall breakdown:")
+    for cause, seconds in result.stall_by_cause().items():
+        print(f"  {cause:<24} {seconds:.6f}s")
+    if result.decisions:
+        print(f"decisions ({len(result.decisions)}):")
+        for record in result.decisions:
+            print(" ", record)
+
+    snapshot = telemetry_snapshot(result)
+    explicit = [(args.json, write_metrics_json),
+                (args.csv, write_metrics_csv),
+                (args.prom, write_metrics_prometheus)]
+    wrote = []
+    if any(path for path, _ in explicit):
+        for path, writer in explicit:
+            if path:
+                wrote.append(writer(snapshot, path))
+    else:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        stem = f"metrics-{result.strategy.lower()}"
+        wrote = [
+            write_metrics_json(snapshot, out / f"{stem}.json"),
+            write_metrics_csv(snapshot, out / f"{stem}.csv"),
+            write_metrics_prometheus(snapshot, out / f"{stem}.prom"),
+        ]
+    for path in wrote:
+        print("wrote", path)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.trace_export import write_chrome_trace
+
+    result = _run_with_telemetry(args, sample_interval=0.0, trace=True)
+    print(result.summary())
+    if result.decisions:
+        print(f"decisions ({len(result.decisions)}):")
+        for record in result.decisions:
+            print(" ", record)
+    print("chrome trace:", write_chrome_trace(args.out, result))
     return 0
 
 

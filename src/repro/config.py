@@ -123,6 +123,14 @@ class SimulationParameters:
     #: (off by default: per-tuple waiting times already include network
     #: time, as in Section 5.1.3).
     model_link_contention: bool = False
+    #: register named metrics (counters/gauges/histograms) during the
+    #: run; off by default so benchmarks see a near-no-op null registry.
+    #: Stall attribution and the decision audit log are always on.
+    telemetry_enabled: bool = False
+    #: virtual-time interval between occupancy samples (memory, queue
+    #: depths, delivery rates); 0 disables the periodic sampler.  Only
+    #: effective together with ``telemetry_enabled``.
+    telemetry_sample_interval: float = 0.0
 
     # --- methodology -----------------------------------------------------
     #: default average per-tuple waiting time for "no problem" wrappers.
@@ -214,6 +222,7 @@ class SimulationParameters:
             "reoptimization_threshold": self.reoptimization_threshold,
             "reopt_swap_margin": self.reopt_swap_margin,
             "w_min": self.w_min,
+            "telemetry_sample_interval": self.telemetry_sample_interval,
         }
         for name, value in non_negative.items():
             if value < 0:

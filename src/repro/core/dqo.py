@@ -48,6 +48,11 @@ class DynamicQEPOptimizer:
         self.runtime = runtime
         self.scheduler = scheduler
         self.processor = processor
+        registry = runtime.world.telemetry.registry
+        self._timeout_metric = registry.counter(
+            "dqo.timeouts", "TimeOut interruptions handled.")
+        self._overflow_metric = registry.counter(
+            "dqo.overflows", "Memory-overflow splits applied.")
         self.timeouts = 0
         self._consecutive_timeouts = 0
         self.overflows_handled = 0
@@ -92,6 +97,7 @@ class DynamicQEPOptimizer:
                 self._consecutive_timeouts = 0
             elif isinstance(event, TimeOut):
                 self.timeouts += 1
+                self._timeout_metric.inc()
                 self._consecutive_timeouts += 1
                 world.tracer.emit(
                     "timeout", "engine stalled; re-optimization hook",
@@ -144,7 +150,10 @@ class DynamicQEPOptimizer:
             corrected_probe = self._corrected_cardinality(
                 join.probe_relations, join.estimated_probe_cardinality)
             if corrected_build > corrected_probe * params.reopt_swap_margin:
-                self.runtime.swap_pending_join(join_name)
+                self.runtime.swap_pending_join(join_name, decision_inputs=dict(
+                    corrected_build=corrected_build,
+                    corrected_probe=corrected_probe,
+                    swap_margin=params.reopt_swap_margin))
                 self.reopt_swaps.append(join_name)
 
     def _corrected_cardinality(self, relations: tuple[str, ...],
@@ -182,4 +191,5 @@ class DynamicQEPOptimizer:
                     fragment.builds_join or ""),
                 available=self.runtime.world.memory.available_bytes)
         self.overflows_handled += 1
+        self._overflow_metric.inc()
         self.runtime.split_for_memory(fragment)

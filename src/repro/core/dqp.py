@@ -32,6 +32,14 @@ from repro.core.fragments import (
     FragmentStatus,
 )
 from repro.core.runtime import QueryRuntime
+from repro.mediator.queues import SourceQueue
+from repro.observability import (
+    BATCH_BUCKETS,
+    STALL_MEMORY_WAIT,
+    STALL_NO_SCHEDULABLE,
+    STALL_TIMEOUT,
+    source_wait,
+)
 from repro.sim.engine import SimEvent
 
 
@@ -66,6 +74,18 @@ class DynamicQueryProcessor:
         self._rate_change: Optional[tuple[str, float, float]] = None
         self._rate_event: Optional[SimEvent] = None
         self._rr_cursor = 0
+        telemetry = runtime.world.telemetry
+        self._stalls = telemetry.stalls
+        registry = telemetry.registry
+        self._batches_metric = registry.counter(
+            "dqp.batches", "Batches the DQP processed.")
+        self._switch_metric = registry.counter(
+            "dqp.context_switches", "Fragment-to-fragment switches charged.")
+        self._batch_tuples_metric = registry.histogram(
+            "dqp.batch_tuples", buckets=BATCH_BUCKETS,
+            help="Tuples actually consumed per batch.")
+        self._stall_metric = registry.histogram(
+            "dqp.stall_seconds", help="Duration of individual DQP stalls.")
 
     # -- rate-change plumbing (installed as the CM listener) ---------------
     def notify_rate_change(self, source: str, old_wait: float,
@@ -111,11 +131,15 @@ class DynamicQueryProcessor:
                     and params.context_switch_instructions > 0):
                 yield from world.cpu.work(params.context_switch_instructions)
                 self.context_switches += 1
+                self._switch_metric.inc()
             self._last_fragment = fragment
 
+            tuples_before = fragment.tuples_in
             outcome = yield from fragment.process_batch(
                 self._batch_size(fragment))
             self.batches_processed += 1
+            self._batches_metric.inc()
+            self._batch_tuples_metric.observe(fragment.tuples_in - tuples_before)
 
             if outcome == BATCH_OVERFLOW:
                 return self._overflow_event(fragment)
@@ -139,7 +163,6 @@ class DynamicQueryProcessor:
         base = params.effective_batch_tuples
         if not params.adaptive_batching:
             return base
-        from repro.mediator.queues import SourceQueue
         source = fragment.source
         if isinstance(source, SourceQueue):
             backlog = source.tuples_available
@@ -149,15 +172,21 @@ class DynamicQueryProcessor:
         return max(base, min(ceiling, backlog // 2))
 
     def _stall(self, live: list[Fragment]) -> Generator[SimEvent, Any, bool]:
-        """Wait for data, a rate change, or the timeout; True on timeout."""
+        """Wait for data, a rate change, or the timeout; True on timeout.
+
+        Every stall is attributed to exactly one cause — the source whose
+        message woke us, a temp prefetch (memory wait), a replanning
+        wake-up, or the timeout — so the sum of the attributed intervals
+        equals :attr:`stall_time` by construction.
+        """
         world = self.runtime.world
         sim, params = world.sim, world.params
-        events = []
+        waits = []
         for fragment in live:
             event = fragment.wait_event()
             if event is not None:
-                events.append(event)
-        if not events:
+                waits.append((fragment, event))
+        if not waits:
             raise SchedulingError(
                 "DQP stalled although only local fragments are scheduled")
         self._rate_event = sim.event(name="rate-change")
@@ -165,11 +194,34 @@ class DynamicQueryProcessor:
         started = sim.now
         world.tracer.emit("stall", "no data on any scheduled fragment",
                           fragments=[f.name for f in live])
-        yield sim.any_of(events + [self._rate_event, timeout])
+        yield sim.any_of([event for _, event in waits]
+                         + [self._rate_event, timeout])
         self._rate_event = None
-        self.stall_time += sim.now - started
-        data_arrived = any(event.processed for event in events)
-        return timeout.processed and not data_arrived and self._rate_change is None
+        stalled_for = sim.now - started
+        self.stall_time += stalled_for
+        self._stall_metric.observe(stalled_for)
+        data_arrived = any(event.processed for _, event in waits)
+        timed_out = (timeout.processed and not data_arrived
+                     and self._rate_change is None)
+        cause = self._stall_cause(waits, data_arrived, timed_out)
+        self._stalls.record(cause, started, sim.now)
+        return timed_out
+
+    @staticmethod
+    def _stall_cause(waits: list[tuple[Fragment, SimEvent]],
+                     data_arrived: bool, timed_out: bool) -> str:
+        """Attribute one finished stall to its wake-up cause."""
+        if data_arrived:
+            for fragment, event in waits:
+                if event.processed:
+                    source = fragment.source
+                    if isinstance(source, SourceQueue):
+                        return source_wait(source.source)
+                    return STALL_MEMORY_WAIT  # temp reload completed
+        if timed_out:
+            return STALL_TIMEOUT
+        # Woken for replanning (rate change) while nothing had work.
+        return STALL_NO_SCHEDULABLE
 
     def _overflow_event(self, fragment: Fragment) -> MemoryOverflow:
         world = self.runtime.world

@@ -45,10 +45,16 @@ class DynamicQueryScheduler:
         self.runtime = runtime
         self.policy = policy
         self.planning_phases = 0
+        registry = runtime.world.telemetry.registry
+        self._phases_metric = registry.counter(
+            "dqs.planning_phases", "Planning phases executed.")
+        self._plan_size_metric = registry.gauge(
+            "dqs.plan_fragments", "Fragments admitted into the current plan.")
 
     def plan(self) -> SchedulingPlan:
         """One planning phase: select candidates, admit them into memory."""
         self.planning_phases += 1
+        self._phases_metric.inc()
         world = self.runtime.world
         self.runtime.statistics.snapshot_rates(
             world.sim.now, world.cm.wait_snapshot(world.params.w_min))
@@ -62,6 +68,7 @@ class DynamicQueryScheduler:
                 from repro.common.errors import SchedulingError
                 raise SchedulingError(raise_from_policy)
         admitted, overflow = self._admit(candidates)
+        self._plan_size_metric.set(len(admitted))
         priorities = self.policy.priorities(self.runtime)
         sp = SchedulingPlan(admitted, priorities, overflow_fragment=overflow)
         self.runtime.world.tracer.emit(

@@ -20,6 +20,7 @@ from repro.core.events import EndOfQEP
 from repro.core.runtime import QueryRuntime, World
 from repro.core.statistics import RuntimeStatistics
 from repro.core.strategies.lwb import lower_bound
+from repro.observability import DecisionRecord, MetricsRegistry, SamplePoint
 from repro.plan.qep import QEP
 from repro.plan.validation import validate_qep
 from repro.sim.tracing import Tracer
@@ -89,6 +90,19 @@ class ExecutionResult:
     #: observed runtime statistics (cardinalities, rate history).
     statistics: Optional["RuntimeStatistics"] = None
     tracer: Optional[Tracer] = None
+    #: idle-time breakdown by cause; its values sum to ``stall_time``.
+    stall_breakdown: dict[str, float] = field(default_factory=dict)
+    #: scheduler decisions with the inputs that drove them.
+    decisions: list[DecisionRecord] = field(default_factory=list)
+    #: periodic occupancy samples (telemetry sampling enabled only).
+    samples: list[SamplePoint] = field(default_factory=list)
+    #: the run's metrics registry (None when telemetry was disabled).
+    metrics: Optional[MetricsRegistry] = None
+
+    def stall_by_cause(self) -> dict[str, float]:
+        """Stall breakdown sorted largest first."""
+        return dict(sorted(self.stall_breakdown.items(),
+                           key=lambda item: (-item[1], item[0])))
 
     def summary(self) -> str:
         """One line suitable for experiment logs."""
@@ -161,6 +175,12 @@ class QueryEngine:
         # unhandled-failure backstop from wrapping it first.
         main.defused = True
 
+        if world.telemetry.sampling:
+            world.telemetry.start_sampler(world.memory, world.cm)
+            # Stop the periodic sampler when the engine ends (success or
+            # failure), or its timeouts would keep the simulation alive.
+            main.add_callback(lambda _event: world.telemetry.stop_sampler())
+
         world.sim.run()
 
         if main.failure is not None:
@@ -214,6 +234,11 @@ class QueryEngine:
             reopt_swaps=list(optimizer.reopt_swaps),
             statistics=runtime.statistics,
             tracer=world.tracer if self.trace else None,
+            stall_breakdown=world.telemetry.stalls.by_cause(),
+            decisions=list(world.telemetry.audit),
+            samples=list(world.telemetry.samples),
+            metrics=(world.telemetry.registry
+                     if world.telemetry.enabled else None),
         )
 
     def lower_bound(self) -> float:

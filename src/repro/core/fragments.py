@@ -253,6 +253,14 @@ class Fragment:
             yield from self._require_writer().finish()
         self.status = FragmentStatus.DONE
         self.finished_at = self.runtime.world.sim.now
+        registry = self.runtime.world.telemetry.registry
+        registry.counter("fragments.completed",
+                         "Query fragments run to completion.").inc()
+        if self.started_at is not None:
+            registry.histogram(
+                "fragments.duration_seconds",
+                help="Wall (virtual) time from first batch to finalize."
+            ).observe(self.finished_at - self.started_at)
         self.runtime.on_fragment_done(self)
 
     def _require_table(self) -> HashTable:

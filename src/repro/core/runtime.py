@@ -36,6 +36,14 @@ from repro.core.statistics import RuntimeStatistics
 from repro.mediator.buffer import BufferManager, HashTable, MemoryManager
 from repro.mediator.comm import CommunicationManager
 from repro.mediator.queues import SourceQueue
+from repro.observability import (
+    DECISION_CF_CREATE,
+    DECISION_DEGRADE,
+    DECISION_MEMORY_SPLIT,
+    DECISION_MF_STOP,
+    DECISION_REOPT_SWAP,
+    Telemetry,
+)
 from repro.plan.chains import ancestor_closure
 from repro.plan.operators import MatOp, ScanOp
 from repro.plan.qep import QEP, PipelineChain
@@ -80,6 +88,9 @@ class World:
                                     bandwidth=params.network_bandwidth_bytes)
             self.buffer = BufferManager(self.sim, self.cpu, self.disks,
                                         self.cache, params, self.tracer)
+            self.telemetry = Telemetry(
+                self.sim, enabled=params.telemetry_enabled,
+                sample_interval=params.telemetry_sample_interval)
         else:
             machine = share_machine
             self.streams = machine.streams
@@ -90,9 +101,11 @@ class World:
             self.cache = machine.cache
             self.link = machine.link
             self.buffer = machine.buffer
+            self.telemetry = machine.telemetry
         self.cm = CommunicationManager(
             self.sim, self.cpu, params, self.tracer,
-            link=self.link if params.model_link_contention else None)
+            link=self.link if params.model_link_contention else None,
+            telemetry=self.telemetry)
         self.memory = MemoryManager(
             memory_bytes if memory_bytes is not None
             else params.query_memory_bytes)
@@ -138,6 +151,21 @@ class QueryRuntime:
         for chain in qep.chains:
             self._create_pc_fragment(chain)
 
+    # -- decision audit -------------------------------------------------------
+    def _audit(self, kind: str, subject: str,
+               decision_inputs: Optional[dict] = None, **details) -> None:
+        """Record one scheduler decision with the memory state at its time.
+
+        ``decision_inputs`` carries the numbers the *caller* saw (critical
+        degree, bmi vs bmt, ...); ``details`` are kind-specific extras.
+        """
+        memory = self.world.memory
+        self.world.telemetry.audit.record(
+            kind, subject, time=self.world.sim.now,
+            memory_used_bytes=memory.used_bytes,
+            memory_total_bytes=memory.total_bytes,
+            details=details, **(decision_inputs or {}))
+
     # -- fragment creation ---------------------------------------------------
     def _register(self, fragment: Fragment) -> Fragment:
         self.fragments[fragment.name] = fragment
@@ -151,7 +179,8 @@ class QueryRuntime:
         return self._register(fragment)
 
     def degrade_chain(self, chain: PipelineChain,
-                      prefer_memory: Optional[bool] = None) -> Fragment:
+                      prefer_memory: Optional[bool] = None,
+                      decision_inputs: Optional[dict] = None) -> Fragment:
         """PC degradation (Section 4.4): start a materialization fragment.
 
         The chain's PC fragment is suspended; the returned MF pulls from
@@ -198,6 +227,8 @@ class QueryRuntime:
         self.degraded_chains.add(chain.name)
         self.world.tracer.emit("degrade", chain.name,
                                mf=mf.name, temp=writer.temp.name)
+        self._audit(DECISION_DEGRADE, chain.name, decision_inputs,
+                    mf=mf.name, temp=writer.temp.name)
         return self._register(mf)
 
     def request_stop_materialization(self, chain: PipelineChain) -> None:
@@ -209,6 +240,8 @@ class QueryRuntime:
             mf.stop_requested = True
             self.stopped_materializations.add(chain.name)
             self.world.tracer.emit("mf-stop", mf.name)
+            self._audit(DECISION_MF_STOP, mf.name, chain=chain.name,
+                        materialized_tuples=mf.tuples_out)
 
     def advance_degraded_chains(self) -> list[Fragment]:
         """Create CFs for finished MFs and unsuspend their PC parts.
@@ -244,6 +277,8 @@ class QueryRuntime:
                       chain, cf_ops, self.world.buffer.reader(temp))
         self.chain_fragments[chain.name].insert(1, cf)
         self.world.tracer.emit("cf-create", cf.name, temp=temp.name)
+        self._audit(DECISION_CF_CREATE, cf.name, chain=chain.name,
+                    temp=temp.name, temp_tuples=mf.tuples_out)
         return self._register(cf)
 
     def split_for_memory(self, fragment: Fragment) -> Fragment:
@@ -294,6 +329,9 @@ class QueryRuntime:
         self.memory_splits += 1
         self.world.tracer.emit("memory-split", fragment.name,
                                join=join.name, temp=writer.temp.name)
+        self._audit(DECISION_MEMORY_SPLIT, fragment.name,
+                    join=join.name, temp=writer.temp.name,
+                    continuation=continuation.name)
         return self._register(continuation)
 
     # -- QEP-level re-optimization (build/probe swap) ------------------------
@@ -320,7 +358,8 @@ class QueryRuntime:
                 return False
         return True
 
-    def swap_pending_join(self, join_name: str) -> None:
+    def swap_pending_join(self, join_name: str,
+                          decision_inputs: Optional[dict] = None) -> None:
         """Apply :func:`repro.plan.reopt.swap_join_sides` to the live plan.
 
         Replaces the two affected chains' fragments with fresh pristine
@@ -357,6 +396,8 @@ class QueryRuntime:
             join_name, self.qep.joins[join_name].estimated_build_cardinality)
         self.world.tracer.emit("reopt-swap", join_name,
                                new_build=self.qep.joins[join_name].build_relations)
+        self._audit(DECISION_REOPT_SWAP, join_name, decision_inputs,
+                    new_build=list(self.qep.joins[join_name].build_relations))
 
     # -- hash tables -----------------------------------------------------------
     def table_estimate_bytes(self, join_name: str) -> int:

@@ -109,10 +109,14 @@ class DsePolicy(PlanningPolicy):
                 continue  # nothing worth materializing anymore
             wait = waits.get(chain.source_relation, params.w_min)
             cpu = chain_cpu_seconds_per_source_tuple(chain.operators, params)
-            if critical_degree(remaining, wait, cpu) <= 0:
+            crit = critical_degree(remaining, wait, cpu)
+            if crit <= 0:
                 continue
-            if benefit_materialization_indicator(wait, io_per_tuple) > params.bmt:
-                runtime.degrade_chain(chain)
+            bmi = benefit_materialization_indicator(wait, io_per_tuple)
+            if bmi > params.bmt:
+                runtime.degrade_chain(chain, decision_inputs=dict(
+                    critical=crit, bmi=bmi, bmt=params.bmt,
+                    wait_per_tuple=wait, remaining_tuples=remaining))
                 self.degradations.append(chain.name)
 
     @staticmethod

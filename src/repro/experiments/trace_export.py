@@ -33,6 +33,10 @@ def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
     for stat in result.timeline():
         if stat.started_at is None or stat.finished_at is None:
             continue
+        # A chain can appear in the timeline without being in the initial
+        # map (e.g. CF-only views of a run); allocate its lane on demand
+        # instead of raising KeyError.
+        tid = tids.setdefault(stat.chain, len(tids) + 1)
         events.append({
             "name": stat.name,
             "cat": stat.kind,
@@ -41,7 +45,7 @@ def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
             "dur": max(1.0, (stat.finished_at - stat.started_at)
                        * _SECONDS_TO_US),
             "pid": 1,
-            "tid": tids[stat.chain],
+            "tid": tid,
             "args": {
                 "tuples_in": stat.tuples_in,
                 "tuples_out": stat.tuples_out,
@@ -50,6 +54,7 @@ def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
             },
         })
 
+    # After the span loop, so lanes allocated on demand get names too.
     for chain, tid in tids.items():
         events.append({
             "name": "thread_name",
@@ -60,8 +65,18 @@ def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
         })
 
     if result.tracer is not None:
+        # The audit log carries the numbers behind each decision (critical
+        # degree, bmi vs bmt, memory in use); fold them into the matching
+        # instant's args so the timeline shows *why*, not just *when*.
+        audit_args: dict[tuple[str, str, float], dict[str, Any]] = {
+            (record.kind, record.subject, record.time): record.args()
+            for record in result.decisions
+        }
         for category in DECISION_CATEGORIES:
             for trace_event in result.tracer.filter(category):
+                args = dict(trace_event.payload)
+                args.update(audit_args.get(
+                    (category, trace_event.message, trace_event.time), {}))
                 events.append({
                     "name": f"{category}: {trace_event.message}",
                     "cat": "decision",
@@ -70,7 +85,7 @@ def chrome_trace_events(result: ExecutionResult) -> list[dict[str, Any]]:
                     "ts": trace_event.time * _SECONDS_TO_US,
                     "pid": 1,
                     "tid": 0,
-                    "args": dict(trace_event.payload),
+                    "args": args,
                 })
     return events
 

@@ -17,6 +17,7 @@ from repro.common.errors import SimulationError
 from repro.config import SimulationParameters
 from repro.mediator.queues import Message, SourceQueue
 from repro.mediator.rates import DeliveryRateEstimator
+from repro.observability import NULL_TELEMETRY, Telemetry
 from repro.sim.engine import SimEvent, Simulator
 from repro.sim.resources import CPU, NetworkLink
 from repro.sim.tracing import Tracer
@@ -28,12 +29,21 @@ class CommunicationManager:
     """Owns the source queues and delivery-rate estimators."""
 
     def __init__(self, sim: Simulator, cpu: CPU, params: SimulationParameters,
-                 tracer: Tracer, link: Optional[NetworkLink] = None):
+                 tracer: Tracer, link: Optional[NetworkLink] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.sim = sim
         self.cpu = cpu
         self.params = params
         self.tracer = tracer
         self.link = link
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        registry = self.telemetry.registry
+        self._messages_received = registry.counter(
+            "cm.messages_received", "Wrapper messages accepted by the CM.")
+        self._tuples_received = registry.counter(
+            "cm.tuples_received", "Tuples delivered through the CM.")
+        self._rate_changes = registry.counter(
+            "cm.rate_change_signals", "Significant delivery-rate changes signalled.")
         self.queues: dict[str, SourceQueue] = {}
         self.estimators: dict[str, DeliveryRateEstimator] = {}
         self._rate_listener: Optional[RateChangeListener] = None
@@ -44,7 +54,8 @@ class CommunicationManager:
         """Create the queue and estimator for one wrapper."""
         if source in self.queues:
             raise SimulationError(f"source {source!r} registered twice")
-        queue = SourceQueue(self.sim, source, self.params.queue_capacity_messages)
+        queue = SourceQueue(self.sim, source, self.params.queue_capacity_messages,
+                            registry=self.telemetry.registry)
         self.queues[source] = queue
         self.estimators[source] = DeliveryRateEstimator(self.sim, source)
         return queue
@@ -80,6 +91,8 @@ class CommunicationManager:
             yield from self.link.transmit(tuples * self.params.tuple_size)
         yield from self.cpu.work(self.params.message_instructions)
         queue.put(Message(tuples, eof=eof))
+        self._messages_received.inc()
+        self._tuples_received.inc(tuples)
         self.estimators[source].on_arrival(
             tuples, production_seconds=production_seconds)
         self._check_rate_change(source)
@@ -118,6 +131,7 @@ class CommunicationManager:
             self._rate_baseline[source] = current
             self.tracer.emit("rate-change", f"{source}: w {baseline:.3g} -> "
                              f"{current:.3g}", source=source)
+            self._rate_changes.inc()
             self._rate_listener(source, baseline, current)
 
     # -- inspection ----------------------------------------------------------

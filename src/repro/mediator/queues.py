@@ -14,6 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
+from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
 from repro.sim.engine import SimEvent, Simulator
 from repro.sim.stats import Counter, TimeWeightedStat
 
@@ -33,13 +34,18 @@ class Message:
 class SourceQueue:
     """Bounded FIFO of messages from one wrapper."""
 
-    def __init__(self, sim: Simulator, source: str, capacity_messages: int):
+    def __init__(self, sim: Simulator, source: str, capacity_messages: int,
+                 registry: "MetricsRegistry | None" = None):
         if capacity_messages < 1:
             raise SimulationError(
                 f"queue capacity must be >= 1 message, got {capacity_messages}")
         self.sim = sim
         self.source = source
         self.capacity_messages = capacity_messages
+        registry = registry if registry is not None else NULL_REGISTRY
+        self._depth_gauge = registry.gauge(
+            f"queue.{source}.depth_tuples",
+            f"Tuples buffered in source {source}'s communication queue.")
         self._messages: deque[Message] = deque()
         self._space_waiters: deque[SimEvent] = deque()
         self._data_waiters: list[SimEvent] = []
@@ -78,6 +84,7 @@ class SourceQueue:
         if message.eof:
             self.eof_received = True
         self.occupancy.record(len(self._messages))
+        self._depth_gauge.set(self.tuples_available)
         if self.is_full and self._full_since is None:
             self._full_since = self.sim.now
         waiters, self._data_waiters = self._data_waiters, []
@@ -129,6 +136,7 @@ class SourceQueue:
         self.tuples_available -= taken
         self.tuples_consumed.add(taken)
         self.occupancy.record(len(self._messages))
+        self._depth_gauge.set(self.tuples_available)
         if not self.is_full and self._full_since is not None:
             self._full_time_total += self.sim.now - self._full_since
             self._full_since = None

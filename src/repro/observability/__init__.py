@@ -1,0 +1,82 @@
+"""Unified telemetry layer: metrics, stall attribution, decision audit.
+
+See :mod:`repro.observability.telemetry` for the per-machine facade the
+runtime hangs everything off (``world.telemetry``).
+"""
+
+from repro.observability.audit import (
+    DECISION_CF_CREATE,
+    DECISION_DEGRADE,
+    DECISION_MEMORY_SPLIT,
+    DECISION_MF_STOP,
+    DECISION_REOPT_SWAP,
+    DecisionAuditLog,
+    DecisionRecord,
+)
+from repro.observability.export import (
+    load_metrics_json,
+    prometheus_text,
+    telemetry_snapshot,
+    write_metrics_csv,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.observability.registry import (
+    BATCH_BUCKETS,
+    DURATION_BUCKETS_S,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    NullMetric,
+)
+from repro.observability.sampling import SamplePoint, TelemetrySampler, take_sample
+from repro.observability.stalls import (
+    STALL_MEMORY_WAIT,
+    STALL_NO_SCHEDULABLE,
+    STALL_TIMEOUT,
+    StallAttribution,
+    StallInterval,
+    is_source_wait,
+    source_wait,
+)
+from repro.observability.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "BATCH_BUCKETS",
+    "DECISION_CF_CREATE",
+    "DECISION_DEGRADE",
+    "DECISION_MEMORY_SPLIT",
+    "DECISION_MF_STOP",
+    "DECISION_REOPT_SWAP",
+    "DURATION_BUCKETS_S",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NULL_TELEMETRY",
+    "CounterMetric",
+    "DecisionAuditLog",
+    "DecisionRecord",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "NullMetric",
+    "SamplePoint",
+    "StallAttribution",
+    "StallInterval",
+    "Telemetry",
+    "TelemetrySampler",
+    "is_source_wait",
+    "load_metrics_json",
+    "prometheus_text",
+    "source_wait",
+    "take_sample",
+    "telemetry_snapshot",
+    "write_metrics_csv",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "STALL_MEMORY_WAIT",
+    "STALL_NO_SCHEDULABLE",
+    "STALL_TIMEOUT",
+]

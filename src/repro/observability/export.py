@@ -1,0 +1,151 @@
+"""Telemetry exporters: JSON, CSV and Prometheus-style text.
+
+All three formats render the same *snapshot* — a plain-data dict built
+by :func:`telemetry_snapshot` from an :class:`ExecutionResult` — so the
+JSON export round-trips exactly: ``load_metrics_json(path)`` returns the
+snapshot that was written.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import Any, Union
+
+#: snapshot format version, bumped on incompatible layout changes.
+SNAPSHOT_VERSION = 1
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def telemetry_snapshot(result: Any) -> dict[str, Any]:
+    """Plain-data snapshot of one execution's telemetry.
+
+    ``result`` is an :class:`~repro.core.engine.ExecutionResult`; the
+    snapshot contains only JSON-native types (dict/list/str/number/None)
+    so every exporter — and the JSON round-trip — sees the same values.
+    """
+    metrics = result.metrics.as_dict() if result.metrics is not None else {}
+    return {
+        "version": SNAPSHOT_VERSION,
+        "strategy": result.strategy,
+        "response_time": result.response_time,
+        "result_tuples": result.result_tuples,
+        "stall_time": result.stall_time,
+        "stall_breakdown": dict(result.stall_breakdown),
+        "decisions": [record.to_dict() for record in result.decisions],
+        "samples": [sample.to_dict() for sample in result.samples],
+        "metrics": metrics,
+    }
+
+
+# -- JSON -------------------------------------------------------------------
+def write_metrics_json(snapshot: dict[str, Any],
+                       path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_metrics_json(path: Union[str, Path]) -> dict[str, Any]:
+    """Load a snapshot written by :func:`write_metrics_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+# -- CSV --------------------------------------------------------------------
+def write_metrics_csv(snapshot: dict[str, Any],
+                      path: Union[str, Path]) -> Path:
+    """Tidy-format CSV: one ``section,name,field,value`` row per scalar."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["section", "name", "field", "value"])
+        writer.writerow(["run", "strategy", "value", snapshot["strategy"]])
+        writer.writerow(["run", "response_time", "seconds",
+                         snapshot["response_time"]])
+        writer.writerow(["run", "stall_time", "seconds",
+                         snapshot["stall_time"]])
+        for cause, seconds in sorted(snapshot["stall_breakdown"].items()):
+            writer.writerow(["stall", cause, "seconds", seconds])
+        for name, data in sorted(snapshot["metrics"].items()):
+            for key, value in sorted(data.items()):
+                if key in ("kind", "buckets", "counts"):
+                    continue
+                writer.writerow(["metric", name, key, value])
+        for record in snapshot["decisions"]:
+            writer.writerow(["decision", record["kind"], "subject",
+                             record["subject"]])
+            writer.writerow(["decision", record["kind"], "time",
+                             record["time"]])
+    return path
+
+
+# -- Prometheus-style text --------------------------------------------------
+def _prom_name(name: str) -> str:
+    return "repro_" + _NAME_RE.sub("_", name)
+
+
+def _prom_number(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(snapshot: dict[str, Any]) -> str:
+    """Render the snapshot in the Prometheus text exposition format.
+
+    Times are *virtual* seconds — the exposition is for offline
+    inspection and dashboard ingestion, not live scraping.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, help_text: str,
+             samples: list[tuple[str, Any]]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix, value in samples:
+            lines.append(f"{name}{suffix} {_prom_number(value)}")
+
+    emit("repro_response_time_seconds", "gauge",
+         "Query response time (virtual seconds).",
+         [("", snapshot["response_time"])])
+    emit("repro_stall_seconds_total", "counter",
+         "Engine idle time by attributed cause (virtual seconds).",
+         [(f'{{cause="{cause}"}}', seconds)
+          for cause, seconds in sorted(snapshot["stall_breakdown"].items())])
+    kinds: dict[str, int] = {}
+    for record in snapshot["decisions"]:
+        kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+    emit("repro_decisions_total", "counter",
+         "Scheduler decisions recorded in the audit log.",
+         [(f'{{kind="{kind}"}}', count)
+          for kind, count in sorted(kinds.items())])
+
+    for name, data in sorted(snapshot["metrics"].items()):
+        prom = _prom_name(name)
+        if data["kind"] == "counter":
+            emit(prom, "counter", f"Counter {name}.", [("", data["value"])])
+        elif data["kind"] == "gauge":
+            emit(prom, "gauge", f"Gauge {name}.", [("", data["value"])])
+        elif data["kind"] == "histogram":
+            samples: list[tuple[str, Any]] = []
+            cumulative = 0
+            for bound, count in zip(data["buckets"], data["counts"]):
+                cumulative += count
+                samples.append((f'_bucket{{le="{_prom_number(bound)}"}}',
+                                cumulative))
+            samples.append(('_bucket{le="+Inf"}', data["count"]))
+            samples.append(("_sum", data["sum"]))
+            samples.append(("_count", data["count"]))
+            emit(prom, "histogram", f"Histogram {name}.", samples)
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prometheus(snapshot: dict[str, Any],
+                             path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(snapshot), encoding="utf-8")
+    return path

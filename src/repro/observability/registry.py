@@ -1,0 +1,233 @@
+"""The metrics registry: named counters, gauges and histograms.
+
+Every runtime component registers the quantities it tracks into one
+:class:`MetricsRegistry` per simulated machine (``world.telemetry``).
+The registry is virtual-time-aware — gauges keep a time-weighted mean
+via :class:`repro.sim.stats.TimeWeightedStat`, histograms a streaming
+mean/variance via :class:`repro.sim.stats.WelfordStat` — and a
+*disabled* registry is a near-no-op: every factory returns the shared
+:data:`NULL_METRIC`, whose methods do nothing, so instrumented hot paths
+cost one no-op call when telemetry is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.stats import Counter, TimeWeightedStat, WelfordStat
+
+#: default histogram buckets for virtual-time durations (seconds).
+DURATION_BUCKETS_S = (1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
+#: default histogram buckets for batch sizes (tuples).
+BATCH_BUCKETS = (64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0)
+
+
+class NullMetric:
+    """Shared sink returned by a disabled registry; every method no-ops."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: the singleton handed out by disabled registries.
+NULL_METRIC = NullMetric()
+
+
+class CounterMetric:
+    """A named, monotonically growing tally."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_counter")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._counter = Counter()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._counter.add(amount)
+
+    @property
+    def value(self) -> float:
+        return self._counter.value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"CounterMetric({self.name!r}, {self.value})"
+
+
+class GaugeMetric:
+    """A named value that can go up and down.
+
+    With a simulator attached the gauge also tracks the time-weighted
+    mean of the (piecewise-constant) signal.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value", "minimum", "maximum", "_weighted")
+
+    def __init__(self, name: str, help: str = "",
+                 sim: Optional[Simulator] = None):
+        self.name = name
+        self.help = help
+        self.value: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self._weighted = TimeWeightedStat(sim) if sim is not None else None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+        if self._weighted is not None:
+            self._weighted.record(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def time_weighted_mean(self) -> Optional[float]:
+        """Time-weighted mean of the signal (None without a simulator)."""
+        return self._weighted.mean() if self._weighted is not None else None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value,
+                "min": self.minimum, "max": self.maximum,
+                "time_weighted_mean": self.time_weighted_mean()}
+
+    def __repr__(self) -> str:
+        return f"GaugeMetric({self.name!r}, {self.value})"
+
+
+class HistogramMetric:
+    """A fixed-bucket histogram (Prometheus-style cumulative export).
+
+    ``buckets`` are the finite upper bounds; one implicit ``+Inf``
+    overflow bucket is always present.  Alongside the bucket counts the
+    histogram keeps a streaming mean/min/max so exports do not need the
+    raw observations.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "_stream")
+
+    def __init__(self, name: str, buckets: Sequence[float], help: str = ""):
+        if not buckets:
+            raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if len(set(ordered)) != len(ordered):
+            raise ConfigurationError(f"histogram {name!r} has duplicate buckets")
+        self.name = name
+        self.help = help
+        self.buckets = ordered
+        self.counts = [0] * (len(ordered) + 1)  # last one is +Inf
+        self.sum = 0.0
+        self._stream = WelfordStat()
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self._stream.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._stream.count
+
+    @property
+    def mean(self) -> float:
+        return self._stream.mean
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "buckets": list(self.buckets),
+                "counts": list(self.counts), "sum": self.sum,
+                "count": self.count, "mean": self.mean,
+                "min": self._stream.minimum, "max": self._stream.maximum}
+
+    def __repr__(self) -> str:
+        return f"HistogramMetric({self.name!r}, n={self.count})"
+
+
+Metric = "CounterMetric | GaugeMetric | HistogramMetric"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Components call :meth:`counter` / :meth:`gauge` / :meth:`histogram`
+    once (usually at construction) and keep the returned handle; repeated
+    calls with the same name return the same metric, and a kind mismatch
+    is a configuration error.  A disabled registry hands out
+    :data:`NULL_METRIC` and records nothing.
+    """
+
+    def __init__(self, sim: Optional[Simulator] = None, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self._metrics: dict[str, Any] = {}
+
+    # -- factories ---------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> "CounterMetric | NullMetric":
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get_or_create(name, CounterMetric,
+                                   lambda: CounterMetric(name, help))
+
+    def gauge(self, name: str, help: str = "") -> "GaugeMetric | NullMetric":
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get_or_create(name, GaugeMetric,
+                                   lambda: GaugeMetric(name, help, sim=self.sim))
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DURATION_BUCKETS_S,
+                  help: str = "") -> "HistogramMetric | NullMetric":
+        if not self.enabled:
+            return NULL_METRIC
+        return self._get_or_create(name, HistogramMetric,
+                                   lambda: HistogramMetric(name, buckets, help))
+
+    def _get_or_create(self, name, expected_type, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif not isinstance(metric, expected_type):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}")
+        return metric
+
+    # -- inspection --------------------------------------------------------
+    def get(self, name: str) -> Optional[Any]:
+        """The registered metric, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """Snapshot of every metric, keyed by name (sorted)."""
+        return {name: self._metrics[name].as_dict()
+                for name in sorted(self._metrics)}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"MetricsRegistry({len(self._metrics)} metrics, {state})"
+
+
+#: shared disabled registry for components constructed without telemetry.
+NULL_REGISTRY = MetricsRegistry(enabled=False)

@@ -1,0 +1,93 @@
+"""Stall attribution: classify every engine idle interval by cause.
+
+The DQP stalls only when no scheduled fragment has data (Section 3.2);
+*why* it had to wait is what the paper diagnoses from execution traces.
+Every stall interval is attributed to exactly one cause:
+
+* ``source-wait:<name>`` — woken by a message from wrapper ``<name>``:
+  the engine was starved by that remote source;
+* ``memory-wait``        — woken by a local temp prefetch completing:
+  the engine was waiting for materialized data to be reloaded into
+  memory from the local disk;
+* ``timeout``            — nothing arrived for the full timeout;
+* ``no-schedulable-qf``  — woken for replanning (e.g. a delivery-rate
+  change) while no scheduled query fragment had work.
+
+The per-cause totals always sum to ``DynamicQueryProcessor.stall_time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import SimulationError
+
+STALL_TIMEOUT = "timeout"
+STALL_MEMORY_WAIT = "memory-wait"
+STALL_NO_SCHEDULABLE = "no-schedulable-qf"
+_SOURCE_PREFIX = "source-wait:"
+
+
+def source_wait(source: str) -> str:
+    """The attribution category for an idle wait on wrapper ``source``."""
+    return f"{_SOURCE_PREFIX}{source}"
+
+
+def is_source_wait(cause: str) -> bool:
+    return cause.startswith(_SOURCE_PREFIX)
+
+
+@dataclass(frozen=True)
+class StallInterval:
+    """One attributed idle interval."""
+
+    started: float
+    ended: float
+    cause: str
+
+    @property
+    def duration(self) -> float:
+        return self.ended - self.started
+
+
+class StallAttribution:
+    """Accumulates attributed idle intervals and their per-cause totals."""
+
+    def __init__(self, keep_intervals: bool = True):
+        self.keep_intervals = keep_intervals
+        self.intervals: list[StallInterval] = []
+        self.breakdown: dict[str, float] = {}
+
+    def record(self, cause: str, started: float, ended: float) -> None:
+        """Attribute the idle interval ``[started, ended]`` to ``cause``."""
+        if ended < started:
+            raise SimulationError(
+                f"stall interval ends before it starts: {started} > {ended}")
+        if self.keep_intervals:
+            self.intervals.append(StallInterval(started, ended, cause))
+        self.breakdown[cause] = (self.breakdown.get(cause, 0.0)
+                                 + (ended - started))
+
+    @property
+    def total(self) -> float:
+        """Sum of every attributed interval (equals the DQP's stall time)."""
+        return sum(self.breakdown.values())
+
+    def by_cause(self) -> dict[str, float]:
+        """Per-cause totals, largest first."""
+        return dict(sorted(self.breakdown.items(),
+                           key=lambda item: (-item[1], item[0])))
+
+    def source_waits(self) -> dict[str, float]:
+        """Idle seconds per starving source (``source-wait:*`` only)."""
+        return {cause[len(_SOURCE_PREFIX):]: seconds
+                for cause, seconds in self.breakdown.items()
+                if is_source_wait(cause)}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"total": self.total, "breakdown": self.by_cause()}
+
+    def __repr__(self) -> str:
+        return (f"StallAttribution({len(self.breakdown)} causes, "
+                f"total={self.total:.6g}s)")

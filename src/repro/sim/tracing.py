@@ -8,6 +8,7 @@ reports can filter and assert on.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
@@ -35,26 +36,40 @@ class Tracer:
         self.sim = sim
         self.enabled = enabled
         self.events: list[TraceEvent] = []
+        # Parallel timestamp list: virtual time never goes backwards, so
+        # events are appended in time order and ``since=`` filters can
+        # bisect instead of scanning the whole trace.
+        self._times: list[float] = []
 
     def emit(self, category: str, message: str, **payload: Any) -> None:
         """Record one event at the current virtual time (if enabled)."""
         if not self.enabled:
             return
         self.events.append(TraceEvent(self.sim.now, category, message, payload))
+        self._times.append(self.sim.now)
 
     def filter(self, category: Optional[str] = None,
                since: float = 0.0) -> Iterator[TraceEvent]:
-        """Iterate events, optionally restricted to a category / start time."""
-        for event in self.events:
+        """Iterate events, optionally restricted to a category / start time.
+
+        Events are stored in time order, so ``since`` skips straight to
+        the first qualifying event in O(log n).
+        """
+        start = bisect.bisect_left(self._times, since) if since > 0.0 else 0
+        for index in range(start, len(self.events)):
+            event = self.events[index]
             if category is not None and event.category != category:
-                continue
-            if event.time < since:
                 continue
             yield event
 
     def count(self, category: str) -> int:
         """Number of recorded events in ``category``."""
         return sum(1 for _ in self.filter(category))
+
+    def clear(self) -> None:
+        """Drop all recorded events (long multiquery runs grow forever)."""
+        self.events.clear()
+        self._times.clear()
 
     def dump(self) -> str:
         """The whole trace as printable text."""

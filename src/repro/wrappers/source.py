@@ -41,6 +41,14 @@ class Wrapper:
         self.blocked_time = 0.0         # time suspended by the window protocol
         self.finished_at: Optional[float] = None
         self._process: Optional[Process] = None
+        registry = cm.telemetry.registry
+        name = relation.name
+        self._sent_metric = registry.counter(
+            f"wrapper.{name}.tuples_sent",
+            f"Tuples wrapper {name} delivered to the mediator.")
+        self._blocked_metric = registry.counter(
+            f"wrapper.{name}.blocked_seconds",
+            f"Virtual seconds wrapper {name} spent window-protocol blocked.")
 
     @property
     def name(self) -> str:
@@ -82,7 +90,9 @@ class Wrapper:
             self.production_time += production
             before_put = self.sim.now
             yield outbound.put((count, remaining == count, production))
-            self.blocked_time += self.sim.now - before_put
+            blocked = self.sim.now - before_put
+            self.blocked_time += blocked
+            self._blocked_metric.inc(blocked)
             remaining -= count
         yield sender  # join: the wrapper is done once everything is delivered
         self.finished_at = self.sim.now
@@ -94,6 +104,7 @@ class Wrapper:
             yield from self.cm.deliver(self.name, count, eof=eof,
                                        production_seconds=production)
             self.tuples_sent += count
+            self._sent_metric.inc(count)
             if eof:
                 return
 
