@@ -1,0 +1,104 @@
+"""Kernel dispatch overhead — events/sec through the execution kernel.
+
+The ``repro.exec`` refactor put a :class:`KernelBase` layer between the
+event machinery and the backends.  This micro-benchmark pins down the
+cost of that indirection: it drives the same timeout-chain workload
+through the real :class:`Simulator` and through an inline frozen copy of
+the pre-refactor hot path (heap push/pop plus ``SimEvent`` callbacks,
+no base class, no cancellation check), and asserts the refactored kernel
+keeps at least ~90% of the inline loop's event rate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+from conftest import run_measured
+
+from repro.exec.core import Process, SimEvent, Timeout
+from repro.sim.engine import Simulator
+
+PROCESSES = 20
+STEPS = 2_000
+BEST_OF = 5
+#: the ISSUE budget: at most ~10% dispatch regression vs the inline loop.
+MAX_REGRESSION = 0.10
+
+
+class InlineLoop:
+    """Frozen copy of the pre-refactor Simulator hot path.
+
+    Duck-types the kernel surface :class:`SimEvent`/:class:`Process`
+    need (``_schedule``, ``_note_failed_process``) with everything
+    inlined in one class and no cancelled-event handling — the cheapest
+    correct dispatcher for this workload, used as the 100% mark.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, int, SimEvent]] = []
+        self._sequence = 0
+        self.processed_events = 0
+        self._failed = []
+
+    def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self.now + delay, priority, self._sequence, event))
+
+    def _note_failed_process(self, process) -> None:
+        self._failed.append(process)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def process(self, generator) -> Process:
+        return Process(self, generator)
+
+    def run(self) -> None:
+        heap = self._heap
+        while heap:
+            when, _priority, _seq, event = heapq.heappop(heap)
+            self.now = when
+            self.processed_events += 1
+            event._run_callbacks()
+
+
+def _ticker(kernel, steps: int):
+    for _ in range(steps):
+        yield kernel.timeout(1.0)
+
+
+def _drive(make_kernel) -> float:
+    """Run the workload once; returns events processed per second."""
+    kernel = make_kernel()
+    for _ in range(PROCESSES):
+        kernel.process(_ticker(kernel, STEPS))
+    start = time.perf_counter()
+    kernel.run()
+    elapsed = time.perf_counter() - start
+    assert kernel.processed_events >= PROCESSES * STEPS
+    return kernel.processed_events / elapsed
+
+
+def _best_rate(make_kernel) -> float:
+    return max(_drive(make_kernel) for _ in range(BEST_OF))
+
+
+def test_kernel_dispatch_overhead(benchmark):
+    inline_rate = _best_rate(InlineLoop)
+    kernel_rate = run_measured(benchmark, lambda: _best_rate(Simulator))
+
+    ratio = kernel_rate / inline_rate
+    print()
+    print(f"inline loop : {inline_rate:12,.0f} events/s")
+    print(f"Simulator   : {kernel_rate:12,.0f} events/s  "
+          f"({100 * ratio:.1f}% of inline)")
+
+    # Sanity floor so a pathological slowdown cannot hide behind a slow
+    # baseline measurement.
+    assert kernel_rate > 50_000, f"kernel rate collapsed: {kernel_rate:,.0f}/s"
+    assert ratio >= 1.0 - MAX_REGRESSION, (
+        f"kernel dispatch regressed {100 * (1 - ratio):.1f}% vs the inline "
+        f"loop (budget {100 * MAX_REGRESSION:.0f}%)")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Scenario: dynamic scheduling against *real* asynchronous sources.
+
+Everything else in this repository runs in deterministic virtual time.
+This demo runs the same unchanged DQO → DQS → DQP stack on the
+wall-clock :class:`~repro.exec.aio.AsyncioKernel`: six asyncio tasks
+ship the Figure 5 relations in message-sized batches with real, jittery
+sleeps, and one source (A) is ten times slower than the rest — the
+paper's "overloaded remote server".
+
+SEQ consumes sources in plan order, so the window protocol blocks every
+producer whose consumer fragment is not yet schedulable; their remaining
+retrieval time serializes behind the slow source.  DSE degrades the
+blocked chains, keeps draining every producer into temps, and finishes
+close to the slow source's own retrieval time.  Expect DSE to beat SEQ
+by roughly 25-35% wall-clock (exact numbers vary run to run — that is
+the point of a live backend).
+
+Takes ~10 seconds of real time.  Run with::
+
+    PYTHONPATH=src python examples/live_sources_demo.py
+"""
+
+import asyncio
+import time
+import zlib
+
+import numpy as np
+
+from repro import SimulationParameters, make_policy
+from repro.exec.live import LiveQueryEngine, jittered_batches
+from repro.experiments import figure5_workload, format_table
+
+SCALE = 0.02          # live runs are wall-clock: keep the data small
+SEED = 7
+MEAN_WAIT = 200e-6    # per-tuple wait of a healthy source (seconds)
+SLOW = {"A": 10.0}    # the overloaded source
+
+
+def make_sources(workload, params):
+    """A fresh factory per relation (one engine run consumes a stream)."""
+    cards = {name: workload.catalog.relation(name).cardinality
+             for name in workload.relation_names}
+
+    def factory(rel):
+        def make():
+            # Seeded per relation: every strategy faces the same delays.
+            rng = np.random.default_rng([SEED, zlib.crc32(rel.encode())])
+            return jittered_batches(cards[rel], params.tuples_per_message,
+                                    MEAN_WAIT * SLOW.get(rel, 1.0), rng)
+        return make
+
+    return {rel: factory(rel) for rel in workload.relation_names}
+
+
+def main() -> None:
+    workload = figure5_workload(scale=SCALE)
+    params = SimulationParameters().with_overrides(telemetry_enabled=True)
+
+    rows = []
+    results = {}
+    for strategy in ["SEQ", "DSE"]:
+        engine = LiveQueryEngine(workload.catalog, workload.qep,
+                                 make_policy(strategy),
+                                 make_sources(workload, params),
+                                 params=params, seed=SEED)
+        started = time.perf_counter()
+        result = asyncio.run(engine.run())
+        wall = time.perf_counter() - started
+        results[strategy] = result
+        rows.append([strategy, f"{result.response_time:.3f}", f"{wall:.3f}",
+                     f"{result.stall_time:.3f}", str(result.degradations),
+                     str(result.result_tuples)])
+
+    print(format_table(
+        ["strategy", "response (s)", "wall (s)", "stalled (s)",
+         "degradations", "tuples"],
+        rows, title=f"Live asyncio sources, {SLOW} slowed "
+                    f"(scale {SCALE}, mean wait {MEAN_WAIT * 1e6:.0f}µs)"))
+
+    print("\nWhere each strategy waited (stall attribution):")
+    for strategy, result in results.items():
+        top = ", ".join(f"{cause} {seconds:.2f}s" for cause, seconds
+                        in list(result.stall_by_cause().items())[:4])
+        print(f"  {strategy}: {top}")
+
+    seq, dse = results["SEQ"], results["DSE"]
+    gain = 100.0 * (1 - dse.response_time / seq.response_time)
+    print(f"\nDSE finished {gain:.1f}% faster than SEQ "
+          f"({seq.response_time:.3f}s -> {dse.response_time:.3f}s).")
+    print("DSE degraded the chains blocked behind the slow source, so the")
+    print("window protocol never paused the healthy producers — their")
+    print("retrieval overlapped A's instead of serializing after it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Capture golden `ExecutionResult` digests for the regression harness.
+
+Runs SEQ / MA / DSE on three seeded workloads and writes one JSON file
+per workload into ``tests/golden/``.  The digests pin down everything a
+scheduling-relevant refactor could disturb: response time, tuple counts,
+stall attribution, per-phase counters and the full decision audit log.
+
+``tests/test_golden_snapshots.py`` re-runs the same configurations and
+asserts bit-identical digests, so any change to virtual-time event
+ordering is caught immediately.  Regenerate (only when a behaviour
+change is intended and understood) with::
+
+    PYTHONPATH=src python scripts/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import SimulationParameters
+from repro.core.engine import QueryEngine
+from repro.core.strategies import make_policy
+from repro.experiments import figure5_workload
+from repro.wrappers.delays import UniformDelay
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+STRATEGIES = ("SEQ", "MA", "DSE")
+
+
+def workload_configs() -> dict[str, dict]:
+    """The three pinned scenarios: name -> config."""
+    return {
+        # Fast-and-even: no degradations expected, pins the happy path.
+        "baseline": dict(scale=0.25, seed=1, slow={}, overrides={}),
+        # One starved source: exercises degrade / mf-stop / cf-create.
+        "slow_a": dict(scale=0.25, seed=2, slow={"A": 12.0}, overrides={}),
+        # Slowed F, a tight (but feasible) memory budget and a cardinality
+        # misestimate: memory splits + degradation + reopt detection.
+        "tight_memory": dict(
+            scale=0.35, seed=3, slow={"F": 8.0}, errors={"J1": 3.0},
+            overrides=dict(query_memory_bytes=6_000_000)),
+    }
+
+
+def run_digest(name: str, config: dict) -> dict:
+    workload = figure5_workload(scale=config["scale"])
+    qep = workload.qep
+    if config.get("errors"):
+        from repro.plan import build_qep
+        qep = build_qep(workload.catalog, workload.tree,
+                        actual_output_factors=config["errors"])
+    digests = {}
+    for strategy in STRATEGIES:
+        params = SimulationParameters().with_overrides(
+            telemetry_enabled=True, **config["overrides"])
+        waits = {rel: params.w_min * config["slow"].get(rel, 1.0)
+                 for rel in workload.relation_names}
+        delays = {rel: UniformDelay(wait) for rel, wait in waits.items()}
+        engine = QueryEngine(workload.catalog, qep,
+                             make_policy(strategy), delays, params=params,
+                             seed=config["seed"])
+        result = engine.run()
+        digests[strategy] = {
+            "response_time": result.response_time,
+            "result_tuples": result.result_tuples,
+            "time_to_first_tuple": result.time_to_first_tuple,
+            "planning_phases": result.planning_phases,
+            "context_switches": result.context_switches,
+            "batches_processed": result.batches_processed,
+            "stall_time": result.stall_time,
+            "degradations": result.degradations,
+            "memory_splits": result.memory_splits,
+            "timeouts": result.timeouts,
+            "cpu_busy_time": result.cpu_busy_time,
+            "disk_ios": result.disk_ios,
+            "tuples_spilled": result.tuples_spilled,
+            "tuples_reloaded": result.tuples_reloaded,
+            "stall_breakdown": result.stall_by_cause(),
+            "decisions": [record.to_dict() for record in result.decisions],
+        }
+    return {"workload": name, "config": {k: v for k, v in config.items()},
+            "strategies": digests}
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, config in workload_configs().items():
+        digest = run_digest(name, config)
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(digest, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

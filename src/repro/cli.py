@@ -12,6 +12,8 @@ writing any code:
   stall breakdown and decision log (JSON / CSV / Prometheus text);
 * ``trace`` — run one strategy traced and write the Chrome timeline plus
   the decision audit log;
+* ``live`` — SEQ vs DSE against *real* jittery asyncio sources on the
+  wall-clock execution backend;
 * ``multiquery`` — the Section 6 throughput experiment.
 
 Every sweep accepts ``--csv PATH`` to export the series for plotting.
@@ -143,6 +145,35 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--outdir", default="results",
                            help="output directory (default ./results)")
 
+    live = sub.add_parser(
+        "live", help="run strategies against real asyncio sources "
+                     "(wall-clock backend)")
+    live.add_argument("--scale", type=float, default=0.02,
+                      help="workload scale factor (default 0.02 — live runs "
+                           "are wall-clock, keep them small)")
+    live.add_argument("--seed", type=int, default=7)
+    live.add_argument("--strategy", action="append", dest="strategies",
+                      default=None, metavar="NAME",
+                      help="strategy to run, repeatable "
+                           "(default: SEQ and DSE)")
+    live.add_argument("--slow", action="append", default=None,
+                      metavar="REL:FACTOR",
+                      help="slow one live source by this factor "
+                           "(repeatable; default A:10)")
+    live.add_argument("--wait-us", type=float, default=200.0,
+                      help="mean per-tuple wait of a normal source in µs "
+                           "(default 200)")
+    live.add_argument("--jitter", type=float, default=1.0,
+                      help="delay jitter in [0, 1]: each batch waits "
+                           "count * w with w uniform in "
+                           "[(1-jitter)*mean, (1+jitter)*mean] (default 1)")
+    live.add_argument("--timeline", action="store_true",
+                      help="print the per-fragment schedule of each run")
+    live.add_argument("--assert-dse-not-slower", action="store_true",
+                      help="exit non-zero unless DSE's response time is "
+                           "<= SEQ's (CI smoke check; requires both "
+                           "strategies to run)")
+
     multi = sub.add_parser("multiquery",
                            help="concurrent queries (Section 6 future work)")
     _common(multi)
@@ -174,6 +205,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "trace": _cmd_trace,
         "anatomy": _cmd_anatomy,
+        "live": _cmd_live,
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
     }
@@ -402,6 +434,73 @@ def _cmd_anatomy(args: argparse.Namespace) -> int:
         results[strategy] = engine.run()
     print(comparison_report(results,
                             title="Response-time anatomy (Figure 5 workload)"))
+    return 0
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    import asyncio
+    import zlib
+
+    import numpy as np
+
+    from repro.exec.live import LiveQueryEngine, jittered_batches
+
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters().with_overrides(telemetry_enabled=True)
+    slow = _parse_slow(args.slow if args.slow is not None else ["A:10"])
+    unknown = set(slow) - set(workload.relation_names)
+    if unknown:
+        raise SystemExit(f"unknown relation(s) in --slow: {sorted(unknown)}")
+    strategies = args.strategies if args.strategies else ["SEQ", "DSE"]
+    if args.assert_dse_not_slower and not {"SEQ", "DSE"} <= {
+            s.upper() for s in strategies}:
+        raise SystemExit("--assert-dse-not-slower needs both SEQ and DSE "
+                         "in --strategy")
+    cards = {name: workload.catalog.relation(name).cardinality
+             for name in workload.relation_names}
+    base_wait = args.wait_us * 1e-6
+
+    def sources():
+        # Fresh factories per run; per-relation streams are seeded from
+        # (seed, crc32(name)) so every strategy faces the same delays.
+        def factory(rel: str):
+            def make():
+                rng = np.random.default_rng(
+                    [args.seed, zlib.crc32(rel.encode())])
+                return jittered_batches(
+                    cards[rel], params.tuples_per_message,
+                    base_wait * slow.get(rel, 1.0), rng, jitter=args.jitter)
+            return make
+        return {rel: factory(rel) for rel in workload.relation_names}
+
+    slow_desc = ", ".join(f"{rel}x{factor:g}"
+                          for rel, factor in sorted(slow.items())) or "none"
+    print(f"live sources: scale={args.scale:g}, mean wait "
+          f"{args.wait_us:g}µs/tuple, slow: {slow_desc}")
+    results = {}
+    for strategy in strategies:
+        engine = LiveQueryEngine(workload.catalog, workload.qep,
+                                 make_policy(strategy), sources(),
+                                 params=params, seed=args.seed)
+        result = asyncio.run(engine.run())
+        results[strategy.upper()] = result
+        print(result.summary())
+        stalls = ", ".join(f"{cause} {seconds:.3f}s" for cause, seconds
+                           in result.stall_by_cause().items())
+        print(f"  stalls: {stalls or 'none'}")
+        if args.timeline:
+            print(result.render_timeline())
+
+    if "SEQ" in results and "DSE" in results:
+        seq, dse = results["SEQ"], results["DSE"]
+        if seq.response_time > 0:
+            gain = 100.0 * (1 - dse.response_time / seq.response_time)
+            print(f"DSE vs SEQ: {gain:+.1f}% "
+                  f"({seq.response_time:.3f}s -> {dse.response_time:.3f}s)")
+        if args.assert_dse_not_slower and (dse.response_time
+                                           > seq.response_time):
+            print("FAIL: DSE was slower than SEQ on the live backend")
+            return 1
     return 0
 
 

@@ -36,7 +36,7 @@ from repro.core.events import (
 )
 from repro.core.fragments import FragmentKind
 from repro.core.runtime import QueryRuntime
-from repro.sim.engine import SimEvent
+from repro.exec import SimEvent
 
 
 class DynamicQEPOptimizer:

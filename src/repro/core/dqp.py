@@ -40,7 +40,7 @@ from repro.observability import (
     STALL_TIMEOUT,
     source_wait,
 )
-from repro.sim.engine import SimEvent
+from repro.exec import AnyOf, SimEvent
 
 
 @dataclass
@@ -73,6 +73,12 @@ class DynamicQueryProcessor:
         self._last_fragment: Optional[Fragment] = None
         self._rate_change: Optional[tuple[str, float, float]] = None
         self._rate_event: Optional[SimEvent] = None
+        # Stall-path caches: the rate-change event and per-fragment wait
+        # events are one-shot but usually survive a stall untriggered, so
+        # the next stall reuses them instead of allocating (and, for
+        # source queues, piling up) fresh waiters every iteration.
+        self._cached_rate_event: Optional[SimEvent] = None
+        self._wait_cache: dict[str, tuple[Any, SimEvent]] = {}
         self._rr_cursor = 0
         telemetry = runtime.world.telemetry
         self._stalls = telemetry.stalls
@@ -183,20 +189,38 @@ class DynamicQueryProcessor:
         sim, params = world.sim, world.params
         waits = []
         for fragment in live:
+            cached = self._wait_cache.get(fragment.name)
+            if (cached is not None and cached[0] is fragment.source
+                    and not cached[1].triggered):
+                # Still armed from an earlier stall (and the fragment's
+                # source has not been swapped by a degradation): reuse.
+                waits.append((fragment, cached[1]))
+                continue
             event = fragment.wait_event()
             if event is not None:
+                self._wait_cache[fragment.name] = (fragment.source, event)
                 waits.append((fragment, event))
         if not waits:
             raise SchedulingError(
                 "DQP stalled although only local fragments are scheduled")
-        self._rate_event = sim.event(name="rate-change")
+        if (self._cached_rate_event is None
+                or self._cached_rate_event.triggered):
+            self._cached_rate_event = sim.event(name="rate-change")
+        self._rate_event = self._cached_rate_event
         timeout = sim.timeout(params.timeout)
         started = sim.now
         world.tracer.emit("stall", "no data on any scheduled fragment",
                           fragments=[f.name for f in live])
-        yield sim.any_of([event for _, event in waits]
-                         + [self._rate_event, timeout])
+        waiter = sim.any_of([event for _, event in waits]
+                            + [self._rate_event, timeout])
+        yield waiter
         self._rate_event = None
+        # Unhook the spent composite from its untriggered children (they
+        # will be reused) and withdraw the guard timeout so it neither
+        # fires later nor keeps the kernel busy until then.
+        waiter.detach()
+        if not timeout.processed:
+            timeout.cancel()
         stalled_for = sim.now - started
         self.stall_time += stalled_for
         self._stall_metric.observe(stalled_for)

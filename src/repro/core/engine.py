@@ -131,6 +131,69 @@ class ExecutionResult:
         return "\n".join(lines)
 
 
+def collect_execution_result(world: World, runtime: QueryRuntime,
+                             scheduler: DynamicQueryScheduler,
+                             processor: DynamicQueryProcessor,
+                             optimizer: DynamicQEPOptimizer,
+                             wrappers, end: EndOfQEP,
+                             trace: bool = False) -> ExecutionResult:
+    """Assemble the :class:`ExecutionResult` of one finished execution.
+
+    Shared by every engine front-end (virtual-time :class:`QueryEngine`,
+    multi-query launcher, the asyncio-backed live engine): wrappers only
+    need ``name`` / ``tuples_sent`` / ``production_time`` /
+    ``blocked_time`` attributes.
+    """
+    return ExecutionResult(
+        strategy=scheduler.policy.name,
+        response_time=end.time,
+        result_tuples=runtime.result_tuples,
+        time_to_first_tuple=runtime.first_result_at,
+        planning_phases=scheduler.planning_phases,
+        context_switches=processor.context_switches,
+        batches_processed=processor.batches_processed,
+        stall_time=processor.stall_time,
+        degradations=len(runtime.degraded_chains),
+        memory_splits=runtime.memory_splits,
+        timeouts=optimizer.timeouts,
+        rate_change_events=optimizer.rate_changes,
+        cpu_busy_time=world.cpu.busy_time,
+        cpu_utilization=(world.cpu.busy_time / end.time
+                         if end.time > 0 else 0.0),
+        disk_busy_time=sum(d.busy_time for d in world.disks),
+        disk_ios=int(sum(d.ios.value for d in world.disks)),
+        disk_seeks=int(sum(d.seeks.value for d in world.disks)),
+        cache_hit_ratio=world.cache.hit_ratio(),
+        memory_peak_bytes=world.memory.peak_bytes,
+        tuples_spilled=int(world.buffer.tuples_spilled.value),
+        tuples_reloaded=int(world.buffer.tuples_reloaded.value),
+        wrapper_stats={w.name: (w.tuples_sent, w.production_time,
+                                w.blocked_time)
+                       for w in wrappers},
+        fragment_stats={
+            fragment.name: FragmentStat(
+                name=fragment.name,
+                kind=fragment.kind.value,
+                chain=fragment.chain.name,
+                started_at=fragment.started_at,
+                finished_at=fragment.finished_at,
+                tuples_in=fragment.tuples_in,
+                tuples_out=fragment.tuples_out,
+                batches=fragment.batches,
+                cpu_seconds=fragment.cpu_seconds)
+            for fragment in runtime.fragments.values()},
+        reopt_opportunities=list(optimizer.reopt_opportunities),
+        reopt_swaps=list(optimizer.reopt_swaps),
+        statistics=runtime.statistics,
+        tracer=world.tracer if trace else None,
+        stall_breakdown=world.telemetry.stalls.by_cause(),
+        decisions=list(world.telemetry.audit),
+        samples=list(world.telemetry.samples),
+        metrics=(world.telemetry.registry
+                 if world.telemetry.enabled else None),
+    )
+
+
 class QueryEngine:
     """Runs one query with one strategy over simulated sources."""
 
@@ -191,55 +254,9 @@ class QueryEngine:
         if not runtime.all_done:
             raise SimulationError("simulation drained but query incomplete")
 
-        end = main.value
-        return ExecutionResult(
-            strategy=self.policy.name,
-            response_time=end.time,
-            result_tuples=runtime.result_tuples,
-            time_to_first_tuple=runtime.first_result_at,
-            planning_phases=scheduler.planning_phases,
-            context_switches=processor.context_switches,
-            batches_processed=processor.batches_processed,
-            stall_time=processor.stall_time,
-            degradations=len(runtime.degraded_chains),
-            memory_splits=runtime.memory_splits,
-            timeouts=optimizer.timeouts,
-            rate_change_events=optimizer.rate_changes,
-            cpu_busy_time=world.cpu.busy_time,
-            cpu_utilization=(world.cpu.busy_time / end.time
-                             if end.time > 0 else 0.0),
-            disk_busy_time=sum(d.busy_time for d in world.disks),
-            disk_ios=int(sum(d.ios.value for d in world.disks)),
-            disk_seeks=int(sum(d.seeks.value for d in world.disks)),
-            cache_hit_ratio=world.cache.hit_ratio(),
-            memory_peak_bytes=world.memory.peak_bytes,
-            tuples_spilled=int(world.buffer.tuples_spilled.value),
-            tuples_reloaded=int(world.buffer.tuples_reloaded.value),
-            wrapper_stats={w.name: (w.tuples_sent, w.production_time,
-                                    w.blocked_time)
-                           for w in wrappers},
-            fragment_stats={
-                fragment.name: FragmentStat(
-                    name=fragment.name,
-                    kind=fragment.kind.value,
-                    chain=fragment.chain.name,
-                    started_at=fragment.started_at,
-                    finished_at=fragment.finished_at,
-                    tuples_in=fragment.tuples_in,
-                    tuples_out=fragment.tuples_out,
-                    batches=fragment.batches,
-                    cpu_seconds=fragment.cpu_seconds)
-                for fragment in runtime.fragments.values()},
-            reopt_opportunities=list(optimizer.reopt_opportunities),
-            reopt_swaps=list(optimizer.reopt_swaps),
-            statistics=runtime.statistics,
-            tracer=world.tracer if self.trace else None,
-            stall_breakdown=world.telemetry.stalls.by_cause(),
-            decisions=list(world.telemetry.audit),
-            samples=list(world.telemetry.samples),
-            metrics=(world.telemetry.registry
-                     if world.telemetry.enabled else None),
-        )
+        return collect_execution_result(world, runtime, scheduler, processor,
+                                        optimizer, wrappers, main.value,
+                                        trace=self.trace)
 
     def lower_bound(self) -> float:
         """The analytic LWB for this engine's query and delay models."""

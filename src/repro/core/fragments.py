@@ -25,8 +25,8 @@ from repro.common.errors import SchedulingError, SimulationError
 from repro.mediator.buffer import HashTable, TempReader, TempWriter
 from repro.mediator.queues import SourceQueue
 from repro.plan.operators import MatOp, Operator, OutputOp, ProbeOp, ScanOp
+from repro.exec import SimEvent
 from repro.plan.qep import PipelineChain
-from repro.sim.engine import SimEvent
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.runtime import QueryRuntime

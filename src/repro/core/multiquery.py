@@ -26,9 +26,9 @@ from repro.core.dqp import DynamicQueryProcessor
 from repro.core.dqs import DynamicQueryScheduler, PlanningPolicy
 from repro.core.events import EndOfQEP
 from repro.core.runtime import QueryRuntime, World
+from repro.exec import Process, SimEvent
 from repro.plan.qep import QEP
 from repro.plan.validation import validate_qep
-from repro.sim.engine import Process, SimEvent
 from repro.wrappers.delays import DelayModel
 from repro.wrappers.source import Wrapper
 

@@ -47,8 +47,8 @@ from repro.observability import (
 from repro.plan.chains import ancestor_closure
 from repro.plan.operators import MatOp, ScanOp
 from repro.plan.qep import QEP, PipelineChain
+from repro.exec import Kernel
 from repro.sim.cache import LRUPageCache
-from repro.sim.engine import Simulator
 from repro.sim.resources import CPU, Disk, NetworkLink
 from repro.sim.tracing import Tracer
 
@@ -67,11 +67,16 @@ class World:
     def __init__(self, params: SimulationParameters, seed: int = 0,
                  trace: bool = False,
                  share_machine: Optional["World"] = None,
-                 memory_bytes: Optional[int] = None):
+                 memory_bytes: Optional[int] = None,
+                 kernel: Optional[Kernel] = None):
         self.params = params
         if share_machine is None:
             self.streams = RandomStreams(seed)
-            self.sim = Simulator()
+            if kernel is None:
+                # Default backend: the deterministic virtual-time simulator.
+                from repro.sim.engine import Simulator
+                kernel = Simulator()
+            self.sim: Kernel = kernel
             self.tracer = Tracer(self.sim, enabled=trace)
             self.cpu = CPU(self.sim, params.cpu_mips)
             self.disks = [

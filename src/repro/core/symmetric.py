@@ -43,7 +43,7 @@ from repro.config import SimulationParameters
 from repro.core.runtime import World
 from repro.mediator.buffer import HashTable
 from repro.query.tree import JoinTree
-from repro.sim.engine import SimEvent
+from repro.exec import SimEvent
 from repro.wrappers.delays import DelayModel
 from repro.wrappers.source import Wrapper
 

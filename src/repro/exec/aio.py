@@ -1,0 +1,145 @@
+"""The wall-clock execution backend on top of :mod:`asyncio`.
+
+:class:`AsyncioKernel` drives the *same* generator processes as the
+virtual-time :class:`repro.sim.engine.Simulator` — same events, same
+``yield`` protocol, same (priority, insertion-order) tie-break for
+events that fall due together — but time is real: timeouts sleep on the
+asyncio event loop and external :mod:`asyncio` tasks (live sources) may
+trigger kernel events at any moment.
+
+Semantics compared to the simulator:
+
+* ``now`` is seconds since ``run`` first started (wall clock).  While a
+  batch of already-due events drains, ``now`` is frozen at the latest
+  due deadline, so zero-delay event chains share one logical timestamp
+  and their relative order is exactly the simulator's.
+* ``run`` is a coroutine.  With neither ``until`` nor ``until_event``
+  it returns when the event heap drains (the simulator's semantic);
+  with ``until_event`` it keeps waiting for externally triggered events
+  until that event has been processed — the mode engines use, since a
+  live source can wake an otherwise-idle kernel at any time.
+* Determinism is *per timing*: given identical arrival timings the
+  interleaving is identical.  Real sources do not give identical
+  timings — that is the point of this backend.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Optional
+
+from repro.common.errors import SimulationError
+from repro.exec.core import KernelBase, SimEvent
+
+#: drain at most this many due events before yielding to the asyncio
+#: loop, so live feeder tasks are never starved by long callback chains.
+_DRAIN_QUANTUM = 64
+
+
+class AsyncioKernel(KernelBase):
+    """Real-time kernel: a deadline heap serviced between real sleeps."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, int, SimEvent]] = []
+        self._sequence = 0
+        self._processed_events = 0
+        self._now = 0.0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._origin: Optional[float] = None
+        self._wakeup: Optional[asyncio.Event] = None
+
+    @property
+    def now(self) -> float:  # type: ignore[override]
+        """Seconds since ``run`` first started (0.0 before that)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed since construction."""
+        return self._processed_events
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._heap,
+                       (self._now + delay, priority, self._sequence, event))
+        if self._wakeup is not None:
+            # Wake the run loop: a feeder task may schedule mid-sleep.
+            self._wakeup.set()
+
+    # -- running ---------------------------------------------------------
+    def _wall(self) -> float:
+        assert self._loop is not None and self._origin is not None
+        return self._loop.time() - self._origin
+
+    async def _sleep(self, seconds: Optional[float]) -> None:
+        """Sleep until ``seconds`` elapse or something new is scheduled."""
+        assert self._wakeup is not None
+        self._wakeup.clear()
+        try:
+            await asyncio.wait_for(self._wakeup.wait(), timeout=seconds)
+        except asyncio.TimeoutError:
+            pass
+
+    async def run(self, until: Optional[float] = None,
+                  until_event: Optional[SimEvent] = None) -> None:
+        """Drive events in real time; a coroutine, unlike the simulator.
+
+        ``until`` bounds the run in kernel seconds.  ``until_event``
+        keeps the kernel alive through empty-heap moments (waiting for
+        live sources) until that event has been processed.
+        """
+        if self._loop is not None:
+            raise SimulationError("AsyncioKernel.run() is not reentrant")
+        self._loop = asyncio.get_running_loop()
+        # Align the wall clock with any pre-run scheduling done at now=0.
+        self._origin = self._loop.time() - self._now
+        self._wakeup = asyncio.Event()
+        try:
+            drained = 0
+            while True:
+                if until_event is not None and until_event.processed:
+                    break
+                if until is not None and self._now >= until:
+                    break
+                while self._heap and self._heap[0][3].cancelled:
+                    heapq.heappop(self._heap)
+                if not self._heap:
+                    if until_event is None:
+                        break
+                    await self._sleep(None)
+                    self._now = max(self._now, self._wall())
+                    continue
+                deadline = self._heap[0][0]
+                wall = self._wall()
+                if deadline > wall:
+                    pause = deadline - wall
+                    if until is not None:
+                        pause = min(pause, max(0.0, until - wall))
+                    await self._sleep(pause)
+                    self._now = max(self._now, self._wall())
+                    drained = 0
+                    continue
+                _, _priority, _seq, event = heapq.heappop(self._heap)
+                # Freeze `now` at the due deadline while draining, so
+                # same-deadline chains keep simulator-identical order.
+                self._now = max(self._now, deadline)
+                self._processed_events += 1
+                event._run_callbacks()
+                drained += 1
+                if drained >= _DRAIN_QUANTUM:
+                    drained = 0
+                    await asyncio.sleep(0)
+        finally:
+            self._loop = None
+            self._origin = None
+            self._wakeup = None
+        self._raise_unhandled_failures()
+
+    def __repr__(self) -> str:
+        return (f"AsyncioKernel(now={self._now:g}, "
+                f"pending={len(self._heap)})")

@@ -1,0 +1,361 @@
+"""Backend-neutral event machinery and generator processes.
+
+Every execution backend (the virtual-time :class:`repro.sim.engine.Simulator`,
+the wall-clock :class:`repro.exec.aio.AsyncioKernel`) drives the same
+three building blocks:
+
+* :class:`SimEvent` — a one-shot event that can succeed (with a value)
+  or fail (with an exception), and on which processes can wait;
+* :class:`Process` — a Python generator driven by the kernel; each
+  ``yield``-ed event suspends the process until the event triggers;
+* :class:`KernelBase` — the factory surface shared by all backends.
+
+What a backend adds is *when* a scheduled event's callbacks run: a
+virtual-time kernel pops a heap and jumps the clock, a real-time kernel
+sleeps.  Both order events scheduled for the same deadline by
+``(priority, insertion order)``, so process interleaving is identical
+across backends given identical event timings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+# Scheduling priorities: lower runs first among events at the same time.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+_PENDING = "pending"
+_TRIGGERED = "triggered"  # scheduled on the heap, callbacks not yet run
+_PROCESSED = "processed"  # callbacks have run
+
+#: the generator type driven by :class:`Process`.
+ProcessGenerator = Generator["SimEvent", Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries an arbitrary payload describing why the
+    process was interrupted (e.g. a replanning request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """A one-shot event.
+
+    Callbacks registered via :meth:`add_callback` run when the kernel
+    processes the event.  A process that ``yield``-s an event is resumed
+    with :attr:`value` (or has the failure exception thrown into it).
+    """
+
+    #: a cancelled event's callbacks never run; kernels drop its heap
+    #: entry lazily when they reach it (see :meth:`Timeout.cancel`).
+    cancelled = False
+
+    def __init__(self, sim: "KernelBase", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.value: Any = None
+        self.failure: Optional[BaseException] = None
+        self._state = _PENDING
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has succeeded or failed."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self.triggered and self.failure is None
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "SimEvent":
+        """Mark the event successful and schedule its callbacks now."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self.value = value
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "SimEvent":
+        """Mark the event failed; waiters get ``exception`` thrown into them."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self.failure = exception
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay=0.0, priority=priority)
+        return self
+
+    # -- callbacks ---------------------------------------------------------
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (synchronously).
+        """
+        if self._state == _PROCESSED:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Unregister a callback previously added (no-op if absent)."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _run_callbacks(self) -> None:
+        self._state = _PROCESSED
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {self._state}>"
+
+
+class Timeout(SimEvent):
+    """An event that succeeds after a fixed delay (virtual or wall-clock)."""
+
+    def __init__(self, sim: "KernelBase", delay: float, value: Any = None,
+                 priority: int = PRIORITY_NORMAL):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay:g})")
+        self.delay = delay
+        self.value = value
+        self._state = _TRIGGERED
+        sim._schedule(self, delay=delay, priority=priority)
+
+    def cancel(self) -> None:
+        """Withdraw the timeout before it occurs: callbacks never run.
+
+        The heap entry is discarded lazily when the kernel reaches it, so
+        a waiter that arms a guard timeout on every wait (the DQP stall
+        loop) does not keep the kernel alive — or the heap growing — for
+        ``delay`` seconds after every wait ends early.
+        """
+        if self._state == _PROCESSED:
+            raise SimulationError(f"cannot cancel elapsed timeout {self!r}")
+        self.cancelled = True
+
+
+class AnyOf(SimEvent):
+    """Succeeds as soon as *any* child event succeeds.
+
+    The value is a dict mapping each already-triggered child to its value.
+    A failing child fails the composite.
+    """
+
+    def __init__(self, sim: "KernelBase", events: Iterable[SimEvent]):
+        super().__init__(sim, name="any_of")
+        self.events = list(events)
+        if not self.events:
+            raise SimulationError("AnyOf needs at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: SimEvent) -> None:
+        if self.triggered:
+            return
+        if child.failure is not None:
+            self.fail(child.failure)
+        else:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict[SimEvent, Any]:
+        # `processed` (callbacks ran), not `triggered`: a Timeout is born
+        # scheduled/triggered but has not *occurred* until processed.
+        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
+
+    def detach(self) -> None:
+        """Unhook :meth:`_on_child` from children that never triggered.
+
+        A composite whose winner has been seen keeps its pending children
+        alive through their callback lists; a waiter that re-waits on the
+        same children (the DQP stall loop) calls this to stop the dead
+        composites from accumulating.
+        """
+        for event in self.events:
+            if not event.triggered:
+                event.remove_callback(self._on_child)
+
+
+class AllOf(SimEvent):
+    """Succeeds when *all* child events have succeeded.
+
+    The value is a dict mapping every child to its value.  The first
+    failing child fails the composite.
+    """
+
+    def __init__(self, sim: "KernelBase", events: Iterable[SimEvent]):
+        super().__init__(sim, name="all_of")
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            raise SimulationError("AllOf needs at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, child: SimEvent) -> None:
+        if self.triggered:
+            return
+        if child.failure is not None:
+            self.fail(child.failure)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed({ev: ev.value for ev in self.events})
+
+
+class Process(SimEvent):
+    """A generator driven by the kernel.
+
+    The process is itself an event: it succeeds with the generator's return
+    value when the generator ends, or fails with the exception that escaped
+    it.  Other processes can therefore ``yield`` a process to join it.
+    """
+
+    def __init__(self, sim: "KernelBase", generator: ProcessGenerator,
+                 name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        #: set to True by anyone who handles this process's failure; an
+        #: un-defused failure is re-raised by the kernel's ``run``.
+        self.defused = False
+        self._waiting_on: Optional[SimEvent] = None
+        # Bootstrap: resume the generator at time `now` via an urgent event.
+        start = SimEvent(sim, name=f"start:{self.name}")
+        start.succeed(priority=PRIORITY_URGENT)
+        start.add_callback(self._resume)
+        self._waiting_on = start
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current event (that event itself
+        is unaffected and may still trigger later).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        if self._waiting_on is not None:
+            self._waiting_on.remove_callback(self._resume)
+            self._waiting_on = None
+        wakeup = SimEvent(self.sim, name=f"interrupt:{self.name}")
+        wakeup.failure = Interrupt(cause)
+        wakeup._state = _TRIGGERED
+        self.sim._schedule(wakeup, delay=0.0, priority=PRIORITY_URGENT)
+        wakeup.add_callback(self._resume)
+        self._waiting_on = wakeup
+
+    def _resume(self, event: SimEvent) -> None:
+        self._waiting_on = None
+        try:
+            if event.failure is not None:
+                if isinstance(event, Process):
+                    event.defused = True
+                target = self.generator.throw(event.failure)
+            else:
+                target = self.generator.send(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An uncaught interrupt terminates the process "normally" with
+            # the interrupt as its value marker; anything else is an error.
+            self.fail(exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - forward real failures
+            self.fail(exc)
+            self.sim._note_failed_process(self)
+            return
+        if not isinstance(target, SimEvent):
+            self.generator.close()
+            self.fail(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected a SimEvent"))
+            return
+        if target.sim is not self.sim:
+            self.generator.close()
+            self.fail(SimulationError(
+                "yielded event belongs to a different kernel"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class KernelBase:
+    """Event factories and failure accounting shared by every backend.
+
+    A backend supplies two things on top of this base: a clock
+    (:attr:`now`) and :meth:`_schedule`, which arranges for an event's
+    callbacks to run ``delay`` seconds from now, ordering equal-deadline
+    events by ``(priority, insertion order)``.
+    """
+
+    #: current time in seconds (virtual or since-start wall clock).
+    now: float
+
+    def __init__(self) -> None:
+        self._failed_processes: list[Process] = []
+
+    # -- event factories ---------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """A fresh pending event."""
+        return SimEvent(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that succeeds ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start driving ``generator`` as a process (begins at current time)."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[SimEvent]) -> AnyOf:
+        """Composite event: first child to succeed."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
+        """Composite event: all children succeeded."""
+        return AllOf(self, events)
+
+    # -- backend contract --------------------------------------------------
+    def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
+        raise NotImplementedError
+
+    # -- failure accounting ------------------------------------------------
+    def _note_failed_process(self, process: Process) -> None:
+        self._failed_processes.append(process)
+
+    def _raise_unhandled_failures(self) -> None:
+        for process in self._failed_processes:
+            if not process.defused and process.failure is not None:
+                raise SimulationError(
+                    f"process {process.name!r} died: {process.failure!r}"
+                ) from process.failure

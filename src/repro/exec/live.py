@@ -1,0 +1,263 @@
+"""Live sources and the wall-clock query engine.
+
+The counterpart of :class:`repro.wrappers.source.Wrapper` /
+:class:`repro.core.engine.QueryEngine` for the :class:`AsyncioKernel`
+backend: batches arrive from *real* async callables or async generators
+with real (jittery, unpredictable) delays, and the unchanged DQO → DQS →
+DQP stack schedules around them.  This is the setting the paper's
+strategies were designed for — the simulator only ever emulated it.
+
+* :class:`LiveWrapper` — bridges one async batch source into the
+  mediator's communication manager.  An :mod:`asyncio` feeder task pulls
+  batches and hands them to a kernel-side pump process, which delivers
+  through ``CommunicationManager.deliver`` so the window protocol,
+  per-message CPU costs and rate estimation all apply exactly as in the
+  simulation.
+* :func:`jittered_batches` — a ready-made async source: ships a relation
+  in message-sized batches, sleeping a jittered per-tuple wait between
+  batches (the live analogue of the paper's uniform-[0, 2w] delay model).
+* :class:`LiveQueryEngine` — builds a :class:`World` on an
+  :class:`AsyncioKernel`, runs one strategy against live sources and
+  returns the same :class:`ExecutionResult` as the simulated engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import (
+    Any,
+    AsyncIterator,
+    Awaitable,
+    Callable,
+    Generator,
+    Mapping,
+    Optional,
+    Union,
+)
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.config import SimulationParameters
+from repro.exec.aio import AsyncioKernel
+from repro.exec.core import SimEvent
+
+#: a live batch source: an async iterator of tuple counts, or an async
+#: callable returning the next count (``None`` meaning end-of-stream).
+BatchSource = Union[AsyncIterator[int], Callable[[], Awaitable[Optional[int]]]]
+
+
+async def jittered_batches(cardinality: int, tuples_per_batch: int,
+                           mean_wait: float, rng: np.random.Generator,
+                           jitter: float = 1.0) -> AsyncIterator[int]:
+    """Ship ``cardinality`` tuples in batches with jittered real delays.
+
+    Before each batch the source sleeps ``count * w`` seconds where ``w``
+    is drawn uniformly from ``[(1 - jitter) * mean_wait,
+    (1 + jitter) * mean_wait]`` — with the default ``jitter=1`` that is
+    the paper's uniform-[0, 2w] per-tuple wait, applied per batch.
+    """
+    if cardinality < 0 or tuples_per_batch < 1:
+        raise ConfigurationError(
+            f"bad live source shape: cardinality={cardinality}, "
+            f"tuples_per_batch={tuples_per_batch}")
+    if not 0.0 <= jitter <= 1.0:
+        raise ConfigurationError(f"jitter must be in [0, 1], got {jitter}")
+    remaining = cardinality
+    while remaining > 0:
+        count = min(tuples_per_batch, remaining)
+        wait = float(rng.uniform(1.0 - jitter, 1.0 + jitter)) * mean_wait
+        delay = count * wait
+        if delay > 0:
+            await asyncio.sleep(delay)
+        yield count
+        remaining -= count
+
+
+class LiveWrapper:
+    """One real (async) source feeding the mediator.
+
+    Mirrors the simulated wrapper's external surface (``name``,
+    ``tuples_sent``, ``production_time``, ``blocked_time``,
+    ``finished_at``) so engine result collection works unchanged.
+    """
+
+    def __init__(self, kernel: AsyncioKernel, name: str, cm: Any,
+                 source: BatchSource):
+        self.kernel = kernel
+        self._name = name
+        self.cm = cm
+        self._source = source
+        self.tuples_sent = 0
+        self.production_time = 0.0      # real seconds between batches
+        self.blocked_time = 0.0         # real seconds inside deliver()
+        self.finished_at: Optional[float] = None
+        self._inbox: deque[tuple[int, bool, float]] = deque()
+        self._data: Optional[SimEvent] = None
+        self._delivered = asyncio.Event()
+        self._task: Optional[asyncio.Task] = None
+        self._pump_process: Any = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def start(self) -> None:
+        """Register with the CM, start the feeder task and pump process."""
+        if self._task is not None:
+            raise SimulationError(f"live wrapper {self.name!r} started twice")
+        self.cm.register_source(self.name)
+        self._pump_process = self.kernel.process(
+            self._pump(), name=f"live:{self.name}")
+        self._task = asyncio.ensure_future(self._feed())
+
+    def stop(self) -> None:
+        """Cancel the feeder task (used on engine failure paths)."""
+        if self._task is not None and not self._task.done():
+            self._task.cancel()
+
+    def _aiter(self) -> AsyncIterator[int]:
+        source = self._source
+        if hasattr(source, "__anext__"):
+            return source  # type: ignore[return-value]
+
+        async def _poll() -> AsyncIterator[int]:
+            while True:
+                count = await source()  # type: ignore[operator]
+                if count is None:
+                    return
+                yield count
+
+        return _poll()
+
+    async def _feed(self) -> None:
+        """asyncio side: pull batches, timestamp them, wake the pump.
+
+        Production is backpressured batch-by-batch, matching the
+        simulated wrapper: the next batch is not pulled from the source
+        until the previous one has cleared ``deliver`` (and therefore
+        the window protocol).  Without this the source would free-run
+        into the unbounded inbox and the mediator could never slow a
+        producer down.
+        """
+        loop = asyncio.get_running_loop()
+        last = loop.time()
+        try:
+            async for count in self._aiter():
+                now = loop.time()
+                self._delivered.clear()
+                self._push(int(count), False, now - last)
+                await self._delivered.wait()
+                last = loop.time()
+        finally:
+            self._push(0, True, 0.0)
+
+    def _push(self, count: int, eof: bool, production: float) -> None:
+        self._inbox.append((count, eof, production))
+        if self._data is not None and not self._data.triggered:
+            self._data.succeed()
+
+    def _pump(self) -> Generator[SimEvent, Any, None]:
+        """Kernel side: drain the inbox through the window protocol."""
+        while True:
+            while self._inbox:
+                count, eof, production = self._inbox.popleft()
+                self.production_time += production
+                before = self.kernel.now
+                yield from self.cm.deliver(self.name, count, eof=eof,
+                                           production_seconds=production)
+                self.blocked_time += self.kernel.now - before
+                self.tuples_sent += count
+                self._delivered.set()
+                if eof:
+                    self.finished_at = self.kernel.now
+                    return
+            self._data = self.kernel.event(name=f"live-data:{self.name}")
+            yield self._data
+            self._data = None
+
+    def __repr__(self) -> str:
+        return (f"LiveWrapper({self.name!r}, sent={self.tuples_sent}, "
+                f"eof={self.finished_at is not None})")
+
+
+class LiveQueryEngine:
+    """Runs one query with one strategy against live async sources.
+
+    The exact engine stack of :class:`repro.core.engine.QueryEngine` —
+    same DQO / DQS / DQP, same mediator, same telemetry — but the world
+    is built on an :class:`AsyncioKernel` and the sources are
+    :class:`LiveWrapper` instances, so response times are wall-clock and
+    arrival order is genuinely unpredictable.
+
+    ``sources`` maps every source relation of the plan to a *factory*
+    returning a fresh :data:`BatchSource` (factories, because one
+    engine run consumes the stream).
+    """
+
+    def __init__(self, catalog: Any, qep: Any, policy: Any,
+                 sources: Mapping[str, Callable[[], BatchSource]],
+                 params: Optional[SimulationParameters] = None,
+                 seed: int = 0, trace: bool = False):
+        from repro.plan.validation import validate_qep
+
+        self.catalog = catalog
+        self.qep = qep
+        self.policy = policy
+        self.params = params if params is not None else SimulationParameters()
+        self.seed = seed
+        self.trace = trace
+        validate_qep(qep)
+        self.sources = dict(sources)
+        missing = set(qep.source_relations()) - set(self.sources)
+        if missing:
+            raise ConfigurationError(
+                f"no live source for relation(s): {sorted(missing)}")
+
+    async def run(self) -> Any:
+        """Execute once on the asyncio backend; returns ExecutionResult."""
+        from repro.core.dqo import DynamicQEPOptimizer
+        from repro.core.dqp import DynamicQueryProcessor
+        from repro.core.dqs import DynamicQueryScheduler
+        from repro.core.engine import collect_execution_result
+        from repro.core.events import EndOfQEP
+        from repro.core.runtime import QueryRuntime, World
+
+        kernel = AsyncioKernel()
+        world = World(self.params, seed=self.seed, trace=self.trace,
+                      kernel=kernel)
+        wrappers: list[LiveWrapper] = []
+        for relation in self.qep.source_relations():
+            wrapper = LiveWrapper(kernel, relation, world.cm,
+                                  self.sources[relation]())
+            wrapper.start()
+            wrappers.append(wrapper)
+
+        runtime = QueryRuntime(world, self.qep)
+        scheduler = DynamicQueryScheduler(runtime, self.policy)
+        processor = DynamicQueryProcessor(runtime)
+        optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
+        main = kernel.process(optimizer.run(), name="engine")
+        main.defused = True
+
+        if world.telemetry.sampling:
+            world.telemetry.start_sampler(world.memory, world.cm)
+            main.add_callback(lambda _event: world.telemetry.stop_sampler())
+
+        try:
+            await kernel.run(until_event=main)
+        finally:
+            for wrapper in wrappers:
+                wrapper.stop()
+
+        if main.failure is not None:
+            raise main.failure
+        if not isinstance(main.value, EndOfQEP):
+            raise SimulationError(
+                f"live engine ended without EndOfQEP: {main.value!r}")
+        if not runtime.all_done:
+            raise SimulationError("kernel idle but query incomplete")
+        return collect_execution_result(world, runtime, scheduler, processor,
+                                        optimizer, wrappers, main.value,
+                                        trace=self.trace)

@@ -20,7 +20,7 @@ from typing import Any, Generator, Optional
 from repro.common.errors import SimulationError
 from repro.config import SimulationParameters
 from repro.sim.cache import LRUPageCache
-from repro.sim.engine import Process, SimEvent, Simulator
+from repro.exec import Kernel, Process, SimEvent
 from repro.sim.resources import CPU, Disk
 from repro.sim.stats import Counter
 from repro.sim.tracing import Tracer
@@ -182,7 +182,7 @@ class BufferManager:
     multiple spindles.
     """
 
-    def __init__(self, sim: Simulator, cpu: CPU, disks: "Disk | list[Disk]",
+    def __init__(self, sim: Kernel, cpu: CPU, disks: "Disk | list[Disk]",
                  cache: LRUPageCache, params: SimulationParameters,
                  tracer: Tracer):
         self.sim = sim

@@ -18,7 +18,7 @@ from repro.config import SimulationParameters
 from repro.mediator.queues import Message, SourceQueue
 from repro.mediator.rates import DeliveryRateEstimator
 from repro.observability import NULL_TELEMETRY, Telemetry
-from repro.sim.engine import SimEvent, Simulator
+from repro.exec import Kernel, SimEvent
 from repro.sim.resources import CPU, NetworkLink
 from repro.sim.tracing import Tracer
 
@@ -28,7 +28,7 @@ RateChangeListener = Callable[[str, float, float], None]
 class CommunicationManager:
     """Owns the source queues and delivery-rate estimators."""
 
-    def __init__(self, sim: Simulator, cpu: CPU, params: SimulationParameters,
+    def __init__(self, sim: Kernel, cpu: CPU, params: SimulationParameters,
                  tracer: Tracer, link: Optional[NetworkLink] = None,
                  telemetry: Optional[Telemetry] = None):
         self.sim = sim

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
 from repro.observability.registry import NULL_REGISTRY, MetricsRegistry
-from repro.sim.engine import SimEvent, Simulator
+from repro.exec import Kernel, SimEvent
 from repro.sim.stats import Counter, TimeWeightedStat
 
 
@@ -34,7 +34,7 @@ class Message:
 class SourceQueue:
     """Bounded FIFO of messages from one wrapper."""
 
-    def __init__(self, sim: Simulator, source: str, capacity_messages: int,
+    def __init__(self, sim: Kernel, source: str, capacity_messages: int,
                  registry: "MetricsRegistry | None" = None):
         if capacity_messages < 1:
             raise SimulationError(

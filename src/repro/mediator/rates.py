@@ -13,13 +13,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.errors import ConfigurationError
-from repro.sim.engine import Simulator
+from repro.exec import Kernel
 
 
 class DeliveryRateEstimator:
     """EWMA estimate of one wrapper's per-tuple waiting time."""
 
-    def __init__(self, sim: Simulator, source: str, alpha: float = 0.3):
+    def __init__(self, sim: Kernel, source: str, alpha: float = 0.3):
         if not 0.0 < alpha <= 1.0:
             raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
         self.sim = sim

@@ -16,7 +16,7 @@ import bisect
 from typing import Any, Optional, Sequence
 
 from repro.common.errors import ConfigurationError
-from repro.sim.engine import Simulator
+from repro.exec import Kernel
 from repro.sim.stats import Counter, TimeWeightedStat, WelfordStat
 
 #: default histogram buckets for virtual-time durations (seconds).
@@ -80,7 +80,7 @@ class GaugeMetric:
     __slots__ = ("name", "help", "value", "minimum", "maximum", "_weighted")
 
     def __init__(self, name: str, help: str = "",
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Kernel] = None):
         self.name = name
         self.help = help
         self.value: float = 0.0
@@ -172,7 +172,7 @@ class MetricsRegistry:
     :data:`NULL_METRIC` and records nothing.
     """
 
-    def __init__(self, sim: Optional[Simulator] = None, enabled: bool = True):
+    def __init__(self, sim: Optional[Kernel] = None, enabled: bool = True):
         self.sim = sim
         self.enabled = enabled
         self._metrics: dict[str, Any] = {}

@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Generator, Optional
 
 from repro.common.errors import ConfigurationError
-from repro.sim.engine import Process, SimEvent, Simulator
+from repro.exec import Kernel, Process, SimEvent
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,7 @@ class SamplePoint:
         return cls(**data)
 
 
-def take_sample(sim: Simulator, memory: Any, cm: Any) -> SamplePoint:
+def take_sample(sim: Kernel, memory: Any, cm: Any) -> SamplePoint:
     """Snapshot ``memory`` and the communication manager ``cm`` now."""
     rates = {}
     for source, estimator in cm.estimators.items():
@@ -62,7 +62,7 @@ def take_sample(sim: Simulator, memory: Any, cm: Any) -> SamplePoint:
 class TelemetrySampler:
     """Drives periodic :func:`take_sample` calls as a simulation process."""
 
-    def __init__(self, sim: Simulator, interval: float, memory: Any, cm: Any,
+    def __init__(self, sim: Kernel, interval: float, memory: Any, cm: Any,
                  sink: list[SamplePoint]):
         if interval <= 0:
             raise ConfigurationError(

@@ -24,13 +24,13 @@ from repro.observability.audit import DecisionAuditLog
 from repro.observability.registry import MetricsRegistry
 from repro.observability.sampling import SamplePoint, TelemetrySampler
 from repro.observability.stalls import StallAttribution
-from repro.sim.engine import Simulator
+from repro.exec import Kernel
 
 
 class Telemetry:
     """Bundles registry, stall attribution, audit log and samples."""
 
-    def __init__(self, sim: Optional[Simulator] = None, enabled: bool = False,
+    def __init__(self, sim: Optional[Kernel] = None, enabled: bool = False,
                  sample_interval: float = 0.0):
         self.sim = sim
         self.enabled = enabled

@@ -1,12 +1,12 @@
-"""Generator-based discrete-event simulation kernel.
+"""The deterministic virtual-time execution backend.
 
-The kernel provides three building blocks:
-
-* :class:`Simulator` — the event loop with a virtual clock;
-* :class:`SimEvent` — a one-shot event that can succeed (with a value) or
-  fail (with an exception), and on which processes can wait;
-* :class:`Process` — a Python generator driven by the kernel; each
-  ``yield``-ed event suspends the process until the event triggers.
+:class:`Simulator` is the discrete-event implementation of the
+:class:`repro.exec.Kernel` protocol: a virtual clock and a priority heap
+of events.  The event machinery itself (:class:`SimEvent`,
+:class:`Timeout`, :class:`AnyOf`, :class:`AllOf`, :class:`Process`,
+:class:`Interrupt`) is backend-neutral and lives in
+:mod:`repro.exec.core`; it is re-exported here unchanged so existing
+imports keep working.
 
 Determinism: events scheduled at the same virtual time are processed in
 (priority, insertion-order) order, so a simulation with seeded RNGs is
@@ -27,296 +27,45 @@ Example
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Optional
 
 from repro.common.errors import SimulationError
+from repro.exec.core import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    AllOf,
+    AnyOf,
+    Interrupt,
+    KernelBase,
+    Process,
+    SimEvent,
+    Timeout,
+)
 
-# Scheduling priorities: lower runs first among events at the same time.
-PRIORITY_URGENT = 0
-PRIORITY_NORMAL = 1
-PRIORITY_LOW = 2
-
-_PENDING = "pending"
-_TRIGGERED = "triggered"  # scheduled on the heap, callbacks not yet run
-_PROCESSED = "processed"  # callbacks have run
-
-
-class Interrupt(Exception):
-    """Thrown into a process by :meth:`Process.interrupt`.
-
-    The ``cause`` attribute carries an arbitrary payload describing why the
-    process was interrupted (e.g. a replanning request).
-    """
-
-    def __init__(self, cause: Any = None):
-        super().__init__(cause)
-        self.cause = cause
-
-
-class SimEvent:
-    """A one-shot event.
-
-    Callbacks registered via :meth:`add_callback` run when the simulator
-    processes the event.  A process that ``yield``-s an event is resumed
-    with :attr:`value` (or has the failure exception thrown into it).
-    """
-
-    def __init__(self, sim: "Simulator", name: str = ""):
-        self.sim = sim
-        self.name = name
-        self.value: Any = None
-        self.failure: Optional[BaseException] = None
-        self._state = _PENDING
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
-
-    # -- state inspection ------------------------------------------------
-    @property
-    def triggered(self) -> bool:
-        """True once the event has succeeded or failed."""
-        return self._state != _PENDING
-
-    @property
-    def processed(self) -> bool:
-        """True once the event's callbacks have run."""
-        return self._state == _PROCESSED
-
-    @property
-    def ok(self) -> bool:
-        """True if the event succeeded (valid only once triggered)."""
-        return self.triggered and self.failure is None
-
-    # -- triggering ------------------------------------------------------
-    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "SimEvent":
-        """Mark the event successful and schedule its callbacks now."""
-        if self._state != _PENDING:
-            raise SimulationError(f"event {self!r} already triggered")
-        self.value = value
-        self._state = _TRIGGERED
-        self.sim._schedule(self, delay=0.0, priority=priority)
-        return self
-
-    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "SimEvent":
-        """Mark the event failed; waiters get ``exception`` thrown into them."""
-        if self._state != _PENDING:
-            raise SimulationError(f"event {self!r} already triggered")
-        if not isinstance(exception, BaseException):
-            raise TypeError(f"fail() needs an exception, got {exception!r}")
-        self.failure = exception
-        self._state = _TRIGGERED
-        self.sim._schedule(self, delay=0.0, priority=priority)
-        return self
-
-    # -- callbacks ---------------------------------------------------------
-    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
-        """Run ``callback(event)`` when the event is processed.
-
-        If the event has already been processed the callback runs
-        immediately (synchronously).
-        """
-        if self._state == _PROCESSED:
-            callback(self)
-        else:
-            self._callbacks.append(callback)
-
-    def remove_callback(self, callback: Callable[["SimEvent"], None]) -> None:
-        """Unregister a callback previously added (no-op if absent)."""
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
-
-    def _run_callbacks(self) -> None:
-        self._state = _PROCESSED
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
-
-    def __repr__(self) -> str:
-        label = f" {self.name!r}" if self.name else ""
-        return f"<{type(self).__name__}{label} {self._state}>"
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "PRIORITY_LOW",
+    "PRIORITY_NORMAL",
+    "PRIORITY_URGENT",
+    "Process",
+    "SimEvent",
+    "Simulator",
+    "Timeout",
+]
 
 
-class Timeout(SimEvent):
-    """An event that succeeds after a fixed virtual-time delay."""
+class Simulator(KernelBase):
+    """The virtual-time event loop: a clock and a priority heap of events."""
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
-                 priority: int = PRIORITY_NORMAL):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
-        self.delay = delay
-        self.value = value
-        self._state = _TRIGGERED
-        sim._schedule(self, delay=delay, priority=priority)
-
-
-class AnyOf(SimEvent):
-    """Succeeds as soon as *any* child event succeeds.
-
-    The value is a dict mapping each already-triggered child to its value.
-    A failing child fails the composite.
-    """
-
-    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
-        super().__init__(sim, name="any_of")
-        self.events = list(events)
-        if not self.events:
-            raise SimulationError("AnyOf needs at least one event")
-        for event in self.events:
-            event.add_callback(self._on_child)
-
-    def _on_child(self, child: SimEvent) -> None:
-        if self.triggered:
-            return
-        if child.failure is not None:
-            self.fail(child.failure)
-        else:
-            self.succeed(self._collect())
-
-    def _collect(self) -> dict[SimEvent, Any]:
-        # `processed` (callbacks ran), not `triggered`: a Timeout is born
-        # scheduled/triggered but has not *occurred* until processed.
-        return {ev: ev.value for ev in self.events if ev.processed and ev.ok}
-
-
-class AllOf(SimEvent):
-    """Succeeds when *all* child events have succeeded.
-
-    The value is a dict mapping every child to its value.  The first
-    failing child fails the composite.
-    """
-
-    def __init__(self, sim: "Simulator", events: Iterable[SimEvent]):
-        super().__init__(sim, name="all_of")
-        self.events = list(events)
-        self._remaining = len(self.events)
-        if not self.events:
-            raise SimulationError("AllOf needs at least one event")
-        for event in self.events:
-            event.add_callback(self._on_child)
-
-    def _on_child(self, child: SimEvent) -> None:
-        if self.triggered:
-            return
-        if child.failure is not None:
-            self.fail(child.failure)
-            return
-        self._remaining -= 1
-        if self._remaining == 0:
-            self.succeed({ev: ev.value for ev in self.events})
-
-
-class Process(SimEvent):
-    """A generator driven by the simulator.
-
-    The process is itself an event: it succeeds with the generator's return
-    value when the generator ends, or fails with the exception that escaped
-    it.  Other processes can therefore ``yield`` a process to join it.
-    """
-
-    def __init__(self, sim: "Simulator", generator: Generator[SimEvent, Any, Any],
-                 name: str = ""):
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
-        self.generator = generator
-        #: set to True by anyone who handles this process's failure; an
-        #: un-defused failure is re-raised by :meth:`Simulator.run`.
-        self.defused = False
-        self._waiting_on: Optional[SimEvent] = None
-        # Bootstrap: resume the generator at time `now` via an urgent event.
-        start = SimEvent(sim, name=f"start:{self.name}")
-        start.succeed(priority=PRIORITY_URGENT)
-        start.add_callback(self._resume)
-        self._waiting_on = start
-
-    @property
-    def is_alive(self) -> bool:
-        """True while the generator has not finished."""
-        return not self.triggered
-
-    def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time.
-
-        The process stops waiting on its current event (that event itself
-        is unaffected and may still trigger later).
-        """
-        if not self.is_alive:
-            raise SimulationError(f"cannot interrupt finished process {self!r}")
-        if self._waiting_on is not None:
-            self._waiting_on.remove_callback(self._resume)
-            self._waiting_on = None
-        wakeup = SimEvent(self.sim, name=f"interrupt:{self.name}")
-        wakeup.failure = Interrupt(cause)
-        wakeup._state = _TRIGGERED
-        self.sim._schedule(wakeup, delay=0.0, priority=PRIORITY_URGENT)
-        wakeup.add_callback(self._resume)
-        self._waiting_on = wakeup
-
-    def _resume(self, event: SimEvent) -> None:
-        self._waiting_on = None
-        try:
-            if event.failure is not None:
-                if isinstance(event, Process):
-                    event.defused = True
-                target = self.generator.throw(event.failure)
-            else:
-                target = self.generator.send(event.value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        except Interrupt as exc:
-            # An uncaught interrupt terminates the process "normally" with
-            # the interrupt as its value marker; anything else is an error.
-            self.fail(exc)
-            return
-        except BaseException as exc:  # noqa: BLE001 - forward real failures
-            self.fail(exc)
-            self.sim._note_failed_process(self)
-            return
-        if not isinstance(target, SimEvent):
-            self.generator.close()
-            self.fail(SimulationError(
-                f"process {self.name!r} yielded {target!r}, expected a SimEvent"))
-            return
-        if target.sim is not self.sim:
-            self.generator.close()
-            self.fail(SimulationError(
-                "yielded event belongs to a different simulator"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._resume)
-
-
-class Simulator:
-    """The event loop: a virtual clock and a priority heap of events."""
-
-    def __init__(self):
+    def __init__(self) -> None:
+        super().__init__()
         self.now: float = 0.0
         self._heap: list[tuple[float, int, int, SimEvent]] = []
         self._sequence = 0
         self._processed_events = 0
-        self._failed_processes: list[Process] = []
-
-    # -- event factories ---------------------------------------------------
-    def event(self, name: str = "") -> SimEvent:
-        """A fresh pending event."""
-        return SimEvent(self, name=name)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that succeeds ``delay`` virtual seconds from now."""
-        return Timeout(self, delay, value=value)
-
-    def process(self, generator: Generator[SimEvent, Any, Any],
-                name: str = "") -> Process:
-        """Start driving ``generator`` as a process (begins at current time)."""
-        return Process(self, generator, name=name)
-
-    def any_of(self, events: Iterable[SimEvent]) -> AnyOf:
-        """Composite event: first child to succeed."""
-        return AnyOf(self, events)
-
-    def all_of(self, events: Iterable[SimEvent]) -> AllOf:
-        """Composite event: all children succeeded."""
-        return AllOf(self, events)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
@@ -326,12 +75,19 @@ class Simulator:
         heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
 
     # -- running ---------------------------------------------------------
+    def _drop_cancelled(self) -> None:
+        """Lazily discard cancelled events sitting at the heap top."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._drop_cancelled()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
+        self._drop_cancelled()
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
         time, _priority, _seq, event = heapq.heappop(self._heap)
@@ -350,8 +106,32 @@ class Simulator:
         queue outlives it.  ``max_events`` guards against runaway loops in
         tests.
         """
+        if until is None and max_events is None:
+            # Hot path (every full engine run): one tight loop, locals
+            # pinned, no per-event method dispatch.
+            heap = self._heap
+            pop = heapq.heappop
+            now = self.now
+            processed_total = self._processed_events
+            try:
+                while heap:
+                    when, _priority, _seq, event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    if when < now:
+                        raise SimulationError("event heap time went backwards")
+                    self.now = now = when
+                    processed_total += 1
+                    event._run_callbacks()
+            finally:
+                self._processed_events = processed_total
+            self._raise_unhandled_failures()
+            return
         processed = 0
         while self._heap:
+            self._drop_cancelled()
+            if not self._heap:
+                break
             if until is not None and self.peek() > until:
                 self.now = until
                 self._raise_unhandled_failures()
@@ -363,16 +143,6 @@ class Simulator:
         if until is not None and self.now < until:
             self.now = until
         self._raise_unhandled_failures()
-
-    def _note_failed_process(self, process: Process) -> None:
-        self._failed_processes.append(process)
-
-    def _raise_unhandled_failures(self) -> None:
-        for process in self._failed_processes:
-            if not process.defused and process.failure is not None:
-                raise SimulationError(
-                    f"process {process.name!r} died: {process.failure!r}"
-                ) from process.failure
 
     @property
     def processed_events(self) -> int:

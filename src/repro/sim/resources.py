@@ -12,7 +12,7 @@ from collections import deque
 from typing import Any, Generator, Optional
 
 from repro.common.errors import SimulationError
-from repro.sim.engine import SimEvent, Simulator
+from repro.exec import Kernel, SimEvent
 from repro.sim.stats import Counter, TimeWeightedStat
 
 
@@ -23,7 +23,7 @@ class Resource:
     ``release()`` frees one slot and wakes the next waiter.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+    def __init__(self, sim: Kernel, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -74,7 +74,7 @@ class Resource:
 class Store:
     """A bounded FIFO buffer of items with blocking put/get events."""
 
-    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+    def __init__(self, sim: Kernel, capacity: Optional[int] = None, name: str = ""):
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
         self.sim = sim
@@ -148,7 +148,7 @@ class CPU:
     tracked for utilization reporting.
     """
 
-    def __init__(self, sim: Simulator, mips: float, name: str = "cpu"):
+    def __init__(self, sim: Kernel, mips: float, name: str = "cpu"):
         if mips <= 0:
             raise SimulationError(f"mips must be positive, got {mips}")
         self.sim = sim
@@ -196,7 +196,7 @@ class Disk:
     when several materializations interleave on one disk.
     """
 
-    def __init__(self, sim: Simulator, *, latency: float, seek_time: float,
+    def __init__(self, sim: Kernel, *, latency: float, seek_time: float,
                  transfer_rate: float, page_size: int, name: str = "disk"):
         if min(latency, seek_time) < 0 or transfer_rate <= 0 or page_size <= 0:
             raise SimulationError("invalid disk parameters")
@@ -269,7 +269,7 @@ class NetworkLink:
     are charged by the communication manager, not here.
     """
 
-    def __init__(self, sim: Simulator, *, bandwidth: float, name: str = "net"):
+    def __init__(self, sim: Kernel, *, bandwidth: float, name: str = "net"):
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
         self.sim = sim

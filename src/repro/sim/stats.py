@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.sim.engine import Simulator
+from repro.exec import Kernel
 
 
 class Counter:
@@ -26,7 +26,7 @@ class Counter:
 class WelfordStat:
     """Streaming mean / variance via Welford's algorithm."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -65,7 +65,7 @@ class TimeWeightedStat:
     the previous value is weighted by the time it was held.
     """
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Kernel):
         self.sim = sim
         self._last_time = sim.now
         self._last_value: Optional[float] = None

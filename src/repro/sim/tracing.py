@@ -12,7 +12,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
-from repro.sim.engine import Simulator
+from repro.exec import Kernel
 
 
 @dataclass(frozen=True)
@@ -32,7 +32,7 @@ class TraceEvent:
 class Tracer:
     """Collects trace events; disabled tracers drop everything cheaply."""
 
-    def __init__(self, sim: Simulator, enabled: bool = True):
+    def __init__(self, sim: Kernel, enabled: bool = True):
         self.sim = sim
         self.enabled = enabled
         self.events: list[TraceEvent] = []

@@ -19,7 +19,7 @@ from repro.catalog.schema import Relation
 from repro.common.errors import SimulationError
 from repro.config import SimulationParameters
 from repro.mediator.comm import CommunicationManager
-from repro.sim.engine import Process, SimEvent, Simulator
+from repro.exec import Kernel, Process, SimEvent
 from repro.sim.resources import Store
 from repro.wrappers.delays import DelayModel
 
@@ -27,7 +27,7 @@ from repro.wrappers.delays import DelayModel
 class Wrapper:
     """One simulated remote source."""
 
-    def __init__(self, sim: Simulator, relation: Relation,
+    def __init__(self, sim: Kernel, relation: Relation,
                  delay_model: DelayModel, cm: CommunicationManager,
                  rng: np.random.Generator, params: SimulationParameters):
         self.sim = sim

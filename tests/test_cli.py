@@ -38,7 +38,7 @@ def test_parser_requires_command():
 def test_parser_accepts_all_commands():
     parser = build_parser()
     for argv in [["table1"], ["plan"], ["fig6"], ["fig8"],
-                 ["run"], ["multiquery"]]:
+                 ["run"], ["live"], ["multiquery"]]:
         args = parser.parse_args(argv)
         assert args.command == argv[0]
 
@@ -140,3 +140,25 @@ def test_cmd_multiquery(capsys):
                  "--waits-us", "20"]) == 0
     out = capsys.readouterr().out
     assert "concurrent queries" in out
+
+
+def test_cmd_live_runs_both_strategies(capsys):
+    # Tiny and fast sources: this hits the real asyncio backend but only
+    # for a fraction of a second of wall clock.
+    assert main(["live", "--scale", "0.005", "--wait-us", "30",
+                 "--slow", "A:5", "--seed", "11"]) == 0
+    out = capsys.readouterr().out
+    assert "SEQ:" in out and "DSE:" in out
+    assert "DSE vs SEQ:" in out
+    assert "stalls:" in out
+
+
+def test_cmd_live_unknown_relation():
+    with pytest.raises(SystemExit):
+        main(["live", "--scale", "0.005", "--slow", "Z:10"])
+
+
+def test_cmd_live_assert_needs_both_strategies():
+    with pytest.raises(SystemExit):
+        main(["live", "--scale", "0.005", "--strategy", "dse",
+              "--assert-dse-not-slower"])

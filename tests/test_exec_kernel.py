@@ -1,0 +1,308 @@
+"""The execution-kernel layer: protocol, cancellation, asyncio backend.
+
+The asyncio tests run real (small) sleeps through ``asyncio.run`` inside
+plain sync test functions — the container has no pytest-asyncio and the
+kernel does not need it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.exec import (
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Kernel,
+    SimEvent,
+    Timeout,
+)
+from repro.exec.aio import AsyncioKernel
+from repro.sim.engine import Simulator
+
+
+# -- protocol ---------------------------------------------------------------
+
+def test_both_backends_satisfy_the_kernel_protocol():
+    assert isinstance(Simulator(), Kernel)
+    assert isinstance(AsyncioKernel(), Kernel)
+
+
+def test_policy_visible_surface_is_factory_complete(sim):
+    event = sim.event("e")
+    assert isinstance(event, SimEvent) and not event.triggered
+    assert isinstance(sim.timeout(1.0), Timeout)
+    composite = sim.any_of([event, sim.timeout(2.0)])
+    assert composite in list(composite.events) or composite.events
+
+
+# -- timeout cancellation ---------------------------------------------------
+
+def test_cancelled_timeout_never_fires_and_releases_the_run(sim):
+    guard = sim.timeout(60.0)
+    guard.cancel()
+    sim.run()
+    assert sim.now == 0.0
+    assert not guard.processed
+
+
+def test_cancel_after_processing_is_an_error(sim):
+    guard = sim.timeout(1.0)
+    sim.run()
+    assert guard.processed
+    with pytest.raises(SimulationError):
+        guard.cancel()
+
+
+def test_peek_and_step_skip_cancelled_events(sim):
+    early = sim.timeout(1.0)
+    late = sim.timeout(2.0)
+    early.cancel()
+    assert sim.peek() == 2.0
+    sim.step()
+    assert sim.now == 2.0 and late.processed and not early.processed
+
+
+def test_guard_timeout_pattern_does_not_stretch_the_run(sim):
+    """The DQP stall idiom: any_of(data, guard) then cancel the guard."""
+    woke_at = {}
+
+    def waiter(data):
+        guard = sim.timeout(60.0)
+        yield sim.any_of([data, guard])
+        if not guard.processed:
+            guard.cancel()
+        woke_at["t"] = sim.now
+
+    def feeder(data):
+        yield sim.timeout(1.5)
+        data.succeed("payload")
+
+    data = sim.event("data")
+    sim.process(waiter(data))
+    sim.process(feeder(data))
+    sim.run()
+    assert woke_at["t"] == 1.5
+    # Without the cancel the heap would hold the guard until t=60.
+    assert sim.now == 1.5
+
+
+def test_run_with_until_still_honours_cancellation(sim):
+    cancelled = sim.timeout(5.0)
+    kept = sim.timeout(3.0)
+    cancelled.cancel()
+    sim.run(until=10.0)
+    assert kept.processed and not cancelled.processed
+    assert sim.now == 10.0
+
+
+# -- asyncio backend --------------------------------------------------------
+
+def test_asyncio_kernel_runs_processes_in_real_time():
+    kernel = AsyncioKernel()
+
+    def worker():
+        yield kernel.timeout(0.05)
+        return kernel.now
+
+    proc = kernel.process(worker())
+    start = time.perf_counter()
+    asyncio.run(kernel.run())
+    elapsed = time.perf_counter() - start
+    assert proc.value == pytest.approx(kernel.now)
+    assert kernel.now >= 0.05
+    assert elapsed >= 0.04  # really slept
+
+
+def test_asyncio_same_deadline_order_matches_the_simulator():
+    """Zero-delay chains interleave identically on both backends."""
+
+    def script(kernel, log):
+        def proc(tag):
+            for step in range(3):
+                yield kernel.timeout(0.0)
+                log.append((tag, step))
+        for tag in ("a", "b", "c"):
+            kernel.process(proc(tag), name=tag)
+
+    sim_log: list = []
+    sim = Simulator()
+    script(sim, sim_log)
+    sim.run()
+
+    aio_log: list = []
+    kernel = AsyncioKernel()
+    script(kernel, aio_log)
+    asyncio.run(kernel.run())
+
+    assert aio_log == sim_log
+
+
+def test_asyncio_priority_breaks_same_deadline_ties():
+    kernel = AsyncioKernel()
+    order = []
+    low = kernel.event("low")
+    low.add_callback(lambda e: order.append("normal"))
+    urgent = kernel.event("urgent")
+    urgent.add_callback(lambda e: order.append("urgent"))
+    low.succeed(priority=PRIORITY_NORMAL)
+    urgent.succeed(priority=PRIORITY_URGENT)
+    asyncio.run(kernel.run())
+    assert order == ["urgent", "normal"]
+
+
+def test_asyncio_until_event_waits_for_external_tasks():
+    """An idle kernel must keep waiting for a live task's trigger."""
+    kernel = AsyncioKernel()
+    data = kernel.event("data")
+
+    def consumer():
+        value = yield data
+        return value
+
+    proc = kernel.process(consumer())
+
+    async def scenario():
+        async def feeder():
+            await asyncio.sleep(0.03)
+            data.succeed("hello")
+        task = asyncio.ensure_future(feeder())
+        await kernel.run(until_event=proc)
+        await task
+
+    asyncio.run(scenario())
+    assert proc.value == "hello"
+
+
+def test_asyncio_cancelled_guard_does_not_delay_completion():
+    kernel = AsyncioKernel()
+
+    def worker():
+        guard = kernel.timeout(30.0)
+        data = kernel.timeout(0.02, value="x")
+        yield kernel.any_of([data, guard])
+        guard.cancel()
+        return "done"
+
+    proc = kernel.process(worker())
+    start = time.perf_counter()
+    asyncio.run(kernel.run(until_event=proc))
+    assert proc.value == "done"
+    assert time.perf_counter() - start < 5.0  # not the 30s guard
+
+
+def test_asyncio_run_is_not_reentrant():
+    kernel = AsyncioKernel()
+
+    async def scenario():
+        kernel.timeout(0.5)
+        inner = asyncio.ensure_future(kernel.run())
+        await asyncio.sleep(0.01)
+        with pytest.raises(SimulationError):
+            await kernel.run()
+        inner.cancel()
+        try:
+            await inner
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run(scenario())
+
+
+def test_asyncio_schedule_in_the_past_is_rejected():
+    kernel = AsyncioKernel()
+    with pytest.raises(SimulationError):
+        kernel.timeout(-1.0)
+
+
+def test_process_failure_surfaces_from_asyncio_run():
+    kernel = AsyncioKernel()
+
+    def boom():
+        yield kernel.timeout(0.0)
+        raise ValueError("kaputt")
+
+    kernel.process(boom())
+    with pytest.raises(SimulationError, match="kaputt"):
+        asyncio.run(kernel.run())
+
+
+# -- live sources -----------------------------------------------------------
+
+def test_jittered_batches_validates_shape():
+    import numpy as np
+
+    from repro.exec.live import jittered_batches
+
+    async def first(agen):
+        return await agen.__anext__()
+
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        asyncio.run(first(jittered_batches(-1, 10, 1e-3, rng)))
+    with pytest.raises(ConfigurationError):
+        asyncio.run(first(jittered_batches(10, 0, 1e-3, rng)))
+    with pytest.raises(ConfigurationError):
+        asyncio.run(first(jittered_batches(10, 4, 1e-3, rng, jitter=2.0)))
+
+
+def test_jittered_batches_ships_exactly_the_cardinality():
+    import numpy as np
+
+    from repro.exec.live import jittered_batches
+
+    async def collect():
+        rng = np.random.default_rng(3)
+        return [count async for count in jittered_batches(10, 4, 1e-5, rng)]
+
+    batches = asyncio.run(collect())
+    assert batches == [4, 4, 2]
+
+
+def test_live_engine_matches_simulated_result_tuples(figure_workload=None):
+    """The live asyncio engine computes the same join result as the
+    virtual-time engine — timing differs, data must not."""
+    import numpy as np
+
+    from repro.config import SimulationParameters
+    from repro.core.engine import QueryEngine
+    from repro.core.strategies import make_policy
+    from repro.exec.live import LiveQueryEngine, jittered_batches
+    from repro.experiments import figure5_workload
+    from repro.wrappers.delays import UniformDelay
+
+    workload = figure5_workload(scale=0.01)
+    params = SimulationParameters()
+    wait = 2e-5
+
+    simulated = QueryEngine(
+        workload.catalog, workload.qep, make_policy("DSE"),
+        {rel: UniformDelay(wait) for rel in workload.relation_names},
+        params=params, seed=5).run()
+
+    def source_factory(rel):
+        cardinality = workload.catalog.relation(rel).cardinality
+
+        def make():
+            rng = np.random.default_rng([5, len(rel)])
+            return jittered_batches(cardinality, params.tuples_per_message,
+                                    wait, rng)
+        return make
+
+    live_engine = LiveQueryEngine(
+        workload.catalog, workload.qep, make_policy("DSE"),
+        {rel: source_factory(rel) for rel in workload.relation_names},
+        params=params, seed=5)
+    live = asyncio.run(live_engine.run())
+
+    assert live.result_tuples == simulated.result_tuples
+    assert live.strategy == "DSE"
+    assert live.response_time > 0
+    assert set(live.wrapper_stats) == set(workload.relation_names)
+    # Attribution invariant holds on the wall-clock backend too (only
+    # when telemetry is on; default params keep it off -> empty dict).
+    assert sum(live.stall_breakdown.values()) == pytest.approx(
+        live.stall_time if live.stall_breakdown else 0.0)

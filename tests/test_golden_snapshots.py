@@ -1,0 +1,53 @@
+"""Golden-snapshot regression harness (exact reproduction).
+
+Re-runs the three pinned workloads captured by
+``scripts/capture_golden.py`` and asserts the resulting digests are
+*bit-identical* to ``tests/golden/*.json``.  Any change to virtual-time
+event ordering — kernel refactors, scheduler tweaks, RNG stream moves —
+shows up here immediately.
+
+If a behaviour change is intended, regenerate the snapshots with::
+
+    PYTHONPATH=src python scripts/capture_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+import capture_golden  # noqa: E402  (needs the path tweak above)
+
+
+@pytest.mark.parametrize("workload", sorted(capture_golden.workload_configs()))
+def test_digest_matches_golden_exactly(workload):
+    config = capture_golden.workload_configs()[workload]
+    path = GOLDEN_DIR / f"{workload}.json"
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run scripts/capture_golden.py")
+    digest = capture_golden.run_digest(workload, config)
+    rendered = json.dumps(digest, indent=2, sort_keys=True) + "\n"
+    assert rendered == path.read_text(), (
+        f"{workload}: execution digest drifted from the golden snapshot — "
+        "virtual-time behaviour changed. If intended, regenerate with "
+        "scripts/capture_golden.py and explain the change in the PR.")
+
+
+def test_goldens_cover_all_strategies():
+    for path in sorted(GOLDEN_DIR.glob("*.json")):
+        data = json.loads(path.read_text())
+        assert set(data["strategies"]) == set(capture_golden.STRATEGIES)
+        for strategy, digest in data["strategies"].items():
+            assert digest["result_tuples"] > 0, (
+                f"{path.name}:{strategy} produced no tuples")
+            # Stall attribution must account for every stalled second.
+            total = sum(digest["stall_breakdown"].values())
+            assert total == pytest.approx(digest["stall_time"], abs=1e-9)
