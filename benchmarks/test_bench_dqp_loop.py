@@ -1,0 +1,83 @@
+"""DQP batch-loop hot path — ``SchedulingPlan.live()`` and batches/sec.
+
+The per-batch loop calls ``live()`` on every iteration to pick the next
+fragment.  It used to rebuild a filtered list each time (O(fragments)
+allocations per batch); now it keeps a cached list invalidated by the
+runtime's ``done_revision`` counter, so steady-state scheduling is
+allocation-free.  Two checks here:
+
+* the cache contract — repeated ``live()`` calls return the *same* list
+  object until a fragment finishes, and see the change immediately after;
+* the end-to-end rate — batches/sec through a real DSE execution, with a
+  floor so an accidental O(n) regression in the loop shows up in CI.
+"""
+
+from __future__ import annotations
+
+from conftest import run_measured
+
+from repro.config import SimulationParameters
+from repro.core.dqp import SchedulingPlan
+from repro.core.fragments import FragmentStatus
+from repro.experiments.runner import run_once
+from repro.experiments.slowdown import slowdown_waits
+from repro.experiments.workloads import figure5_workload
+from repro.wrappers.delays import UniformDelay
+
+LIVE_CALLS = 50_000
+#: floor for the end-to-end scheduling rate (batches/s at 20% scale).
+MIN_BATCHES_PER_SEC = 2_000
+
+
+class _Runtime:
+    def __init__(self) -> None:
+        self.done_revision = 0
+
+
+class _Fragment:
+    """The two attributes ``live()`` reads, nothing else."""
+
+    def __init__(self, runtime: _Runtime) -> None:
+        self.runtime = runtime
+        self.status = FragmentStatus.PENDING
+
+
+def test_live_reuses_list_until_a_fragment_finishes():
+    runtime = _Runtime()
+    fragments = [_Fragment(runtime) for _ in range(8)]
+    plan = SchedulingPlan(fragments=fragments)  # type: ignore[arg-type]
+
+    first = plan.live()
+    assert first == fragments
+    for _ in range(LIVE_CALLS):
+        assert plan.live() is first  # cached: no per-batch allocation
+
+    # A fragment finishing bumps the revision; live() must see it at once.
+    fragments[0].status = FragmentStatus.DONE
+    runtime.done_revision += 1
+    after = plan.live()
+    assert after is not first
+    assert after == fragments[1:]
+    assert plan.live() is after
+
+
+def test_dqp_batch_rate(benchmark):
+    workload = figure5_workload(scale=0.2)
+    params = SimulationParameters()
+    waits = slowdown_waits(workload, "A", 1.0, params)
+
+    def factory():
+        return {name: UniformDelay(wait) for name, wait in waits.items()}
+
+    import time
+
+    def drive():
+        start = time.perf_counter()
+        result = run_once(workload.catalog, workload.qep, "DSE", factory,
+                          params, seed=1)
+        return result.batches_processed / (time.perf_counter() - start)
+
+    rate = run_measured(benchmark, lambda: max(drive() for _ in range(3)))
+    print(f"\nDQP batch loop: {rate:12,.0f} batches/s")
+    assert rate > MIN_BATCHES_PER_SEC, (
+        f"batch loop collapsed: {rate:,.0f} batches/s")

@@ -14,9 +14,13 @@ writing any code:
   the decision audit log;
 * ``live`` — SEQ vs DSE against *real* jittery asyncio sources on the
   wall-clock execution backend;
-* ``multiquery`` — the Section 6 throughput experiment.
+* ``multiquery`` — the Section 6 throughput experiment;
+* ``bench`` — the canonical performance suite; writes ``BENCH_PR3.json``.
 
-Every sweep accepts ``--csv PATH`` to export the series for plotting.
+Every sweep accepts ``--csv PATH`` to export the series for plotting,
+and ``--jobs N`` / ``--cache-dir DIR`` / ``--no-cache`` to shard the
+independent runs across worker processes and serve repeats from the
+content-addressed run cache (results are identical to a serial run).
 """
 
 from __future__ import annotations
@@ -62,6 +66,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[2.0, 4.0, 6.0, 8.0],
                       help="total retrieval times of the slowed relation (s)")
     fig6.add_argument("--csv", help="write the series to this CSV file")
+    _parallel(fig6)
 
     fig8 = sub.add_parser("fig8", help="uniform slowdown gain sweep (Figure 8)")
     _common(fig8)
@@ -69,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[5, 10, 15, 20, 35, 50, 80, 120],
                       help="per-tuple waits in µs")
     fig8.add_argument("--csv", help="write the series to this CSV file")
+    _parallel(fig8)
 
     run = sub.add_parser("run", help="run one strategy once")
     _common(run)
@@ -144,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     _common(reproduce)
     reproduce.add_argument("--outdir", default="results",
                            help="output directory (default ./results)")
+    _parallel(reproduce)
 
     live = sub.add_parser(
         "live", help="run strategies against real asyncio sources "
@@ -183,6 +190,28 @@ def build_parser() -> argparse.ArgumentParser:
     multi.add_argument("--strategies", nargs="+", default=["SEQ", "DSE"])
     multi.add_argument("--waits-us", type=float, nargs="+", default=[20, 100])
     multi.add_argument("--csv", help="write the series to this CSV file")
+    _parallel(multi)
+
+    bench = sub.add_parser(
+        "bench", help="run the canonical performance suite and write the "
+                      "benchmark report JSON")
+    bench.add_argument("--out", default="BENCH_PR3.json",
+                       help="report path (default ./BENCH_PR3.json)")
+    bench.add_argument("--jobs", type=int, default=0,
+                       help="worker processes for the parallel sweep case "
+                            "(default 0 = one per core)")
+    bench.add_argument("--scale", type=float, default=0.2,
+                       help="workload scale of the bench cases (default 0.2)")
+    bench.add_argument("--retrieval-times", type=float, nargs="+",
+                       default=[2.0, 5.0, 8.0],
+                       help="sweep points of the fig6 bench case")
+    bench.add_argument("--repetitions", type=int, default=1)
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--best-of", type=int, default=3,
+                       help="repeats of the micro cases; best is kept")
+    bench.add_argument("--assert-speedup", type=float, metavar="X",
+                       help="exit non-zero unless the parallel sweep is at "
+                            "least X times faster than serial (CI gate)")
 
     return parser
 
@@ -192,6 +221,27 @@ def _common(parser: argparse.ArgumentParser) -> None:
                         help="workload scale factor (1.0 = paper size)")
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--repetitions", type=int, default=1)
+
+
+def _parallel(parser: argparse.ArgumentParser) -> None:
+    """Sharding/caching options shared by every sweep subcommand."""
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for independent runs "
+                             "(default 1 = serial, 0 = one per core)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="content-addressed run cache directory; "
+                             "repeated runs are served from disk")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass --cache-dir (recompute everything)")
+
+
+def _runner_from(args: argparse.Namespace) -> "SweepRunner":
+    from repro.parallel.engine import SweepRunner
+    try:
+        return SweepRunner(jobs=args.jobs, cache_dir=args.cache_dir,
+                           use_cache=not args.no_cache)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -208,6 +258,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "live": _cmd_live,
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
+        "bench": _cmd_bench,
     }
     try:
         return handlers[args.command](args)
@@ -241,7 +292,8 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
                          f"{workload.relation_names}")
     points = run_slowdown_experiment(
         workload, args.relation, list(args.retrieval_times), params,
-        repetitions=args.repetitions, base_seed=args.seed)
+        repetitions=args.repetitions, base_seed=args.seed,
+        runner=_runner_from(args))
     headers = ["retrieval_s"] + STRATEGIES + ["LWB"]
     rows = [p.row() for p in points]
     figure = "Figure 7" if args.relation == "F" else "Figure 6"
@@ -257,7 +309,8 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
     params = SimulationParameters()
     points = run_uniform_slowdown_experiment(
         workload, [w * 1e-6 for w in args.waits_us], params,
-        repetitions=args.repetitions, base_seed=args.seed)
+        repetitions=args.repetitions, base_seed=args.seed,
+        runner=_runner_from(args))
     headers = ["w_min_us", "SEQ_s", "DSE_s", "gain_pct", "LWB_s"]
     rows = [p.row() for p in points]
     print(format_table(headers, rows, title="Figure 8: DSE gain vs w_min"))
@@ -508,7 +561,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import generate_all
     out = generate_all(args.outdir, scale=args.scale,
                        repetitions=args.repetitions, seed=args.seed,
-                       progress=lambda step: print(f"[{step}]", flush=True))
+                       progress=lambda step: print(f"[{step}]", flush=True),
+                       runner=_runner_from(args))
     print(f"report and CSV series written to {out.resolve()}")
     return 0
 
@@ -520,7 +574,7 @@ def _cmd_multiquery(args: argparse.Namespace) -> int:
         workload, list(args.strategies),
         [w * 1e-6 for w in args.waits_us], params,
         num_queries=args.queries, inter_arrival=args.inter_arrival,
-        seed=args.seed)
+        seed=args.seed, runner=_runner_from(args))
     headers = ["strategy", "w_us", "mean_resp_s", "makespan_s",
                "queries_per_s", "cpu"]
     rows = [p.row() for p in points]
@@ -528,6 +582,36 @@ def _cmd_multiquery(args: argparse.Namespace) -> int:
                        title=f"{args.queries} concurrent queries"))
     if args.csv:
         print("wrote", write_csv(args.csv, headers, rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.parallel.bench import run_bench_suite, write_bench_json
+
+    if args.jobs < 0:
+        raise SystemExit(f"jobs must be >= 1 (or 0 = auto), got {args.jobs}")
+    report = run_bench_suite(
+        jobs=args.jobs, scale=args.scale,
+        retrieval_times=list(args.retrieval_times),
+        repetitions=args.repetitions, seed=args.seed,
+        best_of=args.best_of,
+        progress=lambda step: print(f"[{step}]", flush=True))
+    derived = report["derived"]
+    print(f"dqp batch loop : {derived['dqp_batches_per_sec']:12,.0f} "
+          f"batches/s")
+    print(f"kernel dispatch: {derived['kernel_events_per_sec']:12,.0f} "
+          f"events/s")
+    print(f"parallel sweep : {derived['parallel_speedup']:.2f}x speedup at "
+          f"--jobs {report['config']['jobs']} "
+          f"({report['host']['cpu_count']} cores)")
+    print(f"warm cache     : {100 * derived['warm_cache_fraction']:.1f}% of "
+          f"serial wall-clock")
+    print("wrote", write_bench_json(report, args.out))
+    if (args.assert_speedup is not None
+            and derived["parallel_speedup"] < args.assert_speedup):
+        print(f"FAIL: parallel speedup {derived['parallel_speedup']:.2f}x "
+              f"< required {args.assert_speedup:g}x")
+        return 1
     return 0
 
 

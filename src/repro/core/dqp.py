@@ -52,9 +52,25 @@ class SchedulingPlan:
     #: set when the top fragment is not M-schedulable even alone; the DQS
     #: hands this straight to the DQO (Section 4.2).
     overflow_fragment: Optional[Fragment] = None
+    # live() cache: the DQP calls live() once per batch, but fragments
+    # only leave the live set when one finalizes — which bumps the
+    # runtime's done_revision.  Caching against that counter makes the
+    # per-batch call an O(1) attribute check instead of a fresh filtered
+    # list allocation (see benchmarks/test_bench_dqp_loop.py).
+    _live: Optional[list[Fragment]] = field(
+        default=None, repr=False, compare=False)
+    _live_revision: int = field(default=-1, repr=False, compare=False)
 
     def live(self) -> list[Fragment]:
-        return [f for f in self.fragments if f.status is not FragmentStatus.DONE]
+        fragments = self.fragments
+        if not fragments:
+            return fragments
+        revision = fragments[0].runtime.done_revision
+        if self._live is None or revision != self._live_revision:
+            self._live = [f for f in fragments
+                          if f.status is not FragmentStatus.DONE]
+            self._live_revision = revision
+        return self._live
 
     def describe(self) -> str:
         return " > ".join(
@@ -80,6 +96,14 @@ class DynamicQueryProcessor:
         self._cached_rate_event: Optional[SimEvent] = None
         self._wait_cache: dict[str, tuple[Any, SimEvent]] = {}
         self._rr_cursor = 0
+        # Batch-sizing scalars, hoisted out of the per-batch loop
+        # (``effective_batch_tuples`` recomputes two divisions per call).
+        params = runtime.world.params
+        self._batch_base = params.effective_batch_tuples
+        self._adaptive = params.adaptive_batching
+        self._batch_ceiling = (self._batch_base
+                               * params.adaptive_batch_max_messages)
+        self._round_robin = params.dqp_discipline == "round-robin"
         telemetry = runtime.world.telemetry
         self._stalls = telemetry.stalls
         registry = telemetry.registry
@@ -121,18 +145,25 @@ class DynamicQueryProcessor:
                                     result_tuples=self.runtime.result_tuples)
                 return PhaseComplete(sim.now)
 
-            workable = [f for f in live if f.has_work()]
-            if not workable:
+            if self._round_robin:
+                workable = [f for f in live if f.has_work()]
+                fragment = (workable[self._rr_cursor % len(workable)]
+                            if workable else None)
+                if fragment is not None:
+                    self._rr_cursor += 1
+            else:
+                # Priority discipline wants only the first fragment with
+                # data; scan instead of building a filtered list per batch.
+                fragment = None
+                for candidate in live:
+                    if candidate.has_work():
+                        fragment = candidate
+                        break
+            if fragment is None:
                 timed_out = yield from self._stall(live)
                 if timed_out:
                     return TimeOut(sim.now, stalled_for=params.timeout)
                 continue
-
-            if params.dqp_discipline == "round-robin":
-                fragment = workable[self._rr_cursor % len(workable)]
-                self._rr_cursor += 1
-            else:
-                fragment = workable[0]
             if (fragment is not self._last_fragment
                     and params.context_switch_instructions > 0):
                 yield from world.cpu.work(params.context_switch_instructions)
@@ -165,17 +196,15 @@ class DynamicQueryProcessor:
         fragment's current backlog, clamped to [1 message,
         ``adaptive_batch_max_messages`` messages].
         """
-        params = self.runtime.world.params
-        base = params.effective_batch_tuples
-        if not params.adaptive_batching:
+        base = self._batch_base
+        if not self._adaptive:
             return base
         source = fragment.source
         if isinstance(source, SourceQueue):
             backlog = source.tuples_available
         else:
             backlog = source.available_tuples
-        ceiling = base * params.adaptive_batch_max_messages
-        return max(base, min(ceiling, backlog // 2))
+        return max(base, min(self._batch_ceiling, backlog // 2))
 
     def _stall(self, live: list[Fragment]) -> Generator[SimEvent, Any, bool]:
         """Wait for data, a rate change, or the timeout; True on timeout.

@@ -135,6 +135,9 @@ class QueryRuntime:
         self.result_tuples = 0
         #: virtual time of the first result tuple (time-to-first-tuple).
         self.first_result_at: Optional[float] = None
+        #: bumped whenever a fragment finalizes; :meth:`SchedulingPlan.live`
+        #: caches its filtered list against this counter.
+        self.done_revision = 0
         self.statistics = RuntimeStatistics()
         for join_name, join in qep.joins.items():
             self.statistics.register_join(join_name,
@@ -478,6 +481,7 @@ class QueryRuntime:
     # -- lifecycle callbacks ------------------------------------------------------
     def on_fragment_done(self, fragment: Fragment) -> None:
         """Bookkeeping when a fragment finalizes."""
+        self.done_revision += 1
         self.world.tracer.emit(
             "fragment-done", fragment.name,
             chain=fragment.chain.name, tuples_in=fragment.tuples_in,

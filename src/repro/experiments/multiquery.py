@@ -17,12 +17,13 @@ and DSE wins on both metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import SimulationParameters
-from repro.core.multiquery import MultiQueryEngine, MultiQueryResult, QuerySubmission
-from repro.core.strategies import make_policy
+from repro.core.multiquery import MultiQueryResult
 from repro.experiments.workloads import Figure5Workload
-from repro.wrappers.delays import UniformDelay
+from repro.parallel.engine import SweepRunner
+from repro.parallel.spec import MultiQuerySpec
 
 
 @dataclass
@@ -51,32 +52,37 @@ def run_multiquery_experiment(workload: Figure5Workload,
                               params: SimulationParameters,
                               num_queries: int = 4,
                               inter_arrival: float = 0.0,
-                              seed: int = 0) -> list[ThroughputPoint]:
-    """Run the batch for every (strategy, wait) combination."""
+                              seed: int = 0,
+                              runner: Optional[SweepRunner] = None
+                              ) -> list[ThroughputPoint]:
+    """Run the batch for every (strategy, wait) combination.
+
+    Each combination is an independent multi-query simulation, so all of
+    them go to ``runner`` as one flat batch (sharded / cached) and fold
+    back in ``(wait, strategy)`` order.
+    """
     if num_queries < 1:
         raise ValueError(f"need >= 1 query, got {num_queries}")
-    points = []
-    for wait in waits:
-        for strategy in strategies:
-            engine = MultiQueryEngine(params=params, seed=seed)
-            for i in range(num_queries):
-                engine.submit(QuerySubmission(
-                    name=f"{strategy}-{i}",
-                    catalog=workload.catalog,
-                    qep=workload.qep,
-                    policy=make_policy(strategy),
-                    delay_models={name: UniformDelay(wait)
-                                  for name in workload.relation_names},
-                    start_time=i * inter_arrival))
-            result = engine.run()
-            points.append(ThroughputPoint(
-                strategy=strategy,
-                wait=wait,
-                num_queries=num_queries,
-                mean_response=result.mean_response_time,
-                max_response=result.max_response_time,
-                makespan=result.makespan,
-                throughput=result.throughput,
-                cpu_utilization=result.cpu_utilization,
-                result=result))
-    return points
+    runner = runner if runner is not None else SweepRunner()
+    specs = [
+        MultiQuerySpec(strategy=strategy, wait=wait,
+                       num_queries=num_queries, seed=seed,
+                       scale=workload.scale, inter_arrival=inter_arrival,
+                       params=params, tuple_size=workload.tuple_size)
+        for wait in waits
+        for strategy in strategies
+    ]
+    results = runner.run(specs)
+    return [
+        ThroughputPoint(
+            strategy=spec.strategy,
+            wait=spec.wait,
+            num_queries=num_queries,
+            mean_response=result.mean_response_time,
+            max_response=result.max_response_time,
+            makespan=result.makespan,
+            throughput=result.throughput,
+            cpu_utilization=result.cpu_utilization,
+            result=result)
+        for spec, result in zip(specs, results)
+    ]

@@ -17,6 +17,7 @@ from repro.experiments.report import format_table, write_csv
 from repro.experiments.slowdown import STRATEGIES, run_slowdown_experiment
 from repro.experiments.uniform_slowdown import run_uniform_slowdown_experiment
 from repro.experiments.workloads import figure5_workload
+from repro.parallel.engine import SweepRunner
 
 #: default sweep points (the paper's ranges).
 RETRIEVAL_TIMES = [2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
@@ -28,16 +29,21 @@ ProgressFn = Callable[[str], None]
 def generate_all(outdir: "str | Path", *, scale: float = 1.0,
                  repetitions: int = 1, seed: int = 1,
                  params: Optional[SimulationParameters] = None,
-                 progress: Optional[ProgressFn] = None) -> Path:
+                 progress: Optional[ProgressFn] = None,
+                 runner: Optional[SweepRunner] = None) -> Path:
     """Regenerate Table 1 and Figures 5–8 (plus extensions) into ``outdir``.
 
     Returns the output directory.  ``scale`` shrinks the workload for
     quick runs; ``repetitions`` averages seeded repetitions as in the
     paper (3) — the default 1 keeps the full-scale run under a minute.
+    ``runner`` shards the sweeps across worker processes and/or serves
+    repeated points from the run cache (``repro reproduce --jobs N
+    --cache-dir DIR``); results are identical to a serial run.
     """
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
     params = params if params is not None else SimulationParameters()
+    runner = runner if runner is not None else SweepRunner()
     workload = figure5_workload(scale=scale)
     say = progress if progress is not None else (lambda _msg: None)
     report: list[str] = []
@@ -58,7 +64,7 @@ def generate_all(outdir: "str | Path", *, scale: float = 1.0,
         say(figure)
         points = run_slowdown_experiment(
             workload, relation, RETRIEVAL_TIMES, params,
-            repetitions=repetitions, base_seed=seed)
+            repetitions=repetitions, base_seed=seed, runner=runner)
         headers = ["retrieval_s"] + STRATEGIES + ["LWB"]
         rows = [p.row() for p in points]
         report.append(format_table(
@@ -71,7 +77,7 @@ def generate_all(outdir: "str | Path", *, scale: float = 1.0,
     say("fig8")
     points = run_uniform_slowdown_experiment(
         workload, [w * 1e-6 for w in W_VALUES_US], params,
-        repetitions=repetitions, base_seed=seed)
+        repetitions=repetitions, base_seed=seed, runner=runner)
     headers = ["w_min_us", "SEQ_s", "DSE_s", "gain_pct", "LWB_s"]
     rows = [p.row() for p in points]
     report.append(format_table(headers, rows,
@@ -85,7 +91,7 @@ def generate_all(outdir: "str | Path", *, scale: float = 1.0,
     multi = run_multiquery_experiment(
         multi_workload, ["SEQ", "DSE"],
         [params.w_min, 5 * params.w_min], params,
-        num_queries=4, seed=seed)
+        num_queries=4, seed=seed, runner=runner)
     headers = ["strategy", "w_us", "mean_resp_s", "makespan_s",
                "queries_per_s", "cpu"]
     rows = [p.row() for p in multi]

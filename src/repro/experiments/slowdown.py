@@ -9,12 +9,19 @@ measured at each point and the analytic LWB is computed alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import SimulationParameters
 from repro.core.strategies.lwb import lower_bound
-from repro.experiments.runner import run_strategies
+from repro.experiments.runner import (
+    measure_points,
+    point_specs,
+    resolve_repetitions,
+    run_point_specs,
+)
 from repro.experiments.workloads import Figure5Workload
-from repro.wrappers.delays import UniformDelay
+from repro.parallel.engine import SweepRunner
+from repro.parallel.spec import uniform_delay_specs
 
 STRATEGIES = ["SEQ", "MA", "DSE"]
 
@@ -56,22 +63,36 @@ def run_slowdown_experiment(workload: Figure5Workload, slowed_relation: str,
                             retrieval_times: list[float],
                             params: SimulationParameters,
                             repetitions: int | None = None,
-                            base_seed: int = 0) -> list[SlowdownPoint]:
-    """Measure all strategies across the retrieval-time sweep."""
+                            base_seed: int = 0,
+                            runner: Optional[SweepRunner] = None
+                            ) -> list[SlowdownPoint]:
+    """Measure all strategies across the retrieval-time sweep.
+
+    Every ``(point, strategy, repetition)`` run is independent, so the
+    whole sweep is submitted to ``runner`` as one flat batch — with
+    ``jobs > 1`` it shards across processes, with a cache directory
+    repeated points are served from disk.  Results are folded back in
+    deterministic point order.
+    """
     if slowed_relation not in workload.relation_names:
         raise ValueError(f"unknown relation {slowed_relation!r}")
+    reps = resolve_repetitions(params, repetitions)
+    point_waits = [slowdown_waits(workload, slowed_relation, retrieval_time,
+                                  params)
+                   for retrieval_time in retrieval_times]
+    specs = []
+    for waits in point_waits:
+        specs.extend(point_specs(
+            STRATEGIES, workload.scale, workload.tuple_size,
+            uniform_delay_specs(waits), params, reps, base_seed))
+    results = run_point_specs(specs, runner)
+
     points = []
-    for retrieval_time in retrieval_times:
-        waits = slowdown_waits(workload, slowed_relation, retrieval_time,
-                               params)
-
-        def delay_factory(waits=waits):
-            return {name: UniformDelay(wait) for name, wait in waits.items()}
-
-        measured = run_strategies(workload.catalog, workload.qep, STRATEGIES,
-                                  delay_factory, params,
-                                  repetitions=repetitions,
-                                  base_seed=base_seed)
+    per_point = len(STRATEGIES) * reps
+    for p, (retrieval_time, waits) in enumerate(
+            zip(retrieval_times, point_waits)):
+        measured = measure_points(
+            STRATEGIES, results[p * per_point:(p + 1) * per_point], reps)
         points.append(SlowdownPoint(
             slowed_relation=slowed_relation,
             retrieval_time=retrieval_time,

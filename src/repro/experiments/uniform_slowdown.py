@@ -8,12 +8,19 @@ High ``w_min`` stands for slow networks, low for fast ones (Section 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.config import SimulationParameters
 from repro.core.strategies.lwb import lower_bound
-from repro.experiments.runner import run_strategies
+from repro.experiments.runner import (
+    measure_points,
+    point_specs,
+    resolve_repetitions,
+    run_point_specs,
+)
 from repro.experiments.workloads import Figure5Workload
-from repro.wrappers.delays import UniformDelay
+from repro.parallel.engine import SweepRunner
+from repro.parallel.spec import uniform_delay_specs
 
 
 @dataclass
@@ -38,27 +45,41 @@ class GainPoint:
                 f"{self.lwb:.3f}"]
 
 
+STRATEGIES = ["SEQ", "DSE"]
+
+
 def run_uniform_slowdown_experiment(workload: Figure5Workload,
                                     w_values: list[float],
                                     params: SimulationParameters,
                                     repetitions: int | None = None,
-                                    base_seed: int = 0) -> list[GainPoint]:
-    """Sweep the common ``w_min`` and measure SEQ vs DSE."""
-    points = []
-    for w in w_values:
-        point_params = params.with_overrides(w_min=w)
+                                    base_seed: int = 0,
+                                    runner: Optional[SweepRunner] = None
+                                    ) -> list[GainPoint]:
+    """Sweep the common ``w_min`` and measure SEQ vs DSE.
+
+    Like :func:`~repro.experiments.slowdown.run_slowdown_experiment`,
+    the whole sweep goes to ``runner`` as one flat batch of independent
+    runs (sharded / cached), then folds back in point order.
+    """
+    reps = resolve_repetitions(params, repetitions)
+    point_params = [params.with_overrides(w_min=w) for w in w_values]
+    specs = []
+    for w, p_params in zip(w_values, point_params):
         waits = {name: w for name in workload.relation_names}
+        specs.extend(point_specs(
+            STRATEGIES, workload.scale, workload.tuple_size,
+            uniform_delay_specs(waits), p_params, reps, base_seed))
+    results = run_point_specs(specs, runner)
 
-        def delay_factory(w=w):
-            return {name: UniformDelay(w) for name in workload.relation_names}
-
-        measured = run_strategies(workload.catalog, workload.qep,
-                                  ["SEQ", "DSE"], delay_factory, point_params,
-                                  repetitions=repetitions,
-                                  base_seed=base_seed)
+    points = []
+    per_point = len(STRATEGIES) * reps
+    for p, (w, p_params) in enumerate(zip(w_values, point_params)):
+        measured = measure_points(
+            STRATEGIES, results[p * per_point:(p + 1) * per_point], reps)
+        waits = {name: w for name in workload.relation_names}
         points.append(GainPoint(
             w_min=w,
             seq_response=measured["SEQ"].response_time,
             dse_response=measured["DSE"].response_time,
-            lwb=lower_bound(workload.qep, waits, point_params)))
+            lwb=lower_bound(workload.qep, waits, p_params)))
     return points

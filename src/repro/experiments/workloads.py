@@ -91,6 +91,10 @@ class Figure5Workload:
     query: Query
     tree: JoinTree
     qep: QEP
+    #: build parameters, recorded so a worker process (or a cache key)
+    #: can reconstruct this exact workload from two numbers.
+    scale: float = 1.0
+    tuple_size: int = 40
 
     @property
     def relation_names(self) -> list[str]:
@@ -124,4 +128,5 @@ def figure5_workload(tuple_size: int = 40,
 
     qep = build_qep(catalog, tree)
     validate_qep(qep)
-    return Figure5Workload(catalog, query, tree, qep)
+    return Figure5Workload(catalog, query, tree, qep,
+                           scale=scale, tuple_size=tuple_size)

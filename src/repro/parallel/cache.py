@@ -1,0 +1,76 @@
+"""Content-addressed on-disk run cache.
+
+One finished run is one JSON file under ``root/<key[:2]>/<key>.json``,
+where ``key`` is the SHA-256 of the run's full identity (see
+:meth:`repro.parallel.spec.RunSpec.cache_key`).  Reads are
+corruption-tolerant: a truncated, garbled or foreign file is treated as
+a miss and the run is recomputed — the cache can never make a sweep
+wrong, only faster.  Writes are atomic (temp file + ``os.replace``) so
+a crashed or concurrent writer leaves either the old or the new file,
+never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+
+class RunCache:
+    """Directory-backed map from cache key to a JSON payload."""
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[dict[str, Any]]:
+        """The stored payload, or None on miss *or any* load failure."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            # Missing file, unreadable file, truncated/garbled JSON:
+            # all count as a miss (ValueError covers JSONDecodeError).
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, key: str, payload: dict[str, Any]) -> Path:
+        """Atomically persist ``payload`` under ``key``; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(payload, key=key)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{key[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __repr__(self) -> str:
+        return (f"RunCache({str(self.root)!r}, hits={self.hits}, "
+                f"misses={self.misses})")

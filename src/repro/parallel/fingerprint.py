@@ -1,0 +1,42 @@
+"""Source-tree fingerprint for cache keys.
+
+A cached run is only valid while the simulation code that produced it is
+unchanged, so every cache key mixes in a digest of the ``repro`` source
+tree.  Any edit to any module invalidates the whole cache — coarse, but
+sound: simulated results depend on arbitrary details of the engine, and
+a stale hit would silently corrupt an experiment series.
+
+Set ``REPRO_CODE_FINGERPRINT`` to pin (or bump) the fingerprint
+explicitly — useful for tests and for sharing a cache across machines
+with byte-identical installs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+#: environment override (takes precedence over the computed digest).
+FINGERPRINT_ENV = "REPRO_CODE_FINGERPRINT"
+
+_computed: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file under the installed ``repro`` package."""
+    override = os.environ.get(FINGERPRINT_ENV)
+    if override is not None:
+        return override
+    global _computed
+    if _computed is None:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _computed = digest.hexdigest()[:20]
+    return _computed

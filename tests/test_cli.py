@@ -162,3 +162,59 @@ def test_cmd_live_assert_needs_both_strategies():
     with pytest.raises(SystemExit):
         main(["live", "--scale", "0.005", "--strategy", "dse",
               "--assert-dse-not-slower"])
+
+
+# --------------------------------------------------------------------------
+# Parallel sweeps and the bench suite
+# --------------------------------------------------------------------------
+
+def test_cmd_fig6_parallel_and_cached_match_serial(capsys, tmp_path):
+    argv = ["fig6", "--scale", "0.02", "--retrieval-times", "0.1", "0.2"]
+    assert main(argv) == 0
+    serial_out = capsys.readouterr().out
+
+    assert main(argv + ["--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+    cache = str(tmp_path / "cache")
+    assert main(argv + ["--cache-dir", cache]) == 0
+    assert capsys.readouterr().out == serial_out
+    assert main(argv + ["--cache-dir", cache]) == 0  # warm
+    assert capsys.readouterr().out == serial_out
+    assert main(argv + ["--cache-dir", cache, "--no-cache"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+
+def test_cmd_multiquery_accepts_jobs(capsys):
+    assert main(["multiquery", "--scale", "0.02", "--queries", "2",
+                 "--waits-us", "20", "--jobs", "2"]) == 0
+    assert "concurrent queries" in capsys.readouterr().out
+
+
+def test_cmd_bench_writes_report(capsys, tmp_path):
+    import json
+
+    target = tmp_path / "bench.json"
+    assert main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
+                 "--best-of", "1", "--jobs", "2", "--out",
+                 str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "parallel sweep" in out and "warm cache" in out
+
+    report = json.loads(target.read_text())
+    assert report["suite"] == "repro-parallel-bench"
+    assert report["schema_version"] == 1
+    assert report["host"]["cpu_count"] >= 1
+    names = [case["name"] for case in report["cases"]]
+    assert names == ["dqp_batch_loop", "kernel_dispatch",
+                     "fig6_sweep_jobs1", "fig6_sweep_jobsN",
+                     "fig6_sweep_warm_cache"]
+    assert report["derived"]["parallel_speedup"] > 0
+    assert 0 < report["derived"]["warm_cache_fraction"] < 1
+
+
+def test_cmd_bench_assert_speedup_can_fail(tmp_path):
+    # An impossible bar: guarantees the gate path is exercised.
+    assert main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
+                 "--best-of", "1", "--jobs", "1", "--out",
+                 str(tmp_path / "b.json"), "--assert-speedup", "1000"]) == 1

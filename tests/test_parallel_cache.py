@@ -1,0 +1,149 @@
+"""The content-addressed run cache: keying, tolerance, bypass."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationParameters
+from repro.parallel import RunCache, SweepRunner, code_fingerprint
+from repro.parallel.spec import RunSpec, uniform_delay_specs
+
+
+@pytest.fixture
+def spec():
+    params = SimulationParameters()
+    waits = {name: params.w_min for name in ["A", "B", "C", "D", "E", "F"]}
+    return RunSpec(strategy="DSE", seed=3, scale=0.02,
+                   delays=uniform_delay_specs(waits), params=params)
+
+
+def _vary(spec: RunSpec, **changes) -> RunSpec:
+    from dataclasses import replace
+    return replace(spec, **changes)
+
+
+# --------------------------------------------------------------------------
+# Cache keys
+# --------------------------------------------------------------------------
+
+def test_key_is_stable(spec):
+    assert spec.cache_key() == spec.cache_key()
+    assert spec.cache_key() == _vary(spec).cache_key()
+
+
+def test_key_changes_with_seed(spec):
+    assert spec.cache_key() != _vary(spec, seed=4).cache_key()
+
+
+def test_key_changes_with_strategy_and_scale(spec):
+    assert spec.cache_key() != _vary(spec, strategy="SEQ").cache_key()
+    assert spec.cache_key() != _vary(spec, scale=0.03).cache_key()
+
+
+def test_key_changes_with_memory_budget(spec):
+    params = spec.params.with_overrides(
+        query_memory_bytes=spec.params.query_memory_bytes // 2)
+    assert spec.cache_key() != _vary(spec, params=params).cache_key()
+
+
+def test_key_changes_with_delays(spec):
+    slowed = dict(spec.delays)
+    slowed["A"] = {"kind": "uniform", "mean": spec.params.w_min * 10}
+    assert spec.cache_key() != _vary(spec, delays=slowed).cache_key()
+
+
+def test_key_changes_with_code_fingerprint(spec, monkeypatch):
+    before = spec.cache_key()
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "deadbeef")
+    assert code_fingerprint() == "deadbeef"
+    assert spec.cache_key() != before
+
+
+# --------------------------------------------------------------------------
+# RunCache behaviour
+# --------------------------------------------------------------------------
+
+def test_store_then_load_roundtrip(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("ab12", {"result": {"x": 1}})
+    payload = cache.load("ab12")
+    assert payload is not None and payload["result"] == {"x": 1}
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_load_missing_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    assert cache.load("ab12") is None
+    assert cache.misses == 1
+
+
+def test_corrupt_file_is_a_miss_not_a_crash(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("ab12", {"result": {"x": 1}})
+    cache.path_for("ab12").write_text("{ not json")
+    assert cache.load("ab12") is None
+
+
+def test_key_mismatch_inside_file_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("ab12", {"result": {"x": 1}})
+    # A file renamed/copied to the wrong key must not serve stale data.
+    blob = json.loads(cache.path_for("ab12").read_text())
+    target = cache.path_for("cd34")
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(blob))
+    assert cache.load("cd34") is None
+
+
+def test_store_leaves_no_temp_files(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("ab12", {"result": {"x": 1}})
+    files = [p for p in tmp_path.rglob("*") if p.is_file()]
+    assert files == [cache.path_for("ab12")]
+
+
+# --------------------------------------------------------------------------
+# SweepRunner integration
+# --------------------------------------------------------------------------
+
+def test_runner_caches_and_serves(tmp_path, spec):
+    cold = SweepRunner(cache_dir=tmp_path)
+    [first] = cold.run([spec])
+    assert cold.stats.executed_inline == 1 and cold.stats.stored == 1
+
+    warm = SweepRunner(cache_dir=tmp_path)
+    [second] = warm.run([spec])
+    assert warm.stats.cache_hits == 1 and warm.stats.executed_inline == 0
+    assert second.response_time == first.response_time
+    assert second.batches_processed == first.batches_processed
+
+
+def test_runner_recomputes_after_corruption(tmp_path, spec):
+    SweepRunner(cache_dir=tmp_path).run([spec])
+    cache = RunCache(tmp_path)
+    cache.path_for(spec.cache_key()).write_text("garbage")
+
+    runner = SweepRunner(cache_dir=tmp_path)
+    [result] = runner.run([spec])
+    assert runner.stats.cache_hits == 0
+    assert runner.stats.executed_inline == 1
+    assert result.response_time > 0
+
+
+def test_no_cache_bypasses_configured_dir(tmp_path, spec):
+    SweepRunner(cache_dir=tmp_path).run([spec])
+    runner = SweepRunner(cache_dir=tmp_path, use_cache=False)
+    runner.run([spec])
+    assert runner.stats.cache_hits == 0
+    assert runner.stats.executed_inline == 1
+
+
+def test_fingerprint_bump_invalidates(tmp_path, spec, monkeypatch):
+    SweepRunner(cache_dir=tmp_path).run([spec])
+    monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "bumped")
+    runner = SweepRunner(cache_dir=tmp_path)
+    runner.run([spec])
+    assert runner.stats.cache_hits == 0
+    assert runner.stats.executed_inline == 1
