@@ -9,10 +9,15 @@ allocation-free.  Two checks here:
 * the cache contract — repeated ``live()`` calls return the *same* list
   object until a fragment finishes, and see the change immediately after;
 * the end-to-end rate — batches/sec through a real DSE execution, with a
-  floor so an accidental O(n) regression in the loop shows up in CI.
+  floor so an accidental O(n) regression in the loop shows up in CI;
+* the flight-recorder budget — the per-batch ``if self._flight is not
+  None`` guard must keep the disabled path within 2% of the recording
+  path (it should in fact be faster; the budget absorbs timer noise).
 """
 
 from __future__ import annotations
+
+import time
 
 from conftest import run_measured
 
@@ -27,6 +32,8 @@ from repro.wrappers.delays import UniformDelay
 LIVE_CALLS = 50_000
 #: floor for the end-to-end scheduling rate (batches/s at 20% scale).
 MIN_BATCHES_PER_SEC = 2_000
+#: relative budget for the flight-disabled path vs the recording path.
+FLIGHT_DISABLED_BUDGET = 0.02
 
 
 class _Runtime:
@@ -81,3 +88,74 @@ def test_dqp_batch_rate(benchmark):
     print(f"\nDQP batch loop: {rate:12,.0f} batches/s")
     assert rate > MIN_BATCHES_PER_SEC, (
         f"batch loop collapsed: {rate:,.0f} batches/s")
+
+
+def _drive_with_flight(workload, params, waits, seed: int = 1) -> float:
+    """One DSE run with a flight recorder armed; returns batches/sec.
+
+    Mirrors ``QueryEngine.run`` but attaches the recorder to the world's
+    telemetry before the DQP caches its ``telemetry.flight`` handle, so
+    the per-batch recording branch is actually taken.
+    """
+    from repro.core.dqo import DynamicQEPOptimizer
+    from repro.core.dqp import DynamicQueryProcessor
+    from repro.core.dqs import DynamicQueryScheduler
+    from repro.core.runtime import QueryRuntime, World
+    from repro.core.strategies import make_policy
+    from repro.observability import FlightRecorder
+    from repro.wrappers.source import Wrapper
+
+    world = World(params, seed=seed)
+    world.telemetry.flight = FlightRecorder(capacity=512)
+    for source in workload.qep.source_relations():
+        Wrapper(world.sim, workload.catalog.relation(source),
+                UniformDelay(waits[source]), world.cm,
+                world.rng(f"wrapper:{source}"), params).start()
+    runtime = QueryRuntime(world, workload.qep)
+    scheduler = DynamicQueryScheduler(runtime, make_policy("DSE"))
+    processor = DynamicQueryProcessor(runtime)
+    optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
+    main = world.sim.process(optimizer.run(), name="engine")
+    main.defused = True
+    start = time.perf_counter()
+    world.sim.run()
+    elapsed = time.perf_counter() - start
+    if main.failure is not None:
+        raise main.failure
+    assert len(world.telemetry.flight) > 0, "recorder saw no batches"
+    return processor.batches_processed / elapsed
+
+
+def test_flight_recorder_disabled_path_overhead(benchmark):
+    """A run without a recorder must not be slower than one recording.
+
+    The DQP pays one attribute check per batch when ``telemetry.flight``
+    is None; this pins that the check stays within the 2% budget by
+    comparing against the strictly-more-expensive recording path.
+    """
+    workload = figure5_workload(scale=0.2)
+    params = SimulationParameters()
+    waits = slowdown_waits(workload, "A", 1.0, params)
+
+    def factory():
+        return {name: UniformDelay(wait) for name, wait in waits.items()}
+
+    def disabled_rate() -> float:
+        start = time.perf_counter()
+        result = run_once(workload.catalog, workload.qep, "DSE", factory,
+                          params, seed=1)
+        return result.batches_processed / (time.perf_counter() - start)
+
+    def measure() -> tuple[float, float]:
+        disabled = max(disabled_rate() for _ in range(3))
+        recording = max(_drive_with_flight(workload, params, waits)
+                        for _ in range(3))
+        return disabled, recording
+
+    disabled, recording = run_measured(benchmark, measure)
+    print(f"\nflight disabled : {disabled:12,.0f} batches/s")
+    print(f"flight recording: {recording:12,.0f} batches/s")
+    assert disabled > MIN_BATCHES_PER_SEC
+    assert disabled >= recording * (1.0 - FLIGHT_DISABLED_BUDGET), (
+        f"disabled-path overhead above {FLIGHT_DISABLED_BUDGET:.0%}: "
+        f"{disabled:,.0f} vs {recording:,.0f} batches/s recording")

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Fold every committed BENCH_PR*.json into a cross-PR trajectory report.
+
+Usage:
+    PYTHONPATH=src python scripts/bench_trend.py [DIR]
+
+DIR defaults to the repository root (where the BENCH_PR*.json reports
+are committed).  Exit code 0 with the table on stdout; exit 2 when a
+report is unreadable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.common.errors import ConfigurationError  # noqa: E402
+from repro.parallel.trend import find_bench_reports, format_trend  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    directory = Path(argv[1]) if len(argv) > 1 else \
+        Path(__file__).resolve().parents[1]
+    try:
+        print(format_trend(find_bench_reports(directory)))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

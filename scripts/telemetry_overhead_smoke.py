@@ -14,14 +14,25 @@ Also asserts the structural guarantees of the disabled path: the
 registry hands out the null metric without registering it, the result
 carries no metrics object, and no samples are collected.
 
+A second section repeats the comparison on the wall-clock asyncio
+backend: one small live run with telemetry (and the wall-clock sampler)
+fully enabled versus one with telemetry disabled.  Live runs are
+dominated by real source delays, so the budget is the same shape —
+the instrumented run must not beat the uninstrumented one by more than
+noise, i.e. disabled <= enabled * 1.05 + grace.
+
 Exit status 0 on success; used as a CI step.
 """
 
+import asyncio
 import sys
 import time
+import zlib
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
 
 from repro import QueryEngine, UniformDelay, make_policy
 from repro.config import SimulationParameters
@@ -30,6 +41,7 @@ from repro.observability import NULL_METRIC, MetricsRegistry
 
 ROUNDS = 3
 RETRIEVAL_TIME = 2.0  # the smallest Figure 6 point
+LIVE_SCALE = 0.02     # live rounds are wall-clock; keep them tiny
 
 
 def timed_sweep(workload, params) -> float:
@@ -39,6 +51,43 @@ def timed_sweep(workload, params) -> float:
         run_slowdown_experiment(workload, "A", [RETRIEVAL_TIME], params,
                                 repetitions=1)
         best = min(best, time.perf_counter() - started)
+    return best
+
+
+def timed_live_run(params) -> float:
+    """Best wall-clock of ROUNDS small live (asyncio-backend) runs."""
+    from repro.exec.live import LiveQueryEngine, jittered_batches
+
+    workload = figure5_workload(scale=LIVE_SCALE)
+    cards = {name: workload.catalog.relation(name).cardinality
+             for name in workload.relation_names}
+
+    def sources():
+        def factory(rel):
+            def make():
+                rng = np.random.default_rng([1, zlib.crc32(rel.encode())])
+                return jittered_batches(cards[rel],
+                                        params.tuples_per_message,
+                                        100e-6, rng, jitter=1.0)
+            return make
+        return {rel: factory(rel) for rel in workload.relation_names}
+
+    best = float("inf")
+    for _ in range(ROUNDS):
+        engine = LiveQueryEngine(workload.catalog, workload.qep,
+                                 make_policy("DSE"), sources(),
+                                 params=params, seed=1)
+        started = time.perf_counter()
+        result = asyncio.run(engine.run())
+        best = min(best, time.perf_counter() - started)
+        if params.telemetry_enabled:
+            assert result.metrics is not None
+            if params.telemetry_sample_interval > 0:
+                assert result.samples, \
+                    "wall-clock sampler produced no samples"
+        else:
+            assert result.metrics is None
+            assert result.samples == []
     return best
 
 
@@ -70,6 +119,23 @@ def main() -> int:
               "the enabled path — the no-op instrumentation is not free")
         return 1
     print("OK: disabled-telemetry overhead within budget")
+
+    live_disabled = timed_live_run(SimulationParameters())
+    live_enabled = timed_live_run(SimulationParameters(
+        telemetry_enabled=True, telemetry_sample_interval=0.05))
+    # Live rounds are wall-clock and source-delay dominated; same shape
+    # of budget, with a larger absolute grace for scheduler jitter.
+    live_budget = live_enabled * 1.05 + 0.25
+    print(f"live disabled telemetry: {live_disabled:.3f} s "
+          f"(best of {ROUNDS})")
+    print(f"live enabled  telemetry: {live_enabled:.3f} s "
+          f"(best of {ROUNDS})")
+    print(f"budget for live disabled path: {live_budget:.3f} s")
+    if live_disabled > live_budget:
+        print("FAIL: disabled-telemetry live run is measurably slower "
+              "than the instrumented one on the wall-clock backend")
+        return 1
+    print("OK: live-backend disabled-telemetry overhead within budget")
     return 0
 
 

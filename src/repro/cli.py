@@ -13,9 +13,14 @@ writing any code:
 * ``trace`` — run one strategy traced and write the Chrome timeline plus
   the decision audit log;
 * ``live`` — SEQ vs DSE against *real* jittery asyncio sources on the
-  wall-clock execution backend;
+  wall-clock execution backend; ``--serve`` exposes /metrics, /healthz
+  and an SSE /stream while the run is in flight, ``--flight-dump`` (with
+  ``--stall-after`` / ``--deadline``) arms the flight-recorder watchdog;
+* ``top`` — terminal dashboard attached to a serving live run (or
+  ``--replay`` of a flight-recorder dump);
 * ``multiquery`` — the Section 6 throughput experiment;
-* ``bench`` — the canonical performance suite; writes ``BENCH_PR3.json``.
+* ``bench`` — the canonical performance suite; writes ``BENCH_PR4.json``
+  and gates regressions against a committed baseline via ``--compare``.
 
 Every sweep accepts ``--csv PATH`` to export the series for plotting,
 and ``--jobs N`` / ``--cache-dir DIR`` / ``--no-cache`` to shard the
@@ -123,6 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--out", default="telemetry",
                          help="directory receiving all three exports when no "
                               "single format is selected (default ./telemetry)")
+    metrics.add_argument("--from", dest="from_path", metavar="PATH",
+                         help="skip the run: load a previously written "
+                              "metrics JSON export and summarize/re-export it")
 
     trace = sub.add_parser(
         "trace", help="run one strategy traced; write the Chrome timeline "
@@ -135,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="slow one relation by a factor of w_min")
     trace.add_argument("--out", default="trace.json",
                        help="Chrome trace output path (default ./trace.json)")
+    trace.add_argument("--from", dest="from_path", metavar="PATH",
+                       help="skip the run: load a previously written Chrome "
+                            "trace (or flight-recorder dump) and summarize it")
 
     anatomy = sub.add_parser(
         "anatomy", help="side-by-side response-time anatomy of strategies")
@@ -180,6 +191,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit non-zero unless DSE's response time is "
                            "<= SEQ's (CI smoke check; requires both "
                            "strategies to run)")
+    live.add_argument("--serve", type=int, metavar="PORT", default=None,
+                      help="serve /metrics, /healthz and /stream on this "
+                           "port while each run is in flight (0 = ephemeral; "
+                           "the bound address is printed)")
+    live.add_argument("--sample-interval", type=float, default=0.1,
+                      help="wall-clock telemetry sampling interval in "
+                           "seconds; live snapshots are published on each "
+                           "tick (default 0.1, 0 disables)")
+    live.add_argument("--flight-dump", metavar="PATH", default=None,
+                      help="arm the flight recorder; a crashed, stalled or "
+                           "overrunning run dumps its last moments to PATH")
+    live.add_argument("--stall-after", type=float, metavar="S", default=None,
+                      help="abort + dump when no batch completes for S wall "
+                           "seconds (needs --flight-dump)")
+    live.add_argument("--deadline", type=float, metavar="S", default=None,
+                      help="abort + dump when one run exceeds S wall seconds "
+                           "(needs --flight-dump)")
+
+    top = sub.add_parser(
+        "top", help="terminal dashboard for a live run "
+                    "(attach to `repro live --serve`)")
+    top.add_argument("--connect", default="127.0.0.1:9100", metavar="HOST:PORT",
+                     help="the /stream endpoint of a serving live run "
+                          "(default 127.0.0.1:9100)")
+    top.add_argument("--replay", metavar="DUMP", default=None,
+                     help="render the final snapshot of a flight-recorder "
+                          "dump instead of connecting")
+    top.add_argument("--once", action="store_true",
+                     help="print one frame to stdout and exit (no curses)")
+    top.add_argument("--interval", type=float, default=0.5,
+                     help="screen refresh interval in seconds (default 0.5)")
 
     multi = sub.add_parser("multiquery",
                            help="concurrent queries (Section 6 future work)")
@@ -195,8 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the canonical performance suite and write the "
                       "benchmark report JSON")
-    bench.add_argument("--out", default="BENCH_PR3.json",
-                       help="report path (default ./BENCH_PR3.json)")
+    bench.add_argument("--out", default="BENCH_PR4.json",
+                       help="report path (default ./BENCH_PR4.json)")
     bench.add_argument("--jobs", type=int, default=0,
                        help="worker processes for the parallel sweep case "
                             "(default 0 = one per core)")
@@ -212,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--assert-speedup", type=float, metavar="X",
                        help="exit non-zero unless the parallel sweep is at "
                             "least X times faster than serial (CI gate)")
+    bench.add_argument("--compare", metavar="BASELINE.json", default=None,
+                       help="compare the fresh report against this committed "
+                            "report and exit non-zero on regression")
+    bench.add_argument("--max-regression", default="10%", metavar="PCT",
+                       help="regression budget for --compare, e.g. '10%%' "
+                            "(default 10%%; CI uses a looser budget because "
+                            "absolute rates are host-relative)")
 
     return parser
 
@@ -256,6 +305,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "anatomy": _cmd_anatomy,
         "live": _cmd_live,
+        "top": _cmd_top,
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
         "bench": _cmd_bench,
@@ -412,15 +462,48 @@ def _run_with_telemetry(args: argparse.Namespace, sample_interval: float,
     return engine.run()
 
 
+def _summarize_snapshot(snapshot: dict) -> None:
+    """Print the run-level summary of a loaded metrics snapshot."""
+    print(f"{snapshot['strategy']}: {snapshot['response_time']:.3f}s "
+          f"({snapshot['result_tuples']} tuples, "
+          f"stall {snapshot['stall_time']:.3f}s, "
+          f"{len(snapshot['decisions'])} decisions, "
+          f"{len(snapshot['metrics'])} metrics, "
+          f"{len(snapshot['samples'])} samples)")
+    if snapshot["stall_breakdown"]:
+        print("stall breakdown:")
+        for cause, seconds in sorted(snapshot["stall_breakdown"].items(),
+                                     key=lambda item: (-item[1], item[0])):
+            print(f"  {cause:<24} {seconds:.6f}s")
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.common.errors import ConfigurationError
     from repro.observability import (
+        load_metrics_json,
         telemetry_snapshot,
         write_metrics_csv,
         write_metrics_json,
         write_metrics_prometheus,
     )
+
+    if args.from_path:
+        try:
+            snapshot = load_metrics_json(args.from_path)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _summarize_snapshot(snapshot)
+        wrote = [writer(snapshot, path)
+                 for path, writer in ((args.json, write_metrics_json),
+                                      (args.csv, write_metrics_csv),
+                                      (args.prom, write_metrics_prometheus))
+                 if path]
+        for path in wrote:
+            print("wrote", path)
+        return 0
 
     result = _run_with_telemetry(args, args.sample_interval, trace=False)
     print(result.summary())
@@ -455,8 +538,59 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summarize_trace_file(path: str) -> int:
+    """Summarize an existing Chrome trace or flight-recorder dump."""
+    import json
+    from collections import Counter
+    from pathlib import Path
+
+    from repro.common.errors import ConfigurationError
+    from repro.observability import load_flight_dump
+
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(f"error: trace file not found: {path}", file=sys.stderr)
+        return 2
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: unreadable trace file {path}: {exc}", file=sys.stderr)
+        return 2
+
+    if isinstance(data, dict) and "entries" in data and "reason" in data:
+        try:
+            dump = load_flight_dump(path)  # validates version/layout
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        kinds = Counter(entry.kind for entry in dump["entries"])
+        print(f"flight-recorder dump: reason={dump['reason']} "
+              f"recorded={dump['recorded']} dropped={dump['dropped']}")
+        for kind, count in kinds.most_common():
+            print(f"  {kind:<10} {count}")
+        if dump["entries"]:
+            first, last = dump["entries"][0], dump["entries"][-1]
+            print(f"  window: t={first.time:.3f}s .. t={last.time:.3f}s")
+        return 0
+
+    events = (data.get("traceEvents")
+              if isinstance(data, dict) else data)
+    if not isinstance(events, list):
+        print(f"error: {path} is neither a Chrome trace nor a "
+              f"flight-recorder dump", file=sys.stderr)
+        return 2
+    categories = Counter(event.get("cat", "?") for event in events
+                         if event.get("ph") != "M")
+    print(f"chrome trace: {len(events)} events")
+    for category, count in categories.most_common(12):
+        print(f"  {category:<20} {count}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments.trace_export import write_chrome_trace
+
+    if args.from_path:
+        return _summarize_trace_file(args.from_path)
 
     result = _run_with_telemetry(args, sample_interval=0.0, trace=True)
     print(result.summary())
@@ -496,10 +630,13 @@ def _cmd_live(args: argparse.Namespace) -> int:
 
     import numpy as np
 
+    from repro.common.errors import ConfigurationError, SimulationError
     from repro.exec.live import LiveQueryEngine, jittered_batches
 
     workload = figure5_workload(scale=args.scale)
-    params = SimulationParameters().with_overrides(telemetry_enabled=True)
+    params = SimulationParameters().with_overrides(
+        telemetry_enabled=True,
+        telemetry_sample_interval=max(0.0, args.sample_interval))
     slow = _parse_slow(args.slow if args.slow is not None else ["A:10"])
     unknown = set(slow) - set(workload.relation_names)
     if unknown:
@@ -532,10 +669,25 @@ def _cmd_live(args: argparse.Namespace) -> int:
           f"{args.wait_us:g}µs/tuple, slow: {slow_desc}")
     results = {}
     for strategy in strategies:
-        engine = LiveQueryEngine(workload.catalog, workload.qep,
-                                 make_policy(strategy), sources(),
-                                 params=params, seed=args.seed)
-        result = asyncio.run(engine.run())
+        try:
+            engine = LiveQueryEngine(
+                workload.catalog, workload.qep, make_policy(strategy),
+                sources(), params=params, seed=args.seed,
+                serve_port=args.serve, flight_dump=args.flight_dump,
+                stall_after=args.stall_after, deadline=args.deadline,
+                on_serve=lambda server: print(
+                    f"observability plane: {server.url}/metrics "
+                    f"| /healthz | /stream", flush=True))
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc)) from None
+        try:
+            result = asyncio.run(engine.run())
+        except SimulationError as exc:
+            if engine.recorder is not None \
+                    and "watchdog" in str(exc):
+                print(f"FAIL: {exc}")
+                return 1
+            raise
         results[strategy.upper()] = result
         print(result.summary())
         stalls = ", ".join(f"{cause} {seconds:.3f}s" for cause, seconds
@@ -555,6 +707,35 @@ def _cmd_live(args: argparse.Namespace) -> int:
             print("FAIL: DSE was slower than SEQ on the live backend")
             return 1
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.observability.top import (
+        render_top,
+        replay_snapshot,
+        run_top,
+        stream_snapshots,
+    )
+
+    try:
+        if args.replay:
+            snapshot = replay_snapshot(args.replay)
+            if snapshot is None:
+                print("error: the dump holds no live snapshot (the run "
+                      "had no sampler tick before it ended)",
+                      file=sys.stderr)
+                return 2
+            print("\n".join(render_top(snapshot)))
+            return 0
+        if args.once:
+            snapshot = next(iter(stream_snapshots(args.connect)), None)
+            print("\n".join(render_top(snapshot)))
+            return 0
+        return run_top(args.connect, interval=args.interval)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -586,10 +767,24 @@ def _cmd_multiquery(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
     from repro.parallel.bench import run_bench_suite, write_bench_json
+    from repro.parallel.trend import (
+        compare_reports,
+        load_bench_report,
+        parse_percent,
+    )
 
     if args.jobs < 0:
         raise SystemExit(f"jobs must be >= 1 (or 0 = auto), got {args.jobs}")
+    baseline = None
+    if args.compare:
+        try:  # fail fast, before spending minutes on the suite
+            baseline = load_bench_report(args.compare)
+            budget = parse_percent(args.max_regression)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     report = run_bench_suite(
         jobs=args.jobs, scale=args.scale,
         retrieval_times=list(args.retrieval_times),
@@ -612,6 +807,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"FAIL: parallel speedup {derived['parallel_speedup']:.2f}x "
               f"< required {args.assert_speedup:g}x")
         return 1
+    if baseline is not None:
+        comparisons = compare_reports(baseline, report, budget)
+        print(f"compare vs {args.compare} "
+              f"(budget {100 * budget:g}%):")
+        regressed = []
+        for comparison in comparisons:
+            flag = ""
+            if comparison.regressed(budget):
+                regressed.append(comparison)
+                flag = "  << REGRESSION"
+            print("  " + "  ".join(comparison.row()) + flag)
+        if regressed:
+            print(f"FAIL: {len(regressed)} metric(s) regressed more than "
+                  f"{100 * budget:g}% vs {args.compare}")
+            return 1
     return 0
 
 

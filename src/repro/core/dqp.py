@@ -35,6 +35,7 @@ from repro.core.runtime import QueryRuntime
 from repro.mediator.queues import SourceQueue
 from repro.observability import (
     BATCH_BUCKETS,
+    ENTRY_BATCH,
     STALL_MEMORY_WAIT,
     STALL_NO_SCHEDULABLE,
     STALL_TIMEOUT,
@@ -106,6 +107,9 @@ class DynamicQueryProcessor:
         self._round_robin = params.dqp_discipline == "round-robin"
         telemetry = runtime.world.telemetry
         self._stalls = telemetry.stalls
+        #: flight recorder (live runs only); None keeps the per-batch
+        #: cost of the disabled path at one attribute check.
+        self._flight = telemetry.flight
         registry = telemetry.registry
         self._batches_metric = registry.counter(
             "dqp.batches", "Batches the DQP processed.")
@@ -177,6 +181,10 @@ class DynamicQueryProcessor:
             self.batches_processed += 1
             self._batches_metric.inc()
             self._batch_tuples_metric.observe(fragment.tuples_in - tuples_before)
+            if self._flight is not None:
+                self._flight.record(ENTRY_BATCH, sim.now,
+                                    fragment=fragment.name,
+                                    tuples=fragment.tuples_in - tuples_before)
 
             if outcome == BATCH_OVERFLOW:
                 return self._overflow_event(fragment)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
+from pathlib import Path
 from typing import (
     Any,
     AsyncIterator,
@@ -42,6 +43,16 @@ from repro.common.errors import ConfigurationError, SimulationError
 from repro.config import SimulationParameters
 from repro.exec.aio import AsyncioKernel
 from repro.exec.core import SimEvent
+from repro.observability.flight import (
+    ENTRY_DECISION,
+    ENTRY_PHASE,
+    ENTRY_SAMPLE,
+    ENTRY_STALL,
+    FlightRecorder,
+    StallWatchdog,
+)
+from repro.observability.live import MetricsPublisher, build_live_snapshot
+from repro.observability.server import ObservabilityServer
 
 #: a live batch source: an async iterator of tuple counts, or an async
 #: callable returning the next count (``None`` meaning end-of-stream).
@@ -194,12 +205,32 @@ class LiveQueryEngine:
     ``sources`` maps every source relation of the plan to a *factory*
     returning a fresh :data:`BatchSource` (factories, because one
     engine run consumes the stream).
+
+    The live observability plane is opt-in per run:
+
+    * ``serve_port`` (an int, 0 for ephemeral) starts an
+      :class:`~repro.observability.server.ObservabilityServer` next to
+      the run — ``/metrics``, ``/healthz`` and ``/stream`` answer for
+      the duration of the run, fed by a fresh snapshot on every sampler
+      tick.  The bound server is exposed as :attr:`server` while the run
+      is in flight.
+    * ``flight_dump`` arms a :class:`FlightRecorder` (and, with
+      ``stall_after`` / ``deadline``, a :class:`StallWatchdog`): a run
+      that crashes, wedges, or overruns its deadline leaves a loadable
+      post-mortem at that path instead of nothing.
     """
 
     def __init__(self, catalog: Any, qep: Any, policy: Any,
                  sources: Mapping[str, Callable[[], BatchSource]],
                  params: Optional[SimulationParameters] = None,
-                 seed: int = 0, trace: bool = False):
+                 seed: int = 0, trace: bool = False,
+                 serve_port: Optional[int] = None,
+                 serve_host: str = "127.0.0.1",
+                 flight_dump: Optional[Union[str, Path]] = None,
+                 flight_capacity: int = 2048,
+                 stall_after: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 on_serve: Optional[Callable[[ObservabilityServer], None]] = None):
         from repro.plan.validation import validate_qep
 
         self.catalog = catalog
@@ -214,6 +245,33 @@ class LiveQueryEngine:
         if missing:
             raise ConfigurationError(
                 f"no live source for relation(s): {sorted(missing)}")
+        if (stall_after is not None or deadline is not None) \
+                and flight_dump is None:
+            raise ConfigurationError(
+                "stall_after/deadline need a flight_dump path to dump to")
+        self.serve_port = serve_port
+        self.serve_host = serve_host
+        self.flight_dump = Path(flight_dump) if flight_dump is not None else None
+        self.flight_capacity = flight_capacity
+        self.stall_after = stall_after
+        self.deadline = deadline
+        self.on_serve = on_serve
+        #: live-plane handles, populated for the duration of :meth:`run`.
+        self.server: Optional[ObservabilityServer] = None
+        self.publisher: Optional[MetricsPublisher] = None
+        self.recorder: Optional[FlightRecorder] = None
+
+    def _attach_flight(self, world: Any) -> FlightRecorder:
+        """Arm the flight recorder and hook it into the telemetry feeds."""
+        recorder = FlightRecorder(capacity=self.flight_capacity)
+        world.telemetry.flight = recorder
+        world.telemetry.audit.on_record = lambda record: recorder.record(
+            ENTRY_DECISION, record.time, name=record.kind,
+            subject=record.subject)
+        world.telemetry.stalls.on_record = lambda interval: recorder.record(
+            ENTRY_STALL, interval.ended, cause=interval.cause,
+            duration=interval.duration)
+        return recorder
 
     async def run(self) -> Any:
         """Execute once on the asyncio backend; returns ExecutionResult."""
@@ -227,6 +285,17 @@ class LiveQueryEngine:
         kernel = AsyncioKernel()
         world = World(self.params, seed=self.seed, trace=self.trace,
                       kernel=kernel)
+        recorder = None
+        if self.flight_dump is not None:
+            recorder = self.recorder = self._attach_flight(world)
+        publisher = None
+        if self.serve_port is not None:
+            publisher = self.publisher = MetricsPublisher()
+            self.server = ObservabilityServer(
+                publisher, host=self.serve_host, port=self.serve_port).start()
+            if self.on_serve is not None:
+                self.on_serve(self.server)
+
         wrappers: list[LiveWrapper] = []
         for relation in self.qep.source_relations():
             wrapper = LiveWrapper(kernel, relation, world.cm,
@@ -241,23 +310,88 @@ class LiveQueryEngine:
         main = kernel.process(optimizer.run(), name="engine")
         main.defused = True
 
+        strategy = getattr(self.policy, "name", type(self.policy).__name__)
+
+        def _snapshot() -> Any:
+            return build_live_snapshot(world, runtime, processor, strategy)
+
+        def _on_sample(sample: Any) -> None:
+            snapshot = _snapshot()
+            if recorder is not None:
+                recorder.record(ENTRY_SAMPLE, sample.time,
+                                memory_used=sample.memory_used_bytes)
+                recorder.latest_snapshot = snapshot
+            if publisher is not None:
+                publisher.publish(snapshot)
+
+        # Note: an empty FlightRecorder is falsy (it has __len__), so the
+        # identity checks here are load-bearing.
+        on_sample = (_on_sample if recorder is not None
+                     or publisher is not None else None)
         if world.telemetry.sampling:
-            world.telemetry.start_sampler(world.memory, world.cm)
+            world.telemetry.start_sampler(world.memory, world.cm,
+                                          on_sample=on_sample)
             main.add_callback(lambda _event: world.telemetry.stop_sampler())
+        if publisher is not None:
+            publisher.publish(_snapshot())  # valid scrape before first tick
+
+        watchdog = None
+        run_task = asyncio.ensure_future(kernel.run(until_event=main))
+        if recorder is not None and (self.stall_after is not None
+                                     or self.deadline is not None):
+            loop = asyncio.get_running_loop()
+
+            def _abort(reason: str, path: Path) -> None:
+                loop.call_soon_threadsafe(run_task.cancel)
+
+            recorder.record(ENTRY_PHASE, kernel.now, name="run-start")
+            watchdog = StallWatchdog(recorder, self.flight_dump,
+                                     stall_after=self.stall_after,
+                                     deadline=self.deadline, on_fire=_abort)
+            watchdog.start()
 
         try:
-            await kernel.run(until_event=main)
+            try:
+                await run_task
+            except asyncio.CancelledError:
+                if watchdog is not None and watchdog.fired_reason is not None:
+                    raise SimulationError(
+                        f"live run aborted by watchdog "
+                        f"({watchdog.fired_reason}); flight recorder "
+                        f"dumped to {self.flight_dump}") from None
+                raise
+
+            if main.failure is not None:
+                raise main.failure
+            if not isinstance(main.value, EndOfQEP):
+                raise SimulationError(
+                    f"live engine ended without EndOfQEP: {main.value!r}")
+            if not runtime.all_done:
+                raise SimulationError("kernel idle but query incomplete")
+            if recorder is not None:
+                recorder.record(ENTRY_PHASE, kernel.now, name="run-end")
+        except BaseException as exc:
+            if recorder is not None and watchdog is not None \
+                    and watchdog.fired_reason is not None:
+                pass  # the watchdog already dumped with its own reason
+            elif recorder is not None and self.flight_dump is not None \
+                    and not isinstance(exc, asyncio.CancelledError):
+                recorder.latest_snapshot = _snapshot()
+                recorder.dump(self.flight_dump, reason="crash",
+                              error=repr(exc))
+            raise
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             for wrapper in wrappers:
                 wrapper.stop()
+            if publisher is not None:
+                publisher.publish(_snapshot())  # final state for /stream
+                publisher.close()
+            if self.server is not None:
+                self.server.stop()
+                self.server = None
 
-        if main.failure is not None:
-            raise main.failure
-        if not isinstance(main.value, EndOfQEP):
-            raise SimulationError(
-                f"live engine ended without EndOfQEP: {main.value!r}")
-        if not runtime.all_done:
-            raise SimulationError("kernel idle but query incomplete")
         return collect_execution_result(world, runtime, scheduler, processor,
                                         optimizer, wrappers, main.value,
                                         trace=self.trace)

@@ -21,6 +21,23 @@ from repro.observability.export import (
     write_metrics_json,
     write_metrics_prometheus,
 )
+from repro.observability.flight import (
+    ENTRY_BATCH,
+    ENTRY_DECISION,
+    ENTRY_PHASE,
+    ENTRY_SAMPLE,
+    ENTRY_STALL,
+    FlightEntry,
+    FlightRecorder,
+    StallWatchdog,
+    flight_trace_events,
+    load_flight_dump,
+)
+from repro.observability.live import (
+    MetricsPublisher,
+    build_live_snapshot,
+    live_prometheus_text,
+)
 from repro.observability.registry import (
     BATCH_BUCKETS,
     DURATION_BUCKETS_S,
@@ -52,22 +69,35 @@ __all__ = [
     "DECISION_MF_STOP",
     "DECISION_REOPT_SWAP",
     "DURATION_BUCKETS_S",
+    "ENTRY_BATCH",
+    "ENTRY_DECISION",
+    "ENTRY_PHASE",
+    "ENTRY_SAMPLE",
+    "ENTRY_STALL",
     "NULL_METRIC",
     "NULL_REGISTRY",
     "NULL_TELEMETRY",
     "CounterMetric",
     "DecisionAuditLog",
     "DecisionRecord",
+    "FlightEntry",
+    "FlightRecorder",
     "GaugeMetric",
     "HistogramMetric",
+    "MetricsPublisher",
     "MetricsRegistry",
     "NullMetric",
     "SamplePoint",
     "StallAttribution",
     "StallInterval",
+    "StallWatchdog",
     "Telemetry",
     "TelemetrySampler",
+    "build_live_snapshot",
+    "flight_trace_events",
     "is_source_wait",
+    "live_prometheus_text",
+    "load_flight_dump",
     "load_metrics_json",
     "prometheus_text",
     "source_wait",

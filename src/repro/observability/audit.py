@@ -12,7 +12,7 @@ becomes a structured query instead of string matching.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: decision kinds the runtime records.
 DECISION_DEGRADE = "degrade"
@@ -78,11 +78,14 @@ _TYPED_FIELDS = frozenset({
 class DecisionAuditLog:
     """Append-only log of :class:`DecisionRecord`."""
 
-    def __init__(self):
-        self.records: list[DecisionRecord] = []
+    def __init__(self) -> None:
+        self.records: List[DecisionRecord] = []
+        #: optional observer invoked after each appended record (the
+        #: flight recorder hooks in here); must not raise.
+        self.on_record: Optional[Callable[[DecisionRecord], None]] = None
 
     def record(self, kind: str, subject: str, time: float,
-               details: Optional[dict[str, Any]] = None,
+               details: Optional[Dict[str, Any]] = None,
                **fields: Any) -> DecisionRecord:
         """Append one decision.
 
@@ -97,6 +100,8 @@ class DecisionAuditLog:
         record = DecisionRecord(time=time, kind=kind, subject=subject,
                                 details=merged, **typed)
         self.records.append(record)
+        if self.on_record is not None:
+            self.on_record(record)
         return record
 
     def filter(self, kind: Optional[str] = None,

@@ -14,6 +14,8 @@ import re
 from pathlib import Path
 from typing import Any, Union
 
+from repro.common.errors import ConfigurationError
+
 #: snapshot format version, bumped on incompatible layout changes.
 SNAPSHOT_VERSION = 1
 
@@ -51,8 +53,23 @@ def write_metrics_json(snapshot: dict[str, Any],
 
 
 def load_metrics_json(path: Union[str, Path]) -> dict[str, Any]:
-    """Load a snapshot written by :func:`write_metrics_json`."""
-    return json.loads(Path(path).read_text(encoding="utf-8"))
+    """Load a snapshot written by :func:`write_metrics_json`.
+
+    Raises :class:`ConfigurationError` on a missing, truncated or alien
+    file, so callers (the CLI) can fail with one friendly line.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(f"metrics export not found: {path}")
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable metrics export {path}: {exc}")
+    if not isinstance(data, dict) or "metrics" not in data \
+            or "strategy" not in data:
+        raise ConfigurationError(
+            f"{path} is not a metrics export written by `repro metrics`")
+    return data
 
 
 # -- CSV --------------------------------------------------------------------

@@ -1,0 +1,222 @@
+"""Mid-flight snapshots of a running query and their Prometheus view.
+
+The live observability plane is pull-shaped: on every sampler tick the
+*engine thread* assembles a plain-data :func:`build_live_snapshot` dict
+— per-fragment progress and throughput, queue depths, delivery rates,
+memory occupancy, the stall-attribution breakdown (whose values sum
+exactly to the stall time by construction) — and hands it to a
+:class:`MetricsPublisher`.  HTTP threads (``/metrics``, ``/stream``,
+``repro top``) only ever read the last published snapshot under the
+publisher's lock, so a scrape is tear-free and costs the engine nothing.
+
+:func:`live_prometheus_text` renders one snapshot in the Prometheus text
+exposition format for live scraping (unlike
+:func:`repro.observability.export.prometheus_text`, which renders a
+finished run's virtual-time snapshot for offline ingestion).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+#: live snapshot layout version (part of the SSE/JSON payload).
+LIVE_SNAPSHOT_VERSION = 1
+
+
+def build_live_snapshot(world: Any, runtime: Any, processor: Any,
+                        strategy: str) -> Dict[str, Any]:
+    """One JSON-safe snapshot of an in-flight execution.
+
+    Called on the engine thread (sampler tick or final flush), so every
+    runtime structure it reads is quiescent while it reads it.
+    """
+    sim = world.sim
+    now = sim.now
+    # Name-sorted, matching the order the Prometheus exposition emits the
+    # per-cause series in: a scraper re-summing the series in document
+    # order reproduces stall_time bit-for-bit (float addition is
+    # order-sensitive).
+    stalls = dict(sorted(world.telemetry.stalls.by_cause().items()))
+    fragments: List[Dict[str, Any]] = []
+    for fragment in runtime.fragments.values():
+        started = fragment.started_at
+        busy = (now if fragment.finished_at is None
+                else fragment.finished_at) - (started or 0.0)
+        fragments.append({
+            "name": fragment.name,
+            "kind": fragment.kind.value,
+            "chain": fragment.chain.name,
+            "status": fragment.status.value,
+            "tuples_in": fragment.tuples_in,
+            "tuples_out": fragment.tuples_out,
+            "batches": fragment.batches,
+            "throughput": (fragment.tuples_out / busy
+                           if started is not None and busy > 0 else 0.0),
+        })
+    queues: Dict[str, Dict[str, Any]] = {}
+    for source, queue in world.cm.queues.items():
+        rate = world.cm.estimators[source].delivery_rate
+        queues[source] = {
+            "tuples": queue.tuples_available,
+            "messages": len(queue._messages),
+            "rate": rate if rate is not None else 0.0,
+        }
+    return {
+        "version": LIVE_SNAPSHOT_VERSION,
+        "strategy": strategy,
+        "now": now,
+        "result_tuples": runtime.result_tuples,
+        "batches": processor.batches_processed,
+        "context_switches": processor.context_switches,
+        # Summed from the same mapping that is exported per cause, so
+        # the per-cause series sum to this total exactly.
+        "stall_time": sum(stalls.values()),
+        "stalls": stalls,
+        "decisions": len(world.telemetry.audit),
+        "samples": len(world.telemetry.samples),
+        "memory": {
+            "used": world.memory.used_bytes,
+            "total": world.memory.total_bytes,
+            "peak": world.memory.peak_bytes,
+        },
+        "fragments": fragments,
+        "queues": queues,
+    }
+
+
+class MetricsPublisher:
+    """Single-slot, sequence-numbered snapshot exchange between threads.
+
+    The engine thread :meth:`publish`-es; any number of reader threads
+    :meth:`latest` (scrapes) or :meth:`wait_newer` (SSE streams).  The
+    published dict is treated as immutable by all parties.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._snapshot: Optional[Dict[str, Any]] = None
+        self._seq = 0
+        self._closed = False
+
+    def publish(self, snapshot: Dict[str, Any]) -> int:
+        """Install a fresh snapshot; returns its sequence number."""
+        with self._cond:
+            self._seq += 1
+            snapshot = dict(snapshot, seq=self._seq)
+            self._snapshot = snapshot
+            self._cond.notify_all()
+            return self._seq
+
+    def close(self) -> None:
+        """Wake streamers so they can observe the end of the run."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def latest(self) -> Tuple[Optional[Dict[str, Any]], int]:
+        """The most recent snapshot (or None) and its sequence number."""
+        with self._cond:
+            return self._snapshot, self._seq
+
+    def wait_newer(self, seq: int,
+                   timeout: float) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Block up to ``timeout`` for a snapshot newer than ``seq``.
+
+        Returns ``(snapshot, new_seq)``; the snapshot is None when the
+        wait timed out or the publisher closed without a newer one.
+        """
+        with self._cond:
+            self._cond.wait_for(lambda: self._seq > seq or self._closed,
+                                timeout=timeout)
+            if self._seq > seq:
+                return self._snapshot, self._seq
+            return None, self._seq
+
+
+def _esc(label: str) -> str:
+    return label.replace("\\", r"\\").replace('"', r'\"')
+
+
+def live_prometheus_text(snapshot: Optional[Dict[str, Any]]) -> str:
+    """Render one live snapshot in the Prometheus text format.
+
+    Before the first sampler tick (``snapshot is None``) only
+    ``repro_live_up`` is exposed, so a scrape racing engine start-up is
+    still valid exposition text.
+    """
+    lines: List[str] = []
+
+    def emit(name: str, kind: str, help_text: str,
+             samples: List[Tuple[str, Any]]) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for suffix, value in samples:
+            lines.append(f"{name}{suffix} {float(value)!r}")
+
+    emit("repro_live_up", "gauge",
+         "1 while the live engine is publishing snapshots.",
+         [("", 1.0 if snapshot is not None else 0.0)])
+    if snapshot is None:
+        return "\n".join(lines) + "\n"
+
+    emit("repro_live_snapshot_seq", "counter",
+         "Sequence number of this snapshot.", [("", snapshot["seq"])])
+    emit("repro_live_now_seconds", "gauge",
+         "Wall-clock seconds since the run started.",
+         [("", snapshot["now"])])
+    emit("repro_live_result_tuples", "gauge",
+         "Result tuples produced so far.", [("", snapshot["result_tuples"])])
+    emit("repro_live_batches_total", "counter",
+         "Batches the DQP has processed.", [("", snapshot["batches"])])
+    emit("repro_live_context_switches_total", "counter",
+         "Fragment-to-fragment switches charged.",
+         [("", snapshot["context_switches"])])
+    emit("repro_live_decisions_total", "counter",
+         "Scheduler decisions recorded so far.",
+         [("", snapshot["decisions"])])
+    emit("repro_live_stall_time_seconds", "gauge",
+         "Engine idle time so far; the per-cause series sum to this.",
+         [("", snapshot["stall_time"])])
+    emit("repro_live_stall_seconds_total", "counter",
+         "Engine idle time by attributed cause.",
+         [(f'{{cause="{_esc(cause)}"}}', seconds)
+          for cause, seconds in sorted(snapshot["stalls"].items())])
+    memory = snapshot["memory"]
+    emit("repro_live_memory_used_bytes", "gauge",
+         "Query memory in use.", [("", memory["used"])])
+    emit("repro_live_memory_total_bytes", "gauge",
+         "Query memory budget.", [("", memory["total"])])
+    emit("repro_live_memory_peak_bytes", "gauge",
+         "Peak query memory so far.", [("", memory["peak"])])
+
+    fragments = sorted(snapshot["fragments"], key=lambda f: f["name"])
+    for field, kind, help_text in (
+            ("tuples_in", "counter", "Tuples consumed per fragment."),
+            ("tuples_out", "counter", "Tuples produced per fragment."),
+            ("batches", "counter", "Batches processed per fragment."),
+            ("throughput", "gauge",
+             "Output tuples per active second, per fragment.")):
+        suffix = "_total" if kind == "counter" else "_tuples_per_second"
+        emit(f"repro_live_fragment_{field}{suffix}", kind, help_text,
+             [(f'{{fragment="{_esc(f["name"])}",kind="{_esc(f["kind"])}"}}',
+               f[field]) for f in fragments])
+
+    sources = sorted(snapshot["queues"].items())
+    emit("repro_live_queue_depth_tuples", "gauge",
+         "Tuples buffered per source queue.",
+         [(f'{{source="{_esc(source)}"}}', queue["tuples"])
+          for source, queue in sources])
+    emit("repro_live_queue_depth_messages", "gauge",
+         "Messages buffered per source queue.",
+         [(f'{{source="{_esc(source)}"}}', queue["messages"])
+          for source, queue in sources])
+    emit("repro_live_source_rate_tuples_per_second", "gauge",
+         "Estimated delivery rate per source.",
+         [(f'{{source="{_esc(source)}"}}', queue["rate"])
+          for source, queue in sources])
+    return "\n".join(lines) + "\n"

@@ -8,12 +8,27 @@ mean/variance via :class:`repro.sim.stats.WelfordStat` — and a
 *disabled* registry is a near-no-op: every factory returns the shared
 :data:`NULL_METRIC`, whose methods do nothing, so instrumented hot paths
 cost one no-op call when telemetry is off.
+
+Thread-safety: every metric of one registry shares the registry's
+re-entrant lock, and :meth:`MetricsRegistry.as_dict` snapshots under
+that same lock — an exporter thread (the live ``/metrics`` endpoint)
+never sees a histogram whose ``counts`` and ``count`` disagree, even
+while the engine thread is mutating.  On the wall-clock backend this is
+what makes Prometheus/JSON/CSV exports tear-free; on the virtual-time
+backend everything runs on one thread and the uncontended lock is noise.
+
+Serialization: :meth:`MetricsRegistry.as_dict` is a plain-data snapshot,
+:meth:`MetricsRegistry.from_snapshot` rebuilds a registry from one (so
+pool workers can ship their metrics to the sweep parent), and
+:meth:`MetricsRegistry.merge` folds another registry or snapshot in —
+counters and histograms add, gauges keep their extremes.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Optional, Sequence
+import threading
+from typing import Any, Callable, Dict, Optional, Sequence, Type, Union
 
 from repro.common.errors import ConfigurationError
 from repro.exec import Kernel
@@ -48,22 +63,29 @@ class CounterMetric:
     """A named, monotonically growing tally."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "_counter")
+    __slots__ = ("name", "help", "_counter", "_lock")
 
-    def __init__(self, name: str, help: str = ""):
+    def __init__(self, name: str, help: str = "",
+                 lock: Optional[threading.RLock] = None):
         self.name = name
         self.help = help
         self._counter = Counter()
+        self._lock = lock if lock is not None else threading.RLock()
 
     def inc(self, amount: float = 1.0) -> None:
-        self._counter.add(amount)
+        with self._lock:
+            self._counter.add(amount)
 
     @property
     def value(self) -> float:
         return self._counter.value
 
-    def as_dict(self) -> dict[str, Any]:
-        return {"kind": self.kind, "value": self.value}
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"kind": self.kind, "value": self.value}
+
+    def _merge(self, data: Dict[str, Any]) -> None:
+        self.inc(data["value"])
 
     def __repr__(self) -> str:
         return f"CounterMetric({self.name!r}, {self.value})"
@@ -77,35 +99,69 @@ class GaugeMetric:
     """
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value", "minimum", "maximum", "_weighted")
+    __slots__ = ("name", "help", "value", "minimum", "maximum", "_weighted",
+                 "_restored_mean", "_lock")
 
     def __init__(self, name: str, help: str = "",
-                 sim: Optional[Kernel] = None):
+                 sim: Optional[Kernel] = None,
+                 lock: Optional[threading.RLock] = None):
         self.name = name
         self.help = help
         self.value: float = 0.0
         self.minimum: Optional[float] = None
         self.maximum: Optional[float] = None
         self._weighted = TimeWeightedStat(sim) if sim is not None else None
+        #: time-weighted mean carried over by :meth:`_restore` (a restored
+        #: registry has no simulator to keep weighting against).
+        self._restored_mean: Optional[float] = None
+        self._lock = lock if lock is not None else threading.RLock()
 
     def set(self, value: float) -> None:
-        self.value = value
-        self.minimum = value if self.minimum is None else min(self.minimum, value)
-        self.maximum = value if self.maximum is None else max(self.maximum, value)
-        if self._weighted is not None:
-            self._weighted.record(value)
+        with self._lock:
+            self.value = value
+            self.minimum = (value if self.minimum is None
+                            else min(self.minimum, value))
+            self.maximum = (value if self.maximum is None
+                            else max(self.maximum, value))
+            if self._weighted is not None:
+                self._weighted.record(value)
 
     def inc(self, amount: float = 1.0) -> None:
         self.set(self.value + amount)
 
     def time_weighted_mean(self) -> Optional[float]:
         """Time-weighted mean of the signal (None without a simulator)."""
-        return self._weighted.mean() if self._weighted is not None else None
+        if self._weighted is not None:
+            return self._weighted.mean()
+        return self._restored_mean
 
-    def as_dict(self) -> dict[str, Any]:
-        return {"kind": self.kind, "value": self.value,
-                "min": self.minimum, "max": self.maximum,
-                "time_weighted_mean": self.time_weighted_mean()}
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"kind": self.kind, "value": self.value,
+                    "min": self.minimum, "max": self.maximum,
+                    "time_weighted_mean": self.time_weighted_mean()}
+
+    def _restore(self, data: Dict[str, Any]) -> None:
+        self.value = data["value"]
+        self.minimum = data["min"]
+        self.maximum = data["max"]
+        self._restored_mean = data.get("time_weighted_mean")
+
+    def _merge(self, data: Dict[str, Any]) -> None:
+        # Gauges from independent runs have no common timeline: keep the
+        # extremes, let `value` track the largest observed level, and drop
+        # the (unmergeable) time-weighted mean.
+        with self._lock:
+            self.value = max(self.value, data["value"])
+            for other in (data["min"],):
+                if other is not None:
+                    self.minimum = (other if self.minimum is None
+                                    else min(self.minimum, other))
+            for other in (data["max"],):
+                if other is not None:
+                    self.maximum = (other if self.maximum is None
+                                    else max(self.maximum, other))
+            self._restored_mean = None
 
     def __repr__(self) -> str:
         return f"GaugeMetric({self.name!r}, {self.value})"
@@ -121,9 +177,11 @@ class HistogramMetric:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "buckets", "counts", "sum", "_stream")
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "_stream",
+                 "_lock")
 
-    def __init__(self, name: str, buckets: Sequence[float], help: str = ""):
+    def __init__(self, name: str, buckets: Sequence[float], help: str = "",
+                 lock: Optional[threading.RLock] = None):
         if not buckets:
             raise ConfigurationError(f"histogram {name!r} needs >= 1 bucket")
         ordered = tuple(sorted(float(b) for b in buckets))
@@ -135,11 +193,13 @@ class HistogramMetric:
         self.counts = [0] * (len(ordered) + 1)  # last one is +Inf
         self.sum = 0.0
         self._stream = WelfordStat()
+        self._lock = lock if lock is not None else threading.RLock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self._stream.record(value)
+        with self._lock:
+            self.counts[bisect.bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self._stream.record(value)
 
     @property
     def count(self) -> int:
@@ -149,17 +209,55 @@ class HistogramMetric:
     def mean(self) -> float:
         return self._stream.mean
 
-    def as_dict(self) -> dict[str, Any]:
-        return {"kind": self.kind, "buckets": list(self.buckets),
-                "counts": list(self.counts), "sum": self.sum,
-                "count": self.count, "mean": self.mean,
-                "min": self._stream.minimum, "max": self._stream.maximum}
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"kind": self.kind, "buckets": list(self.buckets),
+                    "counts": list(self.counts), "sum": self.sum,
+                    "count": self.count, "mean": self.mean,
+                    "min": self._stream.minimum, "max": self._stream.maximum}
+
+    def _restore(self, data: Dict[str, Any]) -> None:
+        self.counts = list(data["counts"])
+        self.sum = data["sum"]
+        # The streaming variance (m2) is not part of the snapshot — no
+        # exporter exposes it — so a restored histogram keeps count /
+        # mean / min / max and reports zero variance.
+        self._stream.count = data["count"]
+        self._stream._mean = data["mean"]
+        self._stream.minimum = data["min"]
+        self._stream.maximum = data["max"]
+
+    def _merge(self, data: Dict[str, Any]) -> None:
+        with self._lock:
+            if list(data["buckets"]) != list(self.buckets):
+                raise ConfigurationError(
+                    f"cannot merge histogram {self.name!r}: bucket layouts "
+                    f"differ ({data['buckets']} vs {list(self.buckets)})")
+            for i, count in enumerate(data["counts"]):
+                self.counts[i] += count
+            self.sum += data["sum"]
+            ours, theirs = self._stream.count, data["count"]
+            if theirs:
+                total = ours + theirs
+                self._stream._mean = ((self._stream._mean * ours
+                                       + data["mean"] * theirs) / total)
+                self._stream.count = total
+            for other in (data["min"],):
+                if other is not None:
+                    self._stream.minimum = (
+                        other if self._stream.minimum is None
+                        else min(self._stream.minimum, other))
+            for other in (data["max"],):
+                if other is not None:
+                    self._stream.maximum = (
+                        other if self._stream.maximum is None
+                        else max(self._stream.maximum, other))
 
     def __repr__(self) -> str:
         return f"HistogramMetric({self.name!r}, n={self.count})"
 
 
-Metric = "CounterMetric | GaugeMetric | HistogramMetric"
+Metric = Union[CounterMetric, GaugeMetric, HistogramMetric]
 
 
 class MetricsRegistry:
@@ -175,51 +273,120 @@ class MetricsRegistry:
     def __init__(self, sim: Optional[Kernel] = None, enabled: bool = True):
         self.sim = sim
         self.enabled = enabled
-        self._metrics: dict[str, Any] = {}
+        self._metrics: Dict[str, Metric] = {}
+        #: shared by every metric of this registry; :meth:`as_dict` holds
+        #: it for the whole snapshot, making exports tear-free.
+        self._lock = threading.RLock()
 
     # -- factories ---------------------------------------------------------
-    def counter(self, name: str, help: str = "") -> "CounterMetric | NullMetric":
+    def counter(self, name: str,
+                help: str = "") -> Union[CounterMetric, NullMetric]:
         if not self.enabled:
             return NULL_METRIC
-        return self._get_or_create(name, CounterMetric,
-                                   lambda: CounterMetric(name, help))
+        return self._get_or_create(
+            name, CounterMetric,
+            lambda: CounterMetric(name, help, lock=self._lock))
 
-    def gauge(self, name: str, help: str = "") -> "GaugeMetric | NullMetric":
+    def gauge(self, name: str,
+              help: str = "") -> Union[GaugeMetric, NullMetric]:
         if not self.enabled:
             return NULL_METRIC
-        return self._get_or_create(name, GaugeMetric,
-                                   lambda: GaugeMetric(name, help, sim=self.sim))
+        return self._get_or_create(
+            name, GaugeMetric,
+            lambda: GaugeMetric(name, help, sim=self.sim, lock=self._lock))
 
     def histogram(self, name: str,
                   buckets: Sequence[float] = DURATION_BUCKETS_S,
-                  help: str = "") -> "HistogramMetric | NullMetric":
+                  help: str = "") -> Union[HistogramMetric, NullMetric]:
         if not self.enabled:
             return NULL_METRIC
-        return self._get_or_create(name, HistogramMetric,
-                                   lambda: HistogramMetric(name, buckets, help))
+        return self._get_or_create(
+            name, HistogramMetric,
+            lambda: HistogramMetric(name, buckets, help, lock=self._lock))
 
-    def _get_or_create(self, name, expected_type, factory):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = factory()
-            self._metrics[name] = metric
-        elif not isinstance(metric, expected_type):
-            raise ConfigurationError(
-                f"metric {name!r} already registered as {metric.kind}")
-        return metric
+    def _get_or_create(self, name: str, expected_type: Type[Any],
+                       factory: Callable[[], Any]) -> Any:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, expected_type):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {metric.kind}")
+            return metric
 
     # -- inspection --------------------------------------------------------
-    def get(self, name: str) -> Optional[Any]:
+    def get(self, name: str) -> Optional[Metric]:
         """The registered metric, or None."""
         return self._metrics.get(name)
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
 
-    def as_dict(self) -> dict[str, dict[str, Any]]:
-        """Snapshot of every metric, keyed by name (sorted)."""
-        return {name: self._metrics[name].as_dict()
-                for name in sorted(self._metrics)}
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of every metric, keyed by name (sorted).
+
+        Taken under the registry lock: no metric mutates mid-snapshot,
+        so cross-metric invariants hold in the exported view.
+        """
+        with self._lock:
+            return {name: self._metrics[name].as_dict()
+                    for name in sorted(self._metrics)}
+
+    # -- serialization / aggregation ---------------------------------------
+    @classmethod
+    def from_snapshot(cls, snapshot: Dict[str, Dict[str, Any]],
+                      sim: Optional[Kernel] = None) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot.
+
+        Used when pool workers ship their per-run metrics to the sweep
+        parent: every exported field round-trips (the histogram variance,
+        which no exporter exposes, does not).
+        """
+        registry = cls(sim=sim, enabled=True)
+        registry.merge(snapshot)
+        return registry
+
+    def merge(self, other: Union["MetricsRegistry",
+                                 Dict[str, Dict[str, Any]]]) -> None:
+        """Fold another registry (or an :meth:`as_dict` snapshot) in.
+
+        Counters and histograms add; gauges keep their extremes and the
+        largest observed ``value``; kind mismatches raise.
+        """
+        snapshot = other.as_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        with self._lock:
+            for name, data in snapshot.items():
+                kind = data["kind"]
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._create_for_merge(name, data)
+                    self._metrics[name] = metric
+                    if kind == "counter":
+                        metric._merge(data)
+                elif metric.kind != kind:
+                    raise ConfigurationError(
+                        f"cannot merge metric {name!r}: kind {kind} into "
+                        f"{metric.kind}")
+                else:
+                    metric._merge(data)
+
+    def _create_for_merge(self, name: str, data: Dict[str, Any]) -> Metric:
+        kind = data["kind"]
+        if kind == "counter":
+            return CounterMetric(name, lock=self._lock)
+        if kind == "gauge":
+            gauge = GaugeMetric(name, lock=self._lock)
+            gauge._restore(data)
+            return gauge
+        if kind == "histogram":
+            histogram = HistogramMetric(name, data["buckets"],
+                                        lock=self._lock)
+            histogram._restore(data)
+            return histogram
+        raise ConfigurationError(f"unknown metric kind {kind!r} for {name!r}")
 
     def __len__(self) -> int:
         return len(self._metrics)

@@ -13,7 +13,7 @@ the periodic timeouts would keep the simulation alive forever.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.common.errors import ConfigurationError
 from repro.exec import Kernel, Process, SimEvent
@@ -60,10 +60,19 @@ def take_sample(sim: Kernel, memory: Any, cm: Any) -> SamplePoint:
 
 
 class TelemetrySampler:
-    """Drives periodic :func:`take_sample` calls as a simulation process."""
+    """Drives periodic :func:`take_sample` calls as a simulation process.
+
+    The same process works on every backend: on the virtual-time
+    simulator the interval is virtual seconds, on the wall-clock
+    :class:`~repro.exec.aio.AsyncioKernel` the timeouts are real sleeps,
+    so live runs emit the same periodic series.  ``on_sample`` (if given)
+    is invoked with each fresh :class:`SamplePoint` — the live
+    observability plane publishes its HTTP/SSE snapshot from there.
+    """
 
     def __init__(self, sim: Kernel, interval: float, memory: Any, cm: Any,
-                 sink: list[SamplePoint]):
+                 sink: list[SamplePoint],
+                 on_sample: Optional[Callable[[SamplePoint], None]] = None):
         if interval <= 0:
             raise ConfigurationError(
                 f"sampling interval must be positive, got {interval}")
@@ -72,6 +81,7 @@ class TelemetrySampler:
         self.memory = memory
         self.cm = cm
         self.sink = sink
+        self.on_sample = on_sample
         self._stop = sim.event(name="sampler-stop")
         self._process: Optional[Process] = None
 
@@ -92,4 +102,7 @@ class TelemetrySampler:
             yield self.sim.any_of([tick, self._stop])
             if self._stop.triggered:
                 return
-            self.sink.append(take_sample(self.sim, self.memory, self.cm))
+            sample = take_sample(self.sim, self.memory, self.cm)
+            self.sink.append(sample)
+            if self.on_sample is not None:
+                self.on_sample(sample)

@@ -1,0 +1,167 @@
+"""The embedded observability HTTP server (``repro live --serve``).
+
+A tiny, dependency-free :mod:`http.server` instance running on a daemon
+thread next to a live run.  Three endpoints:
+
+* ``GET /metrics``  — the latest :func:`~repro.observability.live.
+  live_prometheus_text` exposition (Prometheus scrape target);
+* ``GET /healthz``  — JSON liveness: snapshot sequence number and the
+  run clock, status 200 while serving;
+* ``GET /stream``   — Server-Sent Events: one ``data:`` line of
+  snapshot JSON per published snapshot (``repro top`` attaches here).
+
+The server only ever *reads* the :class:`~repro.observability.live.
+MetricsPublisher`; the engine thread publishes.  Binding to port 0
+picks an ephemeral port (see :attr:`ObservabilityServer.port`), which
+is what the tests use to scrape a run mid-flight.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from repro.observability.live import MetricsPublisher, live_prometheus_text
+
+#: how long one SSE poll waits for a fresh snapshot before re-checking
+#: whether the server is shutting down.
+_STREAM_POLL_S = 0.25
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; ``self.server`` is the :class:`_Server` below."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the CLI run's stdout belongs to the experiment output
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- endpoints ---------------------------------------------------------
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._metrics()
+        elif path == "/healthz":
+            self._healthz()
+        elif path == "/stream":
+            self._stream()
+        else:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"unknown endpoint; try /metrics, /healthz, /stream\n")
+
+    def _metrics(self) -> None:
+        snapshot, _seq = self.server.publisher.latest()
+        body = live_prometheus_text(snapshot).encode("utf-8")
+        self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+
+    def _healthz(self) -> None:
+        snapshot, seq = self.server.publisher.latest()
+        body = json.dumps({
+            "status": "ok",
+            "serving": not self.server.publisher.closed,
+            "snapshots": seq,
+            "now": snapshot["now"] if snapshot is not None else None,
+        }).encode("utf-8")
+        self._send(200, "application/json", body)
+
+    def _stream(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        publisher = self.server.publisher
+        seq = 0
+        # Replay the current snapshot immediately so a late subscriber
+        # gets a frame without waiting for the next sampler tick.
+        snapshot, seq0 = publisher.latest()
+        try:
+            if snapshot is not None:
+                seq = seq0
+                self._event(snapshot, seq)
+            while not self.server.stopping.is_set():
+                snapshot, seq = publisher.wait_newer(seq, _STREAM_POLL_S)
+                if snapshot is not None:
+                    self._event(snapshot, seq)
+                elif publisher.closed:
+                    break
+            self.wfile.write(b"event: end\ndata: {}\n\n")
+            self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+        finally:
+            self.close_connection = True
+
+    def _event(self, snapshot: Any, seq: int) -> None:
+        payload = json.dumps(snapshot, sort_keys=True)
+        self.wfile.write(f"id: {seq}\ndata: {payload}\n\n".encode("utf-8"))
+        self.wfile.flush()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    #: ephemeral-port reuse between quick test restarts.
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int],
+                 publisher: MetricsPublisher):
+        super().__init__(address, _Handler)
+        self.publisher = publisher
+        self.stopping = threading.Event()
+
+
+class ObservabilityServer:
+    """Owns the HTTP server thread for one serving live run."""
+
+    def __init__(self, publisher: MetricsPublisher,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.publisher = publisher
+        self._server = _Server((host, port), publisher)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObservabilityServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="observability-http",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the server thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._server.stopping.set()
+        self.publisher.close()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join()
+        self._thread = None
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"ObservabilityServer({self.url}, {state})"

@@ -18,8 +18,9 @@ The per-cause totals always sum to ``DynamicQueryProcessor.stall_time``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.common.errors import SimulationError
 
@@ -52,41 +53,59 @@ class StallInterval:
 
 
 class StallAttribution:
-    """Accumulates attributed idle intervals and their per-cause totals."""
+    """Accumulates attributed idle intervals and their per-cause totals.
+
+    Reads (:meth:`by_cause`, :attr:`total`) take a lock shared with
+    :meth:`record`, so the live ``/metrics`` thread never iterates the
+    breakdown dict mid-mutation and always sees per-cause totals that
+    sum exactly to the recorded stall time.
+    """
 
     def __init__(self, keep_intervals: bool = True):
         self.keep_intervals = keep_intervals
-        self.intervals: list[StallInterval] = []
-        self.breakdown: dict[str, float] = {}
+        self.intervals: List[StallInterval] = []
+        self.breakdown: Dict[str, float] = {}
+        self._lock = threading.RLock()
+        #: optional observer invoked after each recorded interval (the
+        #: flight recorder hooks in here); must not raise.
+        self.on_record: Optional[Callable[[StallInterval], None]] = None
 
     def record(self, cause: str, started: float, ended: float) -> None:
         """Attribute the idle interval ``[started, ended]`` to ``cause``."""
         if ended < started:
             raise SimulationError(
                 f"stall interval ends before it starts: {started} > {ended}")
-        if self.keep_intervals:
-            self.intervals.append(StallInterval(started, ended, cause))
-        self.breakdown[cause] = (self.breakdown.get(cause, 0.0)
-                                 + (ended - started))
+        interval = StallInterval(started, ended, cause)
+        with self._lock:
+            if self.keep_intervals:
+                self.intervals.append(interval)
+            self.breakdown[cause] = (self.breakdown.get(cause, 0.0)
+                                     + (ended - started))
+        if self.on_record is not None:
+            self.on_record(interval)
 
     @property
     def total(self) -> float:
         """Sum of every attributed interval (equals the DQP's stall time)."""
-        return sum(self.breakdown.values())
+        with self._lock:
+            return sum(self.breakdown.values())
 
-    def by_cause(self) -> dict[str, float]:
+    def by_cause(self) -> Dict[str, float]:
         """Per-cause totals, largest first."""
-        return dict(sorted(self.breakdown.items(),
-                           key=lambda item: (-item[1], item[0])))
+        with self._lock:
+            return dict(sorted(self.breakdown.items(),
+                               key=lambda item: (-item[1], item[0])))
 
-    def source_waits(self) -> dict[str, float]:
+    def source_waits(self) -> Dict[str, float]:
         """Idle seconds per starving source (``source-wait:*`` only)."""
-        return {cause[len(_SOURCE_PREFIX):]: seconds
-                for cause, seconds in self.breakdown.items()
-                if is_source_wait(cause)}
+        with self._lock:
+            return {cause[len(_SOURCE_PREFIX):]: seconds
+                    for cause, seconds in self.breakdown.items()
+                    if is_source_wait(cause)}
 
-    def as_dict(self) -> dict[str, Any]:
-        return {"total": self.total, "breakdown": self.by_cause()}
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"total": self.total, "breakdown": self.by_cause()}
 
     def __repr__(self) -> str:
         return (f"StallAttribution({len(self.breakdown)} causes, "

@@ -18,9 +18,10 @@ disabled instance, so direct construction in tests keeps working.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.observability.audit import DecisionAuditLog
+from repro.observability.flight import FlightRecorder
 from repro.observability.registry import MetricsRegistry
 from repro.observability.sampling import SamplePoint, TelemetrySampler
 from repro.observability.stalls import StallAttribution
@@ -39,6 +40,9 @@ class Telemetry:
         self.stalls = StallAttribution()
         self.audit = DecisionAuditLog()
         self.samples: list[SamplePoint] = []
+        #: optional flight recorder; ``None`` (the default) keeps every
+        #: instrumented hot path at a single attribute check.
+        self.flight: Optional[FlightRecorder] = None
         self._sampler: Optional[TelemetrySampler] = None
 
     @property
@@ -46,17 +50,23 @@ class Telemetry:
         """True when periodic sampling should run."""
         return self.enabled and self.sample_interval > 0 and self.sim is not None
 
-    def start_sampler(self, memory: Any, cm: Any) -> Optional[TelemetrySampler]:
+    def start_sampler(
+            self, memory: Any, cm: Any,
+            on_sample: Optional[Callable[[SamplePoint], None]] = None,
+    ) -> Optional[TelemetrySampler]:
         """Start the periodic sampler if sampling is configured.
 
         The caller owns termination: arrange for :meth:`stop_sampler` to
         run when the observed execution ends, or the sampler's periodic
-        timeouts keep the simulation alive forever.
+        timeouts keep the simulation alive forever.  ``on_sample`` is
+        passed through to the sampler (the live engine publishes its
+        HTTP snapshot from there).
         """
         if not self.sampling or self._sampler is not None:
             return None
         self._sampler = TelemetrySampler(self.sim, self.sample_interval,
-                                         memory, cm, self.samples)
+                                         memory, cm, self.samples,
+                                         on_sample=on_sample)
         self._sampler.start()
         return self._sampler
 

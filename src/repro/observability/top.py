@@ -1,0 +1,167 @@
+"""``repro top`` — a terminal dashboard for a live run.
+
+Connects to the SSE ``/stream`` endpoint of a serving live run
+(``repro live --serve PORT``) and redraws a compact dashboard on every
+published snapshot: run clock and result progress, the memory budget
+bar, per-fragment throughput, source queue depths, and the live
+stall-attribution breakdown.
+
+The drawing pipeline is deliberately split so it can be tested without
+a terminal:
+
+* :func:`render_top` — pure ``snapshot dict -> list[str]``;
+* :func:`stream_snapshots` — a generator of snapshot dicts from an SSE
+  socket (plain :mod:`http.client`, no dependencies);
+* :func:`run_top` — the curses loop gluing the two together
+  (:mod:`curses` is imported lazily so headless platforms can still use
+  ``--once`` / ``--replay``).
+
+``--replay DUMP`` renders the final snapshot embedded in a
+flight-recorder dump instead of connecting anywhere — the post-mortem
+twin of the live view.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+
+#: glyphs for the memory bar; ASCII so any terminal renders it.
+_BAR_FILL = "#"
+_BAR_EMPTY = "-"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = round(fraction * width)
+    return _BAR_FILL * filled + _BAR_EMPTY * (width - filled)
+
+
+def _fmt_count(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e4:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:,.0f}"
+
+
+def render_top(snapshot: Optional[Dict[str, Any]], width: int = 80) -> List[str]:
+    """Render one snapshot as fixed-width text lines (pure function)."""
+    if snapshot is None:
+        return ["repro top — waiting for first snapshot..."]
+    lines: List[str] = []
+    header = (f"repro top — {snapshot['strategy']}  "
+              f"t={snapshot['now']:.2f}s  "
+              f"tuples={_fmt_count(snapshot['result_tuples'])}  "
+              f"batches={_fmt_count(snapshot['batches'])}  "
+              f"decisions={snapshot['decisions']}")
+    lines.append(header[:width])
+
+    memory = snapshot["memory"]
+    total = memory["total"] or 1
+    used_frac = memory["used"] / total
+    bar_width = max(10, width - 46)
+    lines.append(f"memory [{_bar(used_frac, bar_width)}] "
+                 f"{memory['used'] / 1e6:6.1f}/{total / 1e6:.1f} MB "
+                 f"(peak {memory['peak'] / 1e6:.1f})"[:width])
+
+    stall_time = snapshot["stall_time"]
+    stalls = sorted(snapshot["stalls"].items(), key=lambda kv: -kv[1])
+    stall_text = "  ".join(f"{cause}={seconds:.2f}s"
+                           for cause, seconds in stalls[:4]) or "none"
+    lines.append(f"stalls {stall_time:8.2f}s total  {stall_text}"[:width])
+    lines.append("")
+
+    lines.append(f"{'FRAGMENT':<18} {'KIND':<5} {'STATUS':<8} "
+                 f"{'IN':>9} {'OUT':>9} {'BATCH':>7} {'TUP/S':>10}"[:width])
+    fragments = sorted(snapshot["fragments"],
+                       key=lambda f: (-f["throughput"], f["name"]))
+    for fragment in fragments:
+        lines.append(
+            f"{fragment['name']:<18.18} {fragment['kind']:<5} "
+            f"{fragment['status']:<8} {_fmt_count(fragment['tuples_in']):>9} "
+            f"{_fmt_count(fragment['tuples_out']):>9} "
+            f"{_fmt_count(fragment['batches']):>7} "
+            f"{fragment['throughput']:>10.1f}"[:width])
+    lines.append("")
+
+    lines.append(f"{'SOURCE':<18} {'QUEUED':>9} {'MSGS':>6} {'RATE':>10}"[:width])
+    for source, queue in sorted(snapshot["queues"].items()):
+        lines.append(f"{source:<18.18} {_fmt_count(queue['tuples']):>9} "
+                     f"{queue['messages']:>6} {queue['rate']:>10.1f}"[:width])
+    return lines
+
+
+def _parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ConfigurationError(
+            f"expected HOST:PORT to connect to, got {endpoint!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def stream_snapshots(endpoint: str,
+                     timeout: float = 10.0) -> Iterator[Dict[str, Any]]:
+    """Yield snapshot dicts from a live run's SSE ``/stream`` endpoint.
+
+    Ends cleanly when the run finishes (the server sends ``event: end``
+    and closes).  Raises :class:`ConfigurationError` when nothing is
+    listening at ``endpoint``.
+    """
+    host, port = _parse_endpoint(endpoint)
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", "/stream", headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        if response.status != 200:
+            raise ConfigurationError(
+                f"{endpoint}/stream answered HTTP {response.status}")
+        ended = False
+        for raw in response:
+            line = raw.decode("utf-8", errors="replace").rstrip("\n\r")
+            if line.startswith("event:") and line.split(":", 1)[1].strip() == "end":
+                ended = True
+            elif line.startswith("data:") and not ended:
+                yield json.loads(line.split(":", 1)[1].strip())
+            elif ended and not line:
+                return
+    except (ConnectionError, OSError) as exc:
+        raise ConfigurationError(
+            f"cannot stream from {endpoint}: {exc} "
+            f"(is `repro live --serve` running?)")
+    finally:
+        conn.close()
+
+
+def replay_snapshot(dump_path: str) -> Optional[Dict[str, Any]]:
+    """The final live snapshot embedded in a flight-recorder dump."""
+    from repro.observability.flight import load_flight_dump
+
+    dump = load_flight_dump(dump_path)
+    return dump.get("snapshot")
+
+
+def run_top(endpoint: str, interval: float = 0.5) -> int:
+    """The interactive curses loop ('q' quits). Returns an exit code."""
+    import curses
+
+    def _loop(screen: Any) -> None:
+        curses.curs_set(0)
+        screen.nodelay(True)
+        screen.timeout(int(interval * 1000))
+        for snapshot in stream_snapshots(endpoint):
+            height, width = screen.getmaxyx()
+            screen.erase()
+            for row, line in enumerate(render_top(snapshot, width - 1)):
+                if row >= height - 1:
+                    break
+                screen.addstr(row, 0, line)
+            screen.refresh()
+            if screen.getch() in (ord("q"), ord("Q")):
+                return
+
+    curses.wrapper(_loop)
+    return 0

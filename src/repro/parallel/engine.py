@@ -33,6 +33,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Optional, Protocol, Sequence
 
+from repro.observability import MetricsRegistry
 from repro.parallel.cache import RunCache
 
 
@@ -78,6 +79,11 @@ class SweepRunner:
     #: gate for ``--no-cache``: keep the directory configured but bypass it.
     use_cache: bool = True
     stats: SweepStats = field(default_factory=SweepStats)
+    #: cross-run telemetry: every result's metrics registry (inline,
+    #: pool-shipped or cache-served) is merged in here, so a sweep's
+    #: aggregate counters survive the process boundary.
+    merged_metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=True))
 
     def __post_init__(self) -> None:
         if self.jobs == 0:
@@ -103,6 +109,7 @@ class SweepRunner:
                 payload = self.cache.load(key)
                 if payload is not None:
                     results[i] = spec.result_from_payload(payload["result"])
+                    self._merge_telemetry(results[i])
                     stats.cache_hits += 1
                 else:
                     pending.append(i)
@@ -116,6 +123,7 @@ class SweepRunner:
             for i in pending:
                 result = specs[i].execute()
                 results[i] = result
+                self._merge_telemetry(result)
                 self._store(specs[i], keys[i], result)
                 stats.executed_inline += 1
         else:
@@ -125,11 +133,22 @@ class SweepRunner:
                                     [specs[i] for i in pending])
                 for i, payload in zip(pending, payloads):
                     results[i] = specs[i].result_from_payload(payload)
+                    self._merge_telemetry(results[i])
                     if self.cache is not None and keys[i] is not None:
                         self.cache.store(keys[i], {"result": payload})
                         stats.stored += 1
                     stats.executed_pool += 1
         return results
+
+    def _merge_telemetry(self, result: Any) -> None:
+        """Fold one result's metrics registry into :attr:`merged_metrics`.
+
+        Results from telemetry-disabled runs (``metrics is None``) and
+        multi-query results (no ``metrics`` attribute) merge nothing.
+        """
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None:
+            self.merged_metrics.merge(metrics)
 
     def _store(self, spec: Spec, key: Optional[str], result: Any) -> None:
         if self.cache is None or key is None:

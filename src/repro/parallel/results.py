@@ -8,11 +8,15 @@ stall breakdown and the typed decision log survive the round trip
 bit-for-bit (Python floats serialize losslessly through ``repr``-based
 JSON).
 
-What does **not** survive are in-memory object graphs that only make
-sense inside the producing process: the tracer, the live metrics
-registry, periodic samples and the runtime-statistics object.  Sweeps
-never read those — a run that needs them (``repro trace`` / ``repro
-metrics``) is a single execution and stays in-process.
+Since schema 2 the telemetry channels cross the boundary too: the
+metrics registry travels as its snapshot dict (rebuilt via
+:meth:`~repro.observability.registry.MetricsRegistry.from_snapshot`, so
+a parent process can :meth:`~repro.observability.registry.
+MetricsRegistry.merge` worker telemetry) and the periodic samples as
+their plain dicts.  What still does **not** survive are in-memory
+object graphs that only make sense inside the producing process: the
+tracer and the runtime-statistics object.  A run that needs those
+(``repro trace``) is a single execution and stays in-process.
 """
 
 from __future__ import annotations
@@ -22,10 +26,11 @@ from typing import Any
 
 from repro.core.engine import ExecutionResult, FragmentStat
 from repro.core.multiquery import MultiQueryResult, QueryOutcome
-from repro.observability import DecisionRecord
+from repro.observability import DecisionRecord, MetricsRegistry, SamplePoint
 
 #: bumped whenever the payload layout changes (part of the cache key).
-RESULT_SCHEMA_VERSION = 1
+#: 2: telemetry metrics snapshot + periodic samples joined the payload.
+RESULT_SCHEMA_VERSION = 2
 
 #: scalar ExecutionResult fields copied verbatim, in schema order.
 _SCALAR_FIELDS = (
@@ -50,6 +55,9 @@ def result_to_payload(result: ExecutionResult) -> dict[str, Any]:
     payload["reopt_swaps"] = list(result.reopt_swaps)
     payload["stall_breakdown"] = dict(result.stall_breakdown)
     payload["decisions"] = [record.to_dict() for record in result.decisions]
+    payload["metrics"] = (result.metrics.as_dict()
+                          if result.metrics is not None else None)
+    payload["samples"] = [sample.to_dict() for sample in result.samples]
     return payload
 
 
@@ -68,6 +76,11 @@ def result_from_payload(payload: dict[str, Any]) -> ExecutionResult:
     result.stall_breakdown = dict(payload["stall_breakdown"])
     result.decisions = [DecisionRecord.from_dict(record)
                         for record in payload["decisions"]]
+    metrics = payload.get("metrics")
+    if metrics is not None:
+        result.metrics = MetricsRegistry.from_snapshot(metrics)
+    result.samples = [SamplePoint.from_dict(sample)
+                      for sample in payload.get("samples", [])]
     return result
 
 

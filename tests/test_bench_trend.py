@@ -1,0 +1,182 @@
+"""Cross-PR bench regression tracking (`repro.parallel.trend`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.parallel.bench import SUITE
+from repro.parallel.trend import (
+    TREND_METRICS,
+    compare_reports,
+    find_bench_reports,
+    format_trend,
+    load_bench_report,
+    parse_percent,
+    trend_rows,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _report(**derived) -> dict:
+    values = {"dqp_batches_per_sec": 10_000.0,
+              "kernel_events_per_sec": 500_000.0,
+              "parallel_speedup": 2.0,
+              "warm_cache_fraction": 0.05}
+    values.update(derived)
+    return {"suite": SUITE, "schema_version": 1, "derived": values}
+
+
+# --------------------------------------------------------------------------
+# parse_percent
+# --------------------------------------------------------------------------
+
+def test_parse_percent_accepts_both_spellings():
+    assert parse_percent("10%") == pytest.approx(0.10)
+    assert parse_percent(" 2.5% ") == pytest.approx(0.025)
+    assert parse_percent("0.1") == pytest.approx(0.1)
+    assert parse_percent("0") == 0.0
+
+
+def test_parse_percent_rejects_garbage_and_out_of_range():
+    for bad in ["ten percent", "%", "-5%", "100%", "1.5"]:
+        with pytest.raises(ConfigurationError):
+            parse_percent(bad)
+
+
+# --------------------------------------------------------------------------
+# load_bench_report
+# --------------------------------------------------------------------------
+
+def test_load_bench_report_friendly_errors(tmp_path):
+    with pytest.raises(ConfigurationError, match="not found"):
+        load_bench_report(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{truncated")
+    with pytest.raises(ConfigurationError, match="unreadable"):
+        load_bench_report(bad)
+    alien = tmp_path / "alien.json"
+    alien.write_text('{"suite": "something-else", "derived": {}}')
+    with pytest.raises(ConfigurationError, match="not a"):
+        load_bench_report(alien)
+
+
+# --------------------------------------------------------------------------
+# compare_reports and the regression direction per metric
+# --------------------------------------------------------------------------
+
+def test_self_compare_never_regresses():
+    report = _report()
+    comparisons = compare_reports(report, report, 0.10)
+    assert len(comparisons) == len(TREND_METRICS)
+    assert all(c.change_fraction == 0.0 for c in comparisons)
+    assert not any(c.regressed(0.0) for c in comparisons)
+
+
+def test_throughput_drop_beyond_budget_regresses():
+    baseline = _report()
+    current = _report(dqp_batches_per_sec=8_500.0)  # -15%
+    by_name = {c.metric: c for c in compare_reports(baseline, current, 0.10)}
+    slowed = by_name["dqp_batches_per_sec"]
+    assert slowed.change_fraction == pytest.approx(-0.15)
+    assert slowed.regressed(0.10)
+    assert not slowed.regressed(0.20)  # looser budget tolerates it
+    assert not by_name["parallel_speedup"].regressed(0.10)
+
+
+def test_warm_cache_fraction_regresses_when_it_grows():
+    baseline = _report()
+    current = _report(warm_cache_fraction=0.06)  # +20% = worse
+    by_name = {c.metric: c for c in compare_reports(baseline, current, 0.10)}
+    cache = by_name["warm_cache_fraction"]
+    assert cache.change_fraction == pytest.approx(-0.20)
+    assert cache.regressed(0.10)
+    # ... and an *improvement* (smaller fraction) never regresses.
+    better = {c.metric: c for c in compare_reports(
+        baseline, _report(warm_cache_fraction=0.01), 0.10)}
+    assert better["warm_cache_fraction"].change_fraction > 0
+    assert not better["warm_cache_fraction"].regressed(0.0)
+
+
+def test_sweep_shape_metrics_are_advisory_across_configs():
+    # warm_cache_fraction and parallel_speedup depend on the sweep
+    # shape; when the configs differ (CI's reduced run vs the committed
+    # full-config baseline) they are reported but never gated.
+    baseline = dict(_report(), config={"scale": 0.2, "repetitions": 1})
+    current = dict(_report(warm_cache_fraction=0.5, parallel_speedup=0.1),
+                   config={"scale": 0.05, "repetitions": 2})
+    by_name = {c.metric: c for c in compare_reports(baseline, current, 0.10)}
+    assert by_name["warm_cache_fraction"].advisory
+    assert not by_name["warm_cache_fraction"].regressed(0.10)
+    assert not by_name["parallel_speedup"].regressed(0.10)
+    assert "advisory" in " ".join(by_name["parallel_speedup"].row())
+    # ... but a rate collapse still gates even across configs.
+    slowed = {c.metric: c for c in compare_reports(
+        baseline, dict(current, derived=dict(
+            current["derived"], dqp_batches_per_sec=100.0)), 0.10)}
+    assert slowed["dqp_batches_per_sec"].regressed(0.10)
+    # Same config keeps everything gated.
+    same = {c.metric: c for c in compare_reports(
+        baseline, dict(baseline, derived=dict(
+            baseline["derived"], warm_cache_fraction=0.5)), 0.10)}
+    assert same["warm_cache_fraction"].regressed(0.10)
+
+
+def test_metrics_missing_from_either_side_are_skipped():
+    baseline = _report()
+    del baseline["derived"]["parallel_speedup"]
+    comparisons = compare_reports(baseline, _report(), 0.10)
+    assert "parallel_speedup" not in {c.metric for c in comparisons}
+
+
+# --------------------------------------------------------------------------
+# The BENCH_PR*.json series
+# --------------------------------------------------------------------------
+
+def test_find_bench_reports_sorts_by_pr_number(tmp_path):
+    for name in ["BENCH_PR10.json", "BENCH_PR2.json", "BENCH_PR4.json"]:
+        (tmp_path / name).write_text(json.dumps(_report()))
+    (tmp_path / "BENCH_notes.json").write_text("{}")  # no PR number: ignored
+    paths = find_bench_reports(tmp_path)
+    assert [p.name for p in paths] == [
+        "BENCH_PR2.json", "BENCH_PR4.json", "BENCH_PR10.json"]
+
+
+def test_trend_rows_and_format_trend(tmp_path):
+    (tmp_path / "BENCH_PR3.json").write_text(json.dumps(_report()))
+    (tmp_path / "BENCH_PR4.json").write_text(json.dumps(
+        _report(dqp_batches_per_sec=12_000.0)))
+    paths = find_bench_reports(tmp_path)
+    series = trend_rows(paths)
+    assert series["dqp_batches_per_sec"] == [10_000.0, 12_000.0]
+
+    table = format_trend(paths)
+    assert "PR3 -> PR4" in table
+    assert "dqp_batches_per_sec" in table
+    assert "+20.0%" in table  # first -> last trajectory
+
+
+def test_format_trend_with_no_reports():
+    assert "no BENCH_PR*.json" in format_trend([])
+
+
+# --------------------------------------------------------------------------
+# The committed baseline for this PR
+# --------------------------------------------------------------------------
+
+def test_committed_bench_pr4_is_a_loadable_nonregressing_baseline():
+    report = load_bench_report(REPO_ROOT / "BENCH_PR4.json")
+    for metric in TREND_METRICS:
+        assert metric in report["derived"], f"{metric} missing from baseline"
+    comparisons = compare_reports(report, report, 0.10)
+    assert not any(c.regressed(0.10) for c in comparisons)
+
+
+def test_committed_series_includes_this_pr_in_order():
+    paths = find_bench_reports(REPO_ROOT)
+    names = [p.name for p in paths]
+    assert "BENCH_PR4.json" in names
+    assert names == sorted(
+        names, key=lambda n: int(n[len("BENCH_PR"):-len(".json")]))

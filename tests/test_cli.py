@@ -218,3 +218,149 @@ def test_cmd_bench_assert_speedup_can_fail(tmp_path):
     assert main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
                  "--best-of", "1", "--jobs", "1", "--out",
                  str(tmp_path / "b.json"), "--assert-speedup", "1000"]) == 1
+
+
+# --------------------------------------------------------------------------
+# Offline telemetry loading (--from), repro top, and the regression gate
+# --------------------------------------------------------------------------
+
+def test_cmd_metrics_from_missing_file_exits_2(capsys, tmp_path):
+    assert main(["metrics", "--from", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cmd_metrics_from_truncated_file_exits_2(capsys, tmp_path):
+    bad = tmp_path / "truncated.json"
+    bad.write_text('{"metrics": {')
+    assert main(["metrics", "--from", str(bad)]) == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+def test_cmd_metrics_from_roundtrips_a_previous_export(capsys, tmp_path):
+    exported = tmp_path / "metrics.json"
+    assert main(["metrics", "--scale", "0.02", "--strategy", "DSE",
+                 "--json", str(exported)]) == 0
+    capsys.readouterr()
+
+    prom = tmp_path / "reexport.prom"
+    assert main(["metrics", "--from", str(exported),
+                 "--prom", str(prom)]) == 0
+    out = capsys.readouterr().out
+    assert "DSE:" in out and "metrics" in out
+    assert prom.read_text().startswith("# HELP repro_response_time_seconds")
+
+
+def test_cmd_trace_from_missing_file_exits_2(capsys, tmp_path):
+    assert main(["trace", "--from", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cmd_trace_from_summarizes_a_chrome_trace(capsys, tmp_path):
+    target = tmp_path / "trace.json"
+    assert main(["trace", "--scale", "0.02", "--out", str(target)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "--from", str(target)]) == 0
+    assert "chrome trace:" in capsys.readouterr().out
+
+
+def _write_flight_dump(tmp_path, with_snapshot=True):
+    from repro.observability import ENTRY_BATCH, ENTRY_STALL, FlightRecorder
+
+    recorder = FlightRecorder(capacity=16)
+    recorder.record(ENTRY_BATCH, 0.1, fragment="pA", tuples=128)
+    recorder.record(ENTRY_STALL, 0.4, cause="source-wait:A", duration=0.2)
+    if with_snapshot:
+        recorder.latest_snapshot = {
+            "strategy": "DSE", "now": 0.4, "result_tuples": 128,
+            "batches": 1, "decisions": 0, "stall_time": 0.2,
+            "stalls": {"source-wait:A": 0.2},
+            "memory": {"used": 0, "total": 8e6, "peak": 0},
+            "fragments": [], "queues": {}}
+    return recorder.dump(tmp_path / "flight.json", reason="stall")
+
+
+def test_cmd_trace_from_summarizes_a_flight_dump(capsys, tmp_path):
+    dump = _write_flight_dump(tmp_path)
+    assert main(["trace", "--from", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "flight-recorder dump: reason=stall" in out
+    assert "batch" in out and "stall" in out
+
+
+def test_cmd_top_replay_renders_the_dump_snapshot(capsys, tmp_path):
+    dump = _write_flight_dump(tmp_path)
+    assert main(["top", "--replay", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "repro top — DSE" in out
+    assert "source-wait:A" in out
+
+
+def test_cmd_top_replay_without_snapshot_exits_2(capsys, tmp_path):
+    dump = _write_flight_dump(tmp_path, with_snapshot=False)
+    assert main(["top", "--replay", str(dump)]) == 2
+    assert "no live snapshot" in capsys.readouterr().err
+
+
+def test_cmd_top_replay_missing_dump_exits_2(capsys, tmp_path):
+    assert main(["top", "--replay", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cmd_top_once_with_nothing_listening_exits_2(capsys):
+    assert main(["top", "--connect", "127.0.0.1:1", "--once"]) == 2
+    assert "cannot stream" in capsys.readouterr().err
+
+
+def test_bench_default_out_is_this_prs_report():
+    args = build_parser().parse_args(["bench"])
+    assert args.out == "BENCH_PR4.json"
+    assert args.max_regression == "10%"
+
+
+def test_cmd_bench_compare_bad_baseline_fails_fast(capsys, tmp_path):
+    # Exit 2 *before* running the suite: no [case] progress printed.
+    assert main(["bench", "--compare", str(tmp_path / "nope.json"),
+                 "--out", str(tmp_path / "b.json")]) == 2
+    captured = capsys.readouterr()
+    assert "not found" in captured.err
+    assert "[dqp_batch_loop]" not in captured.out
+
+
+def test_cmd_bench_compare_bad_budget_fails_fast(capsys, tmp_path):
+    import json as _json
+
+    baseline = tmp_path / "base.json"
+    baseline.write_text(_json.dumps(
+        {"suite": "repro-parallel-bench", "derived": {}}))
+    assert main(["bench", "--compare", str(baseline),
+                 "--max-regression", "lots",
+                 "--out", str(tmp_path / "b.json")]) == 2
+    assert "percentage" in capsys.readouterr().err
+
+
+def test_cmd_bench_compare_gates_an_injected_regression(capsys, tmp_path):
+    import json as _json
+
+    argv = ["bench", "--scale", "0.02", "--retrieval-times", "0.1",
+            "--best-of", "1", "--jobs", "2"]
+
+    # A baseline far slower than any real run: the gate passes.
+    modest = {"suite": "repro-parallel-bench", "derived": {
+        "dqp_batches_per_sec": 1.0, "kernel_events_per_sec": 1.0}}
+    baseline = tmp_path / "modest.json"
+    baseline.write_text(_json.dumps(modest))
+    assert main(argv + ["--out", str(tmp_path / "pass.json"),
+                        "--compare", str(baseline)]) == 0
+    assert "REGRESSION" not in capsys.readouterr().out
+
+    # A baseline claiming impossible throughput: every real run is a
+    # >=10% regression against it and the gate must fail.
+    inflated = {"suite": "repro-parallel-bench", "derived": {
+        "dqp_batches_per_sec": 1e12, "kernel_events_per_sec": 1e12}}
+    baseline.write_text(_json.dumps(inflated))
+    assert main(argv + ["--out", str(tmp_path / "fail.json"),
+                        "--compare", str(baseline),
+                        "--max-regression", "10%"]) == 1
+    out = capsys.readouterr().out
+    assert "<< REGRESSION" in out
+    assert "FAIL:" in out

@@ -1,0 +1,191 @@
+"""Tear-free telemetry exports under concurrent mutation.
+
+The wall-clock backend exports metrics from HTTP threads while the
+engine thread is still mutating them.  The registry guarantees every
+snapshot is internally consistent (one shared lock, held for the whole
+``as_dict``).  These tests hammer that from real threads and check the
+cross-metric invariants that would break under a torn read.
+"""
+
+import csv
+import io
+import threading
+
+from repro.observability import MetricsRegistry
+from repro.observability.export import (
+    prometheus_text,
+    write_metrics_csv,
+    write_metrics_json,
+)
+
+THREADS = 4
+ITERATIONS = 2_000
+BUCKETS = (10.0, 100.0, 1000.0)
+
+
+def _stress(registry: MetricsRegistry, reader) -> list:
+    """Run mutator threads against ``registry`` while ``reader`` samples.
+
+    Each mutator performs one counter inc + one gauge set + one paired
+    histogram observe per iteration, so exported snapshots have a fixed
+    arithmetic relationship between the metrics for the reader to check.
+    """
+    start = threading.Barrier(THREADS + 1)
+    done = threading.Event()
+    failures: list[BaseException] = []
+
+    def mutate(worker: int) -> None:
+        counter = registry.counter("stress.ops")
+        gauge = registry.gauge("stress.level")
+        hist_a = registry.histogram("stress.sizes", buckets=BUCKETS)
+        hist_b = registry.histogram("stress.sizes_twin", buckets=BUCKETS)
+        start.wait()
+        for i in range(ITERATIONS):
+            counter.inc()
+            gauge.set(float(i))
+            value = float((i * 7 + worker) % 2000)
+            hist_a.observe(value)
+            hist_b.observe(value)
+
+    def observe() -> None:
+        start.wait()
+        try:
+            while not done.is_set():
+                reader()
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+
+    mutators = [threading.Thread(target=mutate, args=(w,))
+                for w in range(THREADS)]
+    observer = threading.Thread(target=observe)
+    for thread in [*mutators, observer]:
+        thread.start()
+    for thread in mutators:
+        thread.join()
+    done.set()
+    observer.join()
+    return failures
+
+
+def _check_snapshot(snapshot: dict) -> None:
+    """Invariants that only hold if the snapshot is not torn."""
+    sizes = snapshot["stress.sizes"]
+    assert sum(sizes["counts"]) == sizes["count"], "histogram torn"
+    assert sizes["sum"] >= 0
+    if sizes["count"]:
+        assert sizes["min"] <= sizes["mean"] <= sizes["max"]
+    # The twin histogram receives the same observations inside the same
+    # lock-free region, but each snapshot is atomic per registry, so the
+    # twins can differ by at most the in-flight iterations — never run
+    # backwards relative to the paired counter.
+    assert snapshot["stress.sizes_twin"]["count"] <= \
+        snapshot["stress.ops"]["value"]
+    gauge = snapshot["stress.level"]
+    if gauge["max"] is not None:
+        assert gauge["min"] <= gauge["value"] <= gauge["max"]
+
+
+def test_as_dict_snapshots_are_never_torn():
+    registry = MetricsRegistry(enabled=True)
+    seen_counts: list[float] = []
+
+    def reader() -> None:
+        snapshot = registry.as_dict()
+        if "stress.sizes" not in snapshot:
+            return  # racing thread start-up: metrics not registered yet
+        _check_snapshot(snapshot)
+        seen_counts.append(snapshot["stress.ops"]["value"])
+
+    failures = _stress(registry, reader)
+    assert not failures, failures[0]
+    # The counter is monotone across successive snapshots.
+    assert seen_counts == sorted(seen_counts)
+    final = registry.as_dict()
+    assert final["stress.ops"]["value"] == THREADS * ITERATIONS
+    assert final["stress.sizes"]["count"] == THREADS * ITERATIONS
+
+
+def _export_snapshot(registry: MetricsRegistry) -> dict:
+    """A telemetry_snapshot-shaped dict around the live registry."""
+    return {
+        "version": 1, "strategy": "DSE", "response_time": 1.0,
+        "result_tuples": 1, "stall_time": 0.0, "stall_breakdown": {},
+        "decisions": [], "samples": [], "metrics": registry.as_dict(),
+    }
+
+
+def test_prometheus_export_is_consistent_under_concurrent_updates():
+    registry = MetricsRegistry(enabled=True)
+
+    def reader() -> None:
+        text = prometheus_text(_export_snapshot(registry))
+        counts = {}
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name, value = line.rsplit(" ", 1)
+            counts[name] = float(value)
+        bucket_inf = counts.get('repro_stress_sizes_bucket{le="+Inf"}')
+        if bucket_inf is None:
+            return  # metrics not registered yet
+        # Cumulative buckets end exactly at _count; a torn read breaks this.
+        assert counts["repro_stress_sizes_count"] == bucket_inf
+        last_finite = counts[
+            f'repro_stress_sizes_bucket{{le="{BUCKETS[-1]!r}"}}']
+        assert last_finite <= bucket_inf
+
+    failures = _stress(registry, reader)
+    assert not failures, failures[0]
+
+
+def test_json_and_csv_exports_under_concurrent_updates(tmp_path):
+    registry = MetricsRegistry(enabled=True)
+    target = tmp_path / "metrics.json"
+
+    def reader() -> None:
+        snapshot = _export_snapshot(registry)
+        write_metrics_json(snapshot, target)
+        buffer = io.StringIO()
+        # write_metrics_csv wants a path; reuse its row logic via a
+        # fresh temp-file-free pass: serialize to CSV in memory.
+        writer = csv.writer(buffer)
+        for name, data in sorted(snapshot["metrics"].items()):
+            for key, value in sorted(data.items()):
+                if key in ("kind", "buckets", "counts"):
+                    continue
+                writer.writerow(["metric", name, key, value])
+        assert buffer.getvalue() is not None
+
+    failures = _stress(registry, reader)
+    assert not failures, failures[0]
+    # The last JSON written during the stress parses and is consistent.
+    import json
+
+    final = json.loads(target.read_text())
+    _check_snapshot(final["metrics"])
+
+
+def test_merged_registry_equals_the_sum_of_worker_registries():
+    """Cross-process aggregation semantics: merge() is associative and
+    sums counters/histograms while keeping gauge extremes."""
+    workers = []
+    for w in range(3):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("dqp.batches").inc(100 * (w + 1))
+        registry.gauge("memory.used").set(10.0 * (w + 1))
+        hist = registry.histogram("batch.sizes", buckets=BUCKETS)
+        for i in range(50):
+            hist.observe(float(i + w))
+        workers.append(registry)
+
+    merged = MetricsRegistry(enabled=True)
+    for worker in workers:
+        merged.merge(worker.as_dict())  # what SweepRunner does per result
+
+    snapshot = merged.as_dict()
+    assert snapshot["dqp.batches"]["value"] == 100 + 200 + 300
+    assert snapshot["batch.sizes"]["count"] == 150
+    assert snapshot["batch.sizes"]["sum"] == sum(
+        float(i + w) for w in range(3) for i in range(50))
+    assert snapshot["memory.used"]["max"] == 30.0
+    assert snapshot["memory.used"]["min"] == 10.0

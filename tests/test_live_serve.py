@@ -1,0 +1,335 @@
+"""The live observability plane: /metrics, /healthz, /stream, repro top.
+
+The acceptance behaviour pinned here: scraping ``/metrics`` *mid-flight*
+returns valid Prometheus exposition text with per-fragment throughput
+series, and the per-cause stall series re-summed in document order
+reproduce ``repro_live_stall_time_seconds`` bit-for-bit.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.config import SimulationParameters
+from repro.core.strategies import make_policy
+from repro.exec.live import LiveQueryEngine, jittered_batches
+from repro.experiments import figure5_workload
+from repro.observability import (
+    MetricsPublisher,
+    build_live_snapshot,
+    live_prometheus_text,
+)
+from repro.observability.top import _parse_endpoint, render_top
+
+
+# --------------------------------------------------------------------------
+# MetricsPublisher
+# --------------------------------------------------------------------------
+
+def test_publisher_latest_and_sequence():
+    publisher = MetricsPublisher()
+    assert publisher.latest() == (None, 0)
+    assert publisher.publish({"now": 1.0}) == 1
+    assert publisher.publish({"now": 2.0}) == 2
+    snapshot, seq = publisher.latest()
+    assert seq == 2 and snapshot["now"] == 2.0
+    assert snapshot["seq"] == 2  # the published dict carries its seq
+
+
+def test_publisher_wait_newer_times_out_and_wakes():
+    publisher = MetricsPublisher()
+    snapshot, seq = publisher.wait_newer(0, timeout=0.01)
+    assert snapshot is None and seq == 0
+
+    got = {}
+
+    def waiter():
+        got["snapshot"], got["seq"] = publisher.wait_newer(0, timeout=5.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    publisher.publish({"now": 3.0})
+    thread.join(timeout=5.0)
+    assert got["seq"] == 1 and got["snapshot"]["now"] == 3.0
+
+
+def test_publisher_close_wakes_waiters_without_a_snapshot():
+    publisher = MetricsPublisher()
+    got = {}
+
+    def waiter():
+        got["snapshot"], got["seq"] = publisher.wait_newer(0, timeout=5.0)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    publisher.close()
+    thread.join(timeout=5.0)
+    assert got["snapshot"] is None
+    assert publisher.closed
+
+
+# --------------------------------------------------------------------------
+# Exposition text
+# --------------------------------------------------------------------------
+
+def test_prometheus_text_before_first_snapshot_is_just_up_zero():
+    text = live_prometheus_text(None)
+    assert "repro_live_up 0.0" in text
+    assert text.endswith("\n")
+    assert "repro_live_stall" not in text
+
+
+def _parse_prometheus(text: str) -> list[tuple[str, float]]:
+    samples = []
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples.append((name, float(value)))
+    return samples
+
+
+def test_prometheus_text_renders_a_synthetic_snapshot():
+    snapshot = {
+        "seq": 7, "strategy": "DSE", "now": 1.25, "result_tuples": 10,
+        "batches": 42, "context_switches": 3, "decisions": 2,
+        "stall_time": 0.5, "stalls": {"source-wait:A": 0.3, "timeout": 0.2},
+        "samples": 5,
+        "memory": {"used": 1024, "total": 4096, "peak": 2048},
+        "fragments": [{"name": "pA", "kind": "MF", "chain": "C1",
+                       "status": "running", "tuples_in": 100,
+                       "tuples_out": 90, "batches": 4, "throughput": 72.0}],
+        "queues": {"A": {"tuples": 12, "messages": 1, "rate": 500.0}},
+    }
+    samples = dict(_parse_prometheus(live_prometheus_text(snapshot)))
+    assert samples["repro_live_up"] == 1.0
+    assert samples["repro_live_batches_total"] == 42.0
+    assert samples['repro_live_fragment_throughput_tuples_per_second'
+                   '{fragment="pA",kind="MF"}'] == 72.0
+    assert samples['repro_live_stall_seconds_total{cause="source-wait:A"}'] \
+        == 0.3
+    assert samples['repro_live_queue_depth_tuples{source="A"}'] == 12.0
+
+
+# --------------------------------------------------------------------------
+# repro top rendering
+# --------------------------------------------------------------------------
+
+def test_render_top_without_a_snapshot():
+    assert render_top(None) == ["repro top — waiting for first snapshot..."]
+
+
+def test_render_top_layout():
+    snapshot = {
+        "strategy": "DSE", "now": 2.5, "result_tuples": 1500,
+        "batches": 30, "decisions": 4, "stall_time": 1.25,
+        "stalls": {"source-wait:A": 1.0, "timeout": 0.25},
+        "memory": {"used": 2e6, "total": 8e6, "peak": 3e6},
+        "fragments": [
+            {"name": "pA", "kind": "MF", "status": "running",
+             "tuples_in": 100, "tuples_out": 90, "batches": 4,
+             "throughput": 10.0},
+            {"name": "pB", "kind": "MF", "status": "done",
+             "tuples_in": 200, "tuples_out": 180, "batches": 8,
+             "throughput": 99.0},
+        ],
+        "queues": {"A": {"tuples": 7, "messages": 1, "rate": 100.0}},
+    }
+    lines = render_top(snapshot, width=100)
+    assert "DSE" in lines[0] and "t=2.50s" in lines[0]
+    assert lines[1].startswith("memory [")
+    assert "source-wait:A=1.00s" in lines[2]
+    table = [line for line in lines if line.startswith(("pA", "pB"))]
+    assert table[0].startswith("pB")  # sorted by throughput, descending
+    assert any(line.startswith("SOURCE") for line in lines)
+    assert all(len(line) <= 100 for line in lines)
+
+
+def test_parse_endpoint():
+    assert _parse_endpoint("127.0.0.1:9100") == ("127.0.0.1", 9100)
+    assert _parse_endpoint(":9100") == ("127.0.0.1", 9100)
+    with pytest.raises(ConfigurationError):
+        _parse_endpoint("no-port")
+
+
+# --------------------------------------------------------------------------
+# A real serving run, scraped mid-flight
+# --------------------------------------------------------------------------
+
+def _http_get(port: int, path: str) -> tuple[int, str]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def serving_run():
+    """One live DSE run with the plane armed, scraped while in flight.
+
+    Collects /metrics and /healthz bodies during the run plus the first
+    SSE event, then returns everything for the assertions below (one
+    wall-clock run shared by the whole module keeps the suite fast).
+    """
+    workload = figure5_workload(scale=0.01)
+    params = SimulationParameters(telemetry_enabled=True,
+                                  telemetry_sample_interval=0.02)
+
+    def factory(rel):
+        def make():
+            rng = np.random.default_rng([9, len(rel)])
+            slow = 10.0 if rel == "A" else 1.0
+            return jittered_batches(
+                workload.catalog.relation(rel).cardinality,
+                params.tuples_per_message, slow * 100e-6, rng)
+        return make
+
+    served = threading.Event()
+    port = {}
+    engine = LiveQueryEngine(
+        workload.catalog, workload.qep, make_policy("DSE"),
+        {rel: factory(rel) for rel in workload.relation_names},
+        params=params, seed=9, serve_port=0,
+        on_serve=lambda server: (port.update(value=server.port),
+                                 served.set()))
+
+    outcome = {}
+
+    def run():
+        try:
+            outcome["result"] = asyncio.run(engine.run())
+        except BaseException as exc:  # surfaced after join
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    assert served.wait(timeout=10.0), "server never came up"
+
+    scrapes, healths = [], []
+    stream_event = None
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", port["value"],
+                                          timeout=10)
+        conn.request("GET", "/stream",
+                     headers={"Accept": "text/event-stream"})
+        response = conn.getresponse()
+        assert response.status == 200
+        for raw in response:
+            line = raw.decode("utf-8").rstrip("\r\n")
+            if line.startswith("data:"):
+                stream_event = json.loads(line.split(":", 1)[1])
+                break
+        conn.close()
+        while thread.is_alive() and len(scrapes) < 50:
+            status, body = _http_get(port["value"], "/metrics")
+            assert status == 200
+            scrapes.append(body)
+            status, body = _http_get(port["value"], "/healthz")
+            assert status == 200
+            healths.append(json.loads(body))
+    finally:
+        thread.join(timeout=60.0)
+    assert not thread.is_alive()
+    if "error" in outcome:
+        raise outcome["error"]
+    return {"scrapes": scrapes, "healths": healths,
+            "stream_event": stream_event, "result": outcome["result"]}
+
+
+def test_midflight_scrapes_are_valid_exposition_text(serving_run):
+    assert serving_run["scrapes"], "run finished before a single scrape"
+    for body in serving_run["scrapes"]:
+        samples = _parse_prometheus(body)  # every line parses
+        names = dict(samples)
+        assert names["repro_live_up"] == 1.0
+        assert any(name.startswith("repro_live_fragment_throughput")
+                   for name, _ in samples)
+        assert any(name.startswith("repro_live_queue_depth_tuples")
+                   for name, _ in samples)
+
+
+def test_midflight_stall_series_sum_exactly_to_stall_time(serving_run):
+    saw_nonzero = False
+    for body in serving_run["scrapes"]:
+        total = None
+        causes = []
+        for name, value in _parse_prometheus(body):
+            if name == "repro_live_stall_time_seconds":
+                total = value
+            elif name.startswith("repro_live_stall_seconds_total"):
+                causes.append(value)
+        assert total is not None
+        assert sum(causes) == total  # exact, not approx: order is pinned
+        saw_nonzero = saw_nonzero or total > 0
+    assert saw_nonzero, "slowed source never produced an attributed stall"
+
+
+def test_healthz_reports_progressing_snapshots(serving_run):
+    healths = serving_run["healths"]
+    assert healths and all(h["status"] == "ok" for h in healths)
+    assert healths[-1]["snapshots"] >= healths[0]["snapshots"] >= 1
+
+
+def test_stream_first_event_is_a_complete_snapshot(serving_run):
+    event = serving_run["stream_event"]
+    assert event is not None
+    assert event["strategy"] == "DSE"
+    assert {"now", "fragments", "queues", "stalls",
+            "stall_time", "memory", "seq"} <= set(event)
+
+
+def test_serving_run_still_returns_a_normal_result(serving_run):
+    result = serving_run["result"]
+    assert result.result_tuples > 0
+    assert result.metrics is not None
+    assert result.samples, "wall-clock sampler collected nothing"
+
+
+def test_snapshot_stalls_are_name_sorted():
+    """build_live_snapshot pins the cause order so document-order
+    re-summation of the exported series reproduces the total exactly."""
+
+    class _Stalls:
+        def by_cause(self):
+            return {"timeout": 0.2, "source-wait:A": 0.1, "memory-wait": 0.3}
+
+    class _Telemetry:
+        stalls = _Stalls()
+        audit = []
+        samples = []
+
+    class _Memory:
+        used_bytes = total_bytes = peak_bytes = 0
+
+    class _CM:
+        queues = {}
+        estimators = {}
+
+    class _Sim:
+        now = 1.0
+
+    class _World:
+        sim = _Sim()
+        telemetry = _Telemetry()
+        memory = _Memory()
+        cm = _CM()
+
+    class _Runtime:
+        fragments = {}
+        result_tuples = 0
+
+    class _Processor:
+        batches_processed = 0
+        context_switches = 0
+
+    snapshot = build_live_snapshot(_World(), _Runtime(), _Processor(), "DSE")
+    assert list(snapshot["stalls"]) == sorted(snapshot["stalls"])
+    assert snapshot["stall_time"] == sum(snapshot["stalls"].values())
