@@ -70,6 +70,7 @@ from repro.observability import (
     telemetry_snapshot,
 )
 from repro.optimizer import CostModel, DynamicProgrammingOptimizer
+from repro.resources import AdmissionController, MemoryBroker, MemoryLease
 from repro.plan import QEP, PipelineChain, build_qep, validate_qep
 from repro.query import JoinTree, Query, QueryGenerator
 from repro.wrappers import (
@@ -90,6 +91,7 @@ __all__ = [
     "BurstyDelay",
     "Catalog",
     "CatalogError",
+    "AdmissionController",
     "ConcurrentOnlyPolicy",
     "ConfigurationError",
     "ConstantDelay",
@@ -106,6 +108,8 @@ __all__ = [
     "JoinStatistics",
     "JoinTree",
     "MaterializeAllPolicy",
+    "MemoryBroker",
+    "MemoryLease",
     "MemoryOverflowError",
     "MetricsRegistry",
     "MultiQueryEngine",

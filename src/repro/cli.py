@@ -18,8 +18,11 @@ writing any code:
   ``--stall-after`` / ``--deadline``) arms the flight-recorder watchdog;
 * ``top`` — terminal dashboard attached to a serving live run (or
   ``--replay`` of a flight-recorder dump);
-* ``multiquery`` — the Section 6 throughput experiment;
-* ``bench`` — the canonical performance suite; writes ``BENCH_PR4.json``
+* ``multiquery`` — the Section 6 throughput experiment; ``--global-memory``
+  sweeps mediator-wide memory pools (with ``--admission`` picking the
+  queueing policy) to expose the throughput-vs-response-time tradeoff of
+  resource governance;
+* ``bench`` — the canonical performance suite; writes ``BENCH_PR5.json``
   and gates regressions against a committed baseline via ``--compare``.
 
 Every sweep accepts ``--csv PATH`` to export the series for plotting,
@@ -231,14 +234,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seconds between query arrivals")
     multi.add_argument("--strategies", nargs="+", default=["SEQ", "DSE"])
     multi.add_argument("--waits-us", type=float, nargs="+", default=[20, 100])
+    multi.add_argument("--global-memory", nargs="+", default=None,
+                       metavar="SIZE",
+                       help="mediator-wide memory pools to sweep, e.g. "
+                            "--global-memory 128K 1M inf (suffixes K/M/G; "
+                            "'inf' or 'none' = ungoverned). Governed points "
+                            "queue queries through the admission controller "
+                            "and re-plan on budget grows")
+    multi.add_argument("--admission", default="fifo",
+                       choices=["fifo", "priority", "none"],
+                       help="admission policy for governed pools "
+                            "(default fifo)")
+    multi.add_argument("--query-memory", default=None, metavar="SIZE",
+                       help="initial per-query budget (default: "
+                            "the configured query_memory_bytes)")
+    multi.add_argument("--min-memory", default=None, metavar="SIZE",
+                       help="minimum working set a query must be granted "
+                            "before it is admitted")
+    multi.add_argument("--max-memory", default=None, metavar="SIZE",
+                       help="largest budget a query's lease may grow to "
+                            "when the broker offers reclaimed memory")
     multi.add_argument("--csv", help="write the series to this CSV file")
     _parallel(multi)
 
     bench = sub.add_parser(
         "bench", help="run the canonical performance suite and write the "
                       "benchmark report JSON")
-    bench.add_argument("--out", default="BENCH_PR4.json",
-                       help="report path (default ./BENCH_PR4.json)")
+    bench.add_argument("--out", default="BENCH_PR5.json",
+                       help="report path (default ./BENCH_PR5.json)")
     bench.add_argument("--jobs", type=int, default=0,
                        help="worker processes for the parallel sweep case "
                             "(default 0 = one per core)")
@@ -748,16 +771,62 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_size(text: str, flag: str) -> Optional[int]:
+    """Parse a memory size like ``512``, ``128K``, ``2M``, ``1G``.
+
+    ``inf``/``none`` mean "no pool" (ungoverned) and return ``None``.
+    """
+    lowered = text.strip().lower()
+    if lowered in ("inf", "none", "unbounded"):
+        return None
+    multiplier = 1
+    for suffix, factor in (("k", 1024), ("m", 1024 ** 2), ("g", 1024 ** 3)):
+        if lowered.endswith(suffix):
+            lowered, multiplier = lowered[:-1], factor
+            break
+    try:
+        value = int(float(lowered) * multiplier)
+    except ValueError:
+        raise SystemExit(
+            f"bad {flag} size {text!r}; expected bytes with an optional "
+            f"K/M/G suffix, or 'inf'") from None
+    if value <= 0:
+        raise SystemExit(f"{flag} must be positive, got {text!r}")
+    return value
+
+
 def _cmd_multiquery(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+
     workload = figure5_workload(scale=args.scale)
-    params = SimulationParameters()
-    points = run_multiquery_experiment(
-        workload, list(args.strategies),
-        [w * 1e-6 for w in args.waits_us], params,
-        num_queries=args.queries, inter_arrival=args.inter_arrival,
-        seed=args.seed, runner=_runner_from(args))
-    headers = ["strategy", "w_us", "mean_resp_s", "makespan_s",
-               "queries_per_s", "cpu"]
+    pools = ([_parse_size(text, "--global-memory")
+              for text in args.global_memory]
+             if args.global_memory else None)
+    governed = pools is not None and any(p is not None for p in pools)
+    params = SimulationParameters().with_overrides(
+        # Governed runs exercise the full resource-governance plane:
+        # leases shrink on release, grow offers go out, and running
+        # queries re-plan degraded chains when their budget grows.
+        dynamic_budget_replanning=governed)
+    try:
+        points = run_multiquery_experiment(
+            workload, list(args.strategies),
+            [w * 1e-6 for w in args.waits_us], params,
+            num_queries=args.queries, inter_arrival=args.inter_arrival,
+            seed=args.seed, runner=_runner_from(args),
+            global_memories=pools, admission=args.admission,
+            memory_bytes=_parse_size(args.query_memory, "--query-memory")
+            if args.query_memory else None,
+            min_memory_bytes=_parse_size(args.min_memory, "--min-memory")
+            if args.min_memory else None,
+            max_memory_bytes=_parse_size(args.max_memory, "--max-memory")
+            if args.max_memory else None)
+    except ConfigurationError as exc:
+        # e.g. a min working set that exceeds the pool: a usage error,
+        # not an engine bug — report it like one.
+        raise SystemExit(str(exc)) from None
+    headers = ["strategy", "w_us", "pool", "mean_resp_s", "makespan_s",
+               "queries_per_s", "cpu", "queued", "mean_wait_s"]
     rows = [p.row() for p in points]
     print(format_table(headers, rows,
                        title=f"{args.queries} concurrent queries"))

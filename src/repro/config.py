@@ -107,6 +107,12 @@ class SimulationParameters:
     #: enough memory for a classical execution (Section 5), and 256 MB
     #: comfortably holds every hash table of the Figure 5 workload.
     query_memory_bytes: int = 256 * 1024 * 1024
+    #: react to broker grow offers: when the query's memory lease grows
+    #: mid-flight (another query released its lease), the DQS re-runs
+    #: the planning phase against the larger budget and stops the MFs of
+    #: chains that were degraded for memory but now fit.  Off by default
+    #: — the paper's model is a static budget.
+    dynamic_budget_replanning: bool = False
     #: pages written/read per temp-relation I/O (write-behind / prefetch
     #: granularity).  Large sequential chunks amortize the 22 ms of
     #: positioning so that spilling a tuple costs ~8 µs of disk time —

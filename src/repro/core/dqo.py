@@ -29,6 +29,7 @@ from repro.common.errors import (
 from repro.core.dqp import DynamicQueryProcessor
 from repro.core.dqs import DynamicQueryScheduler
 from repro.core.events import (
+    BudgetGrow,
     EndOfQEP,
     MemoryOverflow,
     RateChange,
@@ -57,6 +58,7 @@ class DynamicQEPOptimizer:
         self._consecutive_timeouts = 0
         self.overflows_handled = 0
         self.rate_changes = 0
+        self.budget_grows = 0
         #: joins whose observed build size invalidated the estimates —
         #: each is a re-optimization opportunity a plan-revision module
         #: (à la [9]/[15] phase 2) would act on.
@@ -108,11 +110,17 @@ class DynamicQEPOptimizer:
                         self._consecutive_timeouts,
                         self._consecutive_timeouts * world.params.timeout)
             else:
-                # EndOfQF / PhaseComplete / RateChange: real progress or
-                # new information; replan on the next loop.
+                # EndOfQF / PhaseComplete / RateChange / BudgetGrow: real
+                # progress or new information; replan on the next loop.
                 self._consecutive_timeouts = 0
                 if isinstance(event, RateChange):
                     self.rate_changes += 1
+                elif isinstance(event, BudgetGrow):
+                    self.budget_grows += 1
+                    world.tracer.emit(
+                        "budget-grow", "lease grew; replanning",
+                        granted_bytes=event.granted_bytes,
+                        total_bytes=event.total_bytes)
 
     def _check_estimates(self) -> None:
         """Flag observed cardinality misestimates; optionally act on them.

@@ -16,6 +16,7 @@ from typing import Any, Generator, Optional
 
 from repro.common.errors import SchedulingError
 from repro.core.events import (
+    BudgetGrow,
     EndOfQEP,
     EndOfQF,
     InterruptionEvent,
@@ -89,6 +90,7 @@ class DynamicQueryProcessor:
         self.stall_time = 0.0
         self._last_fragment: Optional[Fragment] = None
         self._rate_change: Optional[tuple[str, float, float]] = None
+        self._budget_grow: Optional[tuple[int, int]] = None
         self._rate_event: Optional[SimEvent] = None
         # Stall-path caches: the rate-change event and per-fragment wait
         # events are one-shot but usually survive a stall untriggered, so
@@ -120,6 +122,14 @@ class DynamicQueryProcessor:
             help="Tuples actually consumed per batch.")
         self._stall_metric = registry.histogram(
             "dqp.stall_seconds", help="Duration of individual DQP stalls.")
+        # Subscribe to broker grow offers so a mid-flight budget increase
+        # interrupts the execution phase for a replan (same pattern as
+        # the CM's rate-change listener).  Only when the feature is on:
+        # a subscribed lease is also what the broker reclaims bytes for.
+        if params.dynamic_budget_replanning:
+            subscribe = getattr(runtime.world.memory, "subscribe_grow", None)
+            if subscribe is not None:
+                subscribe(self.notify_budget_grow)
 
     # -- rate-change plumbing (installed as the CM listener) ---------------
     def notify_rate_change(self, source: str, old_wait: float,
@@ -128,6 +138,14 @@ class DynamicQueryProcessor:
         self._rate_change = (source, old_wait, new_wait)
         if self._rate_event is not None and not self._rate_event.triggered:
             self._rate_event.succeed("rate-change")
+
+    # -- budget-grow plumbing (subscribed on the memory lease) -------------
+    def notify_budget_grow(self, granted_bytes: int,
+                           total_bytes: int) -> None:
+        """Broker callback: the lease grew; replan at the next boundary."""
+        self._budget_grow = (granted_bytes, total_bytes)
+        if self._rate_event is not None and not self._rate_event.triggered:
+            self._rate_event.succeed("budget-grow")
 
     # -- main loop ---------------------------------------------------------
     def execute(self, sp: SchedulingPlan) -> Generator[
@@ -141,6 +159,11 @@ class DynamicQueryProcessor:
                 self._rate_change = None
                 return RateChange(sim.now, source=source, old_wait=old,
                                   new_wait=new)
+            if self._budget_grow is not None:
+                granted, total = self._budget_grow
+                self._budget_grow = None
+                return BudgetGrow(sim.now, granted_bytes=granted,
+                                  total_bytes=total)
 
             live = sp.live()
             if not live:
@@ -263,7 +286,8 @@ class DynamicQueryProcessor:
         self._stall_metric.observe(stalled_for)
         data_arrived = any(event.processed for _, event in waits)
         timed_out = (timeout.processed and not data_arrived
-                     and self._rate_change is None)
+                     and self._rate_change is None
+                     and self._budget_grow is None)
         cause = self._stall_cause(waits, data_arrived, timed_out)
         self._stalls.record(cause, started, sim.now)
         return timed_out

@@ -13,7 +13,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.core.dqp import SchedulingPlan
-from repro.core.fragments import Fragment
+from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
 from repro.core.runtime import QueryRuntime
 
 
@@ -24,6 +24,12 @@ class PlanningPolicy(ABC):
     name: str = "policy"
     #: whether the CM should interrupt execution phases on rate changes.
     wants_rate_events: bool = False
+    #: whether the policy's machinery can carry a memory-blocked chain
+    #: through the degraded lifecycle (MF -> stop -> CF -> PC).  SEQ
+    #: never advances degraded chains, so degrading under it would
+    #: deadlock; MA pre-degrades everything anyway.  Only policies that
+    #: set this participate in dynamic budget re-planning.
+    supports_memory_degradation: bool = False
 
     @abstractmethod
     def select(self, runtime: QueryRuntime) -> list[Fragment]:
@@ -45,6 +51,12 @@ class DynamicQueryScheduler:
         self.runtime = runtime
         self.policy = policy
         self.planning_phases = 0
+        #: dynamic budget re-planning: react to broker grow offers by
+        #: un-degrading memory-blocked chains (multi-query, governed
+        #: pools).  Off in the paper's static single-query model.
+        self._dynamic = (runtime.world.params.dynamic_budget_replanning
+                         and policy.supports_memory_degradation)
+        self._grow_seen = getattr(runtime.world.memory, "grow_revision", 0)
         registry = runtime.world.telemetry.registry
         self._phases_metric = registry.counter(
             "dqs.planning_phases", "Planning phases executed.")
@@ -58,7 +70,13 @@ class DynamicQueryScheduler:
         world = self.runtime.world
         self.runtime.statistics.snapshot_rates(
             world.sim.now, world.cm.wait_snapshot(world.params.w_min))
+        if self._dynamic:
+            self._replan_after_grow()
         candidates = self.policy.select(self.runtime)
+        if self._dynamic and self._degrade_memory_blocked(candidates):
+            # Memory-blocked PCs were just degraded (suspended, replaced
+            # by MFs): re-select so the plan sees the new fragment set.
+            candidates = self.policy.select(self.runtime)
         for fragment in candidates:
             if not self.runtime.is_c_schedulable(fragment):
                 # Defensive: a policy bug here would deadlock the DQP.
@@ -99,3 +117,59 @@ class DynamicQueryScheduler:
         if admitted:
             overflow = None
         return admitted, overflow
+
+    # -- dynamic budget re-planning ----------------------------------------
+    def _replan_after_grow(self) -> None:
+        """React to lease growth since the last planning phase.
+
+        A chain that was degraded *for memory* and whose build table now
+        fits the grown budget gets its MF stopped: the complement replays
+        the temp, the unsuspended PC takes the remaining wrapper data
+        live — the degradation is reversed mid-flight.
+        """
+        revision = getattr(self.runtime.world.memory, "grow_revision", 0)
+        if revision == self._grow_seen:
+            return
+        self._grow_seen = revision
+        runtime = self.runtime
+        for chain in runtime.qep.chains:
+            if chain.name not in runtime.memory_degraded_chains:
+                continue
+            mf = runtime.chain_fragments[chain.name][0]
+            if (mf.kind is FragmentKind.MATERIALIZATION
+                    and mf.status is not FragmentStatus.DONE
+                    and not mf.stop_requested
+                    and runtime.chain_table_fits(chain)):
+                runtime.request_stop_materialization(chain,
+                                                     reason="budget-grow")
+
+    def _degrade_memory_blocked(self, candidates: list[Fragment]) -> bool:
+        """Degrade C-schedulable PCs whose build table does not fit.
+
+        Under a static budget a blocked top-priority PC goes to the DQO
+        for a memory split; under a shared pool the better response is
+        the paper's own degradation machinery: materialize to disk now,
+        revert when the broker offers the query more memory.
+        """
+        runtime = self.runtime
+        memory = runtime.world.memory
+        degraded = False
+        for fragment in candidates:
+            if fragment.kind is not FragmentKind.PIPELINE_CHAIN:
+                continue
+            if fragment.status is not FragmentStatus.PENDING or fragment.suspended:
+                continue
+            chain = fragment.chain
+            if chain.name in runtime.degraded_chains:
+                continue
+            needed = runtime.new_memory_needed(fragment)
+            if needed <= 0 or memory.would_fit(needed):
+                continue
+            runtime.degrade_chain(chain, prefer_memory=False,
+                                  decision_inputs=dict(
+                                      memory_blocked=True,
+                                      needed_bytes=needed,
+                                      available_bytes=memory.available_bytes))
+            runtime.memory_degraded_chains.add(chain.name)
+            degraded = True
+        return degraded

@@ -71,6 +71,20 @@ class RateChange(InterruptionEvent):
 
 
 @dataclass(frozen=True)
+class BudgetGrow(InterruptionEvent):
+    """The query's memory lease grew (broker offered reclaimed bytes).
+
+    The DQS replans against the larger budget: a chain degraded for
+    memory whose build table now fits gets its MF stopped and resumes
+    direct scheduling (partial materialization, Section 4.4 — but
+    triggered by a *grown* budget rather than a schedulability change).
+    """
+
+    granted_bytes: int = 0
+    total_bytes: int = 0
+
+
+@dataclass(frozen=True)
 class TimeOut(InterruptionEvent):
     """The DQP stalled with no data on any scheduled fragment (DQO)."""
 

@@ -11,6 +11,16 @@ rate estimation, memory budget, and its own DQO → DQS → DQP stack.
 Contention arises naturally from the shared resources — no additional
 scheduler is needed above the per-query engines, which is exactly the
 setting the paper's discussion contemplates.
+
+**Memory governance** (``global_memory_bytes``): by default every query
+gets a private static budget, as in the paper.  With a global pool the
+machine's :class:`~repro.resources.broker.MemoryBroker` is bounded and an
+:class:`~repro.resources.admission.AdmissionController` queues
+submissions whose declared minimum working set does not fit, admitting
+them FIFO (or by priority) as running queries release their leases.
+Combined with ``dynamic_budget_replanning`` the released bytes are also
+*offered* to running queries, whose DQS then re-plans against the grown
+budget.
 """
 
 from __future__ import annotations
@@ -27,8 +37,10 @@ from repro.core.dqs import DynamicQueryScheduler, PlanningPolicy
 from repro.core.events import EndOfQEP
 from repro.core.runtime import QueryRuntime, World
 from repro.exec import Process, SimEvent
+from repro.observability import STALL_ADMISSION_WAIT, DecisionRecord
 from repro.plan.qep import QEP
 from repro.plan.validation import validate_qep
+from repro.resources import ADMISSION_POLICIES, AdmissionController, MemoryBroker
 from repro.wrappers.delays import DelayModel
 from repro.wrappers.source import Wrapper
 
@@ -45,6 +57,14 @@ class QuerySubmission:
     start_time: float = 0.0
     #: per-query memory budget; None uses the configured default.
     memory_bytes: Optional[int] = None
+    #: minimum working set the query can *start* with (admission gate);
+    #: defaults to the initial budget.
+    min_memory_bytes: Optional[int] = None
+    #: budget ceiling the lease may grow to via broker offers; defaults
+    #: to the initial budget (i.e. static, as in the paper).
+    max_memory_bytes: Optional[int] = None
+    #: admission priority (higher admits first under ``priority`` policy).
+    priority: float = 0.0
 
     def __post_init__(self):
         if not self.name:
@@ -52,11 +72,48 @@ class QuerySubmission:
         if self.start_time < 0:
             raise ConfigurationError(
                 f"start_time must be >= 0, got {self.start_time}")
+        for label, value in (("memory_bytes", self.memory_bytes),
+                             ("min_memory_bytes", self.min_memory_bytes),
+                             ("max_memory_bytes", self.max_memory_bytes)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"query {self.name!r}: {label} must be positive, "
+                    f"got {value}")
+        if (self.min_memory_bytes is not None
+                and self.max_memory_bytes is not None
+                and self.min_memory_bytes > self.max_memory_bytes):
+            raise ConfigurationError(
+                f"query {self.name!r}: min_memory_bytes "
+                f"{self.min_memory_bytes} exceeds max_memory_bytes "
+                f"{self.max_memory_bytes}")
+        if self.memory_bytes is not None:
+            if (self.min_memory_bytes is not None
+                    and self.memory_bytes < self.min_memory_bytes):
+                raise ConfigurationError(
+                    f"query {self.name!r}: memory_bytes {self.memory_bytes} "
+                    f"below min_memory_bytes {self.min_memory_bytes}")
+            if (self.max_memory_bytes is not None
+                    and self.memory_bytes > self.max_memory_bytes):
+                raise ConfigurationError(
+                    f"query {self.name!r}: memory_bytes {self.memory_bytes} "
+                    f"exceeds max_memory_bytes {self.max_memory_bytes}")
         validate_qep(self.qep)
         missing = set(self.qep.source_relations()) - set(self.delay_models)
         if missing:
             raise ConfigurationError(
                 f"query {self.name!r}: no delay model for {sorted(missing)}")
+
+    def resolved_budgets(self, params: SimulationParameters) -> tuple[
+            int, int, int]:
+        """``(initial, min, max)`` lease bytes with defaults applied."""
+        initial = (self.memory_bytes if self.memory_bytes is not None
+                   else params.query_memory_bytes)
+        min_bytes = (self.min_memory_bytes
+                     if self.min_memory_bytes is not None else initial)
+        max_bytes = (self.max_memory_bytes
+                     if self.max_memory_bytes is not None else initial)
+        initial = min(max(initial, min_bytes), max_bytes)
+        return initial, min_bytes, max_bytes
 
 
 @dataclass
@@ -72,9 +129,19 @@ class QueryOutcome:
     memory_splits: int
     stall_time: float
     planning_phases: int
+    #: virtual seconds spent queued by admission control before the
+    #: lease was granted (0.0 for immediate admission / no governance).
+    admission_wait: float = 0.0
+    #: lease bytes granted at admission (the initial budget).
+    memory_granted_bytes: int = 0
+    #: high-water mark of the query's reserved bytes.
+    memory_peak_bytes: int = 0
+    #: lease grow offers the query accepted mid-flight.
+    budget_grows: int = 0
 
     @property
     def response_time(self) -> float:
+        """Arrival to completion — queue wait included."""
         return self.completion_time - self.start_time
 
 
@@ -86,6 +153,9 @@ class MultiQueryResult:
     makespan: float
     cpu_busy_time: float
     disk_busy_time: float
+    #: the machine's decision audit log (admission, lease grow/shrink,
+    #: degradations of every query interleaved in decision-time order).
+    decisions: list[DecisionRecord] = field(default_factory=list)
 
     @property
     def mean_response_time(self) -> float:
@@ -111,6 +181,18 @@ class MultiQueryResult:
             return 0.0
         return self.cpu_busy_time / self.makespan
 
+    @property
+    def queued_queries(self) -> int:
+        """Queries that had to wait in the admission queue."""
+        return sum(1 for o in self.outcomes if o.admission_wait > 0)
+
+    @property
+    def mean_admission_wait(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return (sum(o.admission_wait for o in self.outcomes)
+                / len(self.outcomes))
+
     def outcome(self, name: str) -> QueryOutcome:
         for outcome in self.outcomes:
             if outcome.name == name:
@@ -119,14 +201,39 @@ class MultiQueryResult:
 
 
 class MultiQueryEngine:
-    """Runs a batch of query submissions on one shared machine."""
+    """Runs a batch of query submissions on one shared machine.
+
+    ``global_memory_bytes`` bounds the machine's memory pool and turns
+    admission control on (``admission``: ``"fifo"`` or ``"priority"``).
+    ``admission="none"`` keeps the legacy private-budget behavior even
+    when a pool size is given.
+    """
 
     def __init__(self, params: Optional[SimulationParameters] = None,
-                 seed: int = 0, trace: bool = False):
+                 seed: int = 0, trace: bool = False,
+                 global_memory_bytes: Optional[int] = None,
+                 admission: str = "fifo"):
         self.params = params if params is not None else SimulationParameters()
         self.seed = seed
         self.trace = trace
+        if admission not in ADMISSION_POLICIES + ("none",):
+            raise ConfigurationError(
+                f"unknown admission policy {admission!r}; expected one of "
+                f"{ADMISSION_POLICIES + ('none',)}")
+        if global_memory_bytes is not None and global_memory_bytes <= 0:
+            raise ConfigurationError(
+                f"global_memory_bytes must be positive, "
+                f"got {global_memory_bytes}")
+        self.global_memory_bytes = global_memory_bytes
+        self.admission = admission
+        self._controller: Optional[AdmissionController] = None
         self._submissions: list[QuerySubmission] = []
+
+    @property
+    def governed(self) -> bool:
+        """True when a bounded pool with admission control is active."""
+        return (self.global_memory_bytes is not None
+                and self.admission != "none")
 
     def submit(self, submission: QuerySubmission) -> None:
         """Queue one query for the next :meth:`run`."""
@@ -141,12 +248,26 @@ class MultiQueryEngine:
         if not self._submissions:
             raise ConfigurationError("no queries submitted")
         machine = World(self.params, seed=self.seed, trace=self.trace)
+        if self.governed:
+            pool = self.global_memory_bytes
+            assert pool is not None
+            for submission in self._submissions:
+                _, min_bytes, _ = submission.resolved_budgets(self.params)
+                if min_bytes > pool:
+                    raise ConfigurationError(
+                        f"query {submission.name!r}: minimum working set "
+                        f"{min_bytes} exceeds the global memory pool {pool}")
+            machine.broker = MemoryBroker(pool, sim=machine.sim,
+                                          telemetry=machine.telemetry)
+            self._controller = AdmissionController(
+                machine.broker, machine.sim, telemetry=machine.telemetry,
+                policy=self.admission)
+        else:
+            self._controller = None
         launchers: list[tuple[QuerySubmission, Process]] = []
         for submission in self._submissions:
-            world = World(self.params, share_machine=machine,
-                          memory_bytes=submission.memory_bytes)
             process = machine.sim.process(
-                self._launch(submission, world),
+                self._launch(submission, machine),
                 name=f"query:{submission.name}")
             process.defused = True
             launchers.append((submission, process))
@@ -164,41 +285,74 @@ class MultiQueryEngine:
             makespan=makespan,
             cpu_busy_time=machine.cpu.busy_time,
             disk_busy_time=sum(d.busy_time for d in machine.disks),
+            decisions=list(machine.telemetry.audit),
         )
 
     def _launch(self, submission: QuerySubmission,
-                world: World) -> Generator[SimEvent, Any, QueryOutcome]:
+                machine: World) -> Generator[SimEvent, Any, QueryOutcome]:
         if submission.start_time > 0:
-            yield world.sim.timeout(submission.start_time)
-        started = world.sim.now
-        for source in submission.qep.source_relations():
-            model = submission.delay_models[source]
-            reset = getattr(model, "reset", None)
-            if reset is not None:
-                reset()
-            wrapper = Wrapper(
-                world.sim, submission.catalog.relation(source), model,
-                world.cm,
-                world.rng(f"{submission.name}:wrapper:{source}"),
-                self.params)
-            wrapper.start()
+            yield machine.sim.timeout(submission.start_time)
+        submitted = machine.sim.now
+        initial, min_bytes, max_bytes = submission.resolved_budgets(self.params)
+        admission_wait = 0.0
+        if self._controller is not None:
+            ticket = self._controller.request(
+                submission.name, min_bytes, max_bytes,
+                priority=submission.priority)
+            if not ticket.granted:
+                assert ticket.event is not None
+                yield ticket.event
+            lease = ticket.lease
+            assert lease is not None
+            admission_wait = ticket.waited
+            if admission_wait > 0:
+                machine.telemetry.stalls.record(
+                    STALL_ADMISSION_WAIT, submitted, machine.sim.now)
+        else:
+            lease = machine.broker.lease(submission.name, initial,
+                                         min_bytes=min_bytes,
+                                         max_bytes=max_bytes)
+        granted_bytes = lease.total_bytes
+        world = World(self.params, share_machine=machine, lease=lease,
+                      query_name=submission.name)
+        try:
+            for source in submission.qep.source_relations():
+                model = submission.delay_models[source]
+                reset = getattr(model, "reset", None)
+                if reset is not None:
+                    reset()
+                wrapper = Wrapper(
+                    world.sim, submission.catalog.relation(source), model,
+                    world.cm,
+                    world.rng(f"{submission.name}:wrapper:{source}"),
+                    self.params)
+                wrapper.start()
 
-        runtime = QueryRuntime(world, submission.qep)
-        scheduler = DynamicQueryScheduler(runtime, submission.policy)
-        processor = DynamicQueryProcessor(runtime)
-        optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
-        event = yield from optimizer.run()
-        if not isinstance(event, EndOfQEP):
-            raise SimulationError(
-                f"query {submission.name!r} ended without EndOfQEP")
-        return QueryOutcome(
-            name=submission.name,
-            strategy=submission.policy.name,
-            start_time=started,
-            completion_time=event.time,
-            result_tuples=runtime.result_tuples,
-            degradations=len(runtime.degraded_chains),
-            memory_splits=runtime.memory_splits,
-            stall_time=processor.stall_time,
-            planning_phases=scheduler.planning_phases,
-        )
+            runtime = QueryRuntime(world, submission.qep)
+            scheduler = DynamicQueryScheduler(runtime, submission.policy)
+            processor = DynamicQueryProcessor(runtime)
+            optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
+            event = yield from optimizer.run()
+            if not isinstance(event, EndOfQEP):
+                raise SimulationError(
+                    f"query {submission.name!r} ended without EndOfQEP")
+            return QueryOutcome(
+                name=submission.name,
+                strategy=submission.policy.name,
+                start_time=submitted,
+                completion_time=event.time,
+                result_tuples=runtime.result_tuples,
+                degradations=len(runtime.degraded_chains),
+                memory_splits=runtime.memory_splits,
+                stall_time=processor.stall_time,
+                planning_phases=scheduler.planning_phases,
+                admission_wait=admission_wait,
+                memory_granted_bytes=granted_bytes,
+                memory_peak_bytes=lease.peak_bytes,
+                budget_grows=optimizer.budget_grows,
+            )
+        finally:
+            # Query over (or failed): the lease goes back to the pool,
+            # which admits queued queries and offers grow events to the
+            # survivors.
+            machine.broker.release(lease)

@@ -33,7 +33,7 @@ from repro.common.rng import RandomStreams
 from repro.config import SimulationParameters
 from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
 from repro.core.statistics import RuntimeStatistics
-from repro.mediator.buffer import BufferManager, HashTable, MemoryManager
+from repro.mediator.buffer import BufferManager, HashTable
 from repro.mediator.comm import CommunicationManager
 from repro.mediator.queues import SourceQueue
 from repro.observability import (
@@ -47,6 +47,7 @@ from repro.observability import (
 from repro.plan.chains import ancestor_closure
 from repro.plan.operators import MatOp, ScanOp
 from repro.plan.qep import QEP, PipelineChain
+from repro.resources.broker import MemoryBroker, MemoryLease
 from repro.exec import Kernel
 from repro.sim.cache import LRUPageCache
 from repro.sim.resources import CPU, Disk, NetworkLink
@@ -68,7 +69,10 @@ class World:
                  trace: bool = False,
                  share_machine: Optional["World"] = None,
                  memory_bytes: Optional[int] = None,
-                 kernel: Optional[Kernel] = None):
+                 kernel: Optional[Kernel] = None,
+                 broker: Optional[MemoryBroker] = None,
+                 lease: Optional[MemoryLease] = None,
+                 query_name: Optional[str] = None):
         self.params = params
         if share_machine is None:
             self.streams = RandomStreams(seed)
@@ -96,6 +100,14 @@ class World:
             self.telemetry = Telemetry(
                 self.sim, enabled=params.telemetry_enabled,
                 sample_interval=params.telemetry_sample_interval)
+            # The machine's memory broker.  Default: an *unbounded*
+            # private pool — a lease drawn from it with min == max is
+            # arithmetically identical to the old per-query manager.
+            if broker is None:
+                broker = MemoryBroker(sim=self.sim, telemetry=self.telemetry)
+            elif broker.sim is None:
+                broker.bind(self.sim, self.telemetry)
+            self.broker = broker
         else:
             machine = share_machine
             self.streams = machine.streams
@@ -107,13 +119,20 @@ class World:
             self.link = machine.link
             self.buffer = machine.buffer
             self.telemetry = machine.telemetry
+            self.broker = machine.broker
         self.cm = CommunicationManager(
             self.sim, self.cpu, params, self.tracer,
             link=self.link if params.model_link_contention else None,
             telemetry=self.telemetry)
-        self.memory = MemoryManager(
-            memory_bytes if memory_bytes is not None
-            else params.query_memory_bytes)
+        if lease is not None:
+            self.memory = lease
+        else:
+            budget = (memory_bytes if memory_bytes is not None
+                      else params.query_memory_bytes)
+            self.memory = self.broker.lease(query_name or "query", budget)
+        self.memory.attach_metrics(
+            self.telemetry.registry,
+            prefix="memory" if query_name is None else f"memory.{query_name}")
 
     @property
     def disk(self) -> "Disk":
@@ -151,6 +170,11 @@ class QueryRuntime:
         self.chain_fragments: dict[str, list[Fragment]] = {}
         self.completed_chains: set[str] = set()
         self.degraded_chains: set[str] = set()
+        #: chains degraded because their build table did not fit the
+        #: memory budget (as opposed to the paper's bmi-driven
+        #: degradation); their MFs are only stopped once the budget has
+        #: grown enough for the table (see :meth:`memory_stop_allowed`).
+        self.memory_degraded_chains: set[str] = set()
         self.stopped_materializations: set[str] = set()
         self.memory_splits = 0
         #: join name -> name of the chain whose probe consumes it.
@@ -239,7 +263,8 @@ class QueryRuntime:
                     mf=mf.name, temp=writer.temp.name)
         return self._register(mf)
 
-    def request_stop_materialization(self, chain: PipelineChain) -> None:
+    def request_stop_materialization(self, chain: PipelineChain,
+                                     reason: Optional[str] = None) -> None:
         """Ask ``chain``'s MF to finalize early (partial materialization)."""
         mf = self.chain_fragments[chain.name][0]
         if mf.kind is not FragmentKind.MATERIALIZATION:
@@ -248,8 +273,11 @@ class QueryRuntime:
             mf.stop_requested = True
             self.stopped_materializations.add(chain.name)
             self.world.tracer.emit("mf-stop", mf.name)
-            self._audit(DECISION_MF_STOP, mf.name, chain=chain.name,
-                        materialized_tuples=mf.tuples_out)
+            details = {"chain": chain.name,
+                       "materialized_tuples": mf.tuples_out}
+            if reason is not None:
+                details["reason"] = reason
+            self._audit(DECISION_MF_STOP, mf.name, **details)
 
     def advance_degraded_chains(self) -> list[Fragment]:
         """Create CFs for finished MFs and unsuspend their PC parts.
@@ -441,6 +469,26 @@ class QueryRuntime:
     # -- schedulability ---------------------------------------------------------
     def chain_complete(self, chain_name: str) -> bool:
         return chain_name in self.completed_chains
+
+    def chain_table_fits(self, chain: PipelineChain) -> bool:
+        """True when the table ``chain`` builds fits the current budget
+        (or already exists, or the chain builds nothing)."""
+        join = chain.feeds
+        if join is None or join.name in self.hash_tables:
+            return True
+        return self.world.memory.would_fit(self.table_estimate_bytes(join.name))
+
+    def memory_stop_allowed(self, chain: PipelineChain) -> bool:
+        """May ``chain``'s MF be stopped, as far as memory is concerned?
+
+        A chain degraded *for memory* must keep materializing until the
+        (grown) budget can hold its build table — stopping earlier would
+        just re-block it on the same shortage.  Chains degraded for the
+        paper's bmi reasons are unaffected.
+        """
+        if chain.name not in self.memory_degraded_chains:
+            return True
+        return self.chain_table_fits(chain)
 
     def is_c_schedulable(self, fragment: Fragment) -> bool:
         """Dependency constraints of Section 4.1, per fragment kind."""

@@ -35,6 +35,7 @@ class DsePolicy(PlanningPolicy):
 
     name = "DSE"
     wants_rate_events = True
+    supports_memory_degradation = True
 
     def __init__(self):
         self.last_priorities: dict[str, float] = {}
@@ -87,7 +88,7 @@ class DsePolicy(PlanningPolicy):
                     and not mf.stop_requested):
                 ancestors_done = all(runtime.chain_complete(name)
                                      for name in runtime.closure[chain.name])
-                if ancestors_done:
+                if ancestors_done and runtime.memory_stop_allowed(chain):
                     runtime.request_stop_materialization(chain)
 
     # -- degradation (Section 4.4) ----------------------------------------

@@ -230,7 +230,9 @@ class LiveQueryEngine:
                  flight_capacity: int = 2048,
                  stall_after: Optional[float] = None,
                  deadline: Optional[float] = None,
-                 on_serve: Optional[Callable[[ObservabilityServer], None]] = None):
+                 on_serve: Optional[Callable[[ObservabilityServer], None]] = None,
+                 memory_bytes: Optional[int] = None,
+                 broker: Optional[Any] = None):
         from repro.plan.validation import validate_qep
 
         self.catalog = catalog
@@ -239,6 +241,12 @@ class LiveQueryEngine:
         self.params = params if params is not None else SimulationParameters()
         self.seed = seed
         self.trace = trace
+        #: per-query budget override (None: the configured default).
+        self.memory_bytes = memory_bytes
+        #: optional :class:`~repro.resources.broker.MemoryBroker` to draw
+        #: the query's lease from — the same resource-governance plane as
+        #: the simulator backend, bound to this run's AsyncioKernel.
+        self.broker = broker
         validate_qep(qep)
         self.sources = dict(sources)
         missing = set(qep.source_relations()) - set(self.sources)
@@ -284,7 +292,8 @@ class LiveQueryEngine:
 
         kernel = AsyncioKernel()
         world = World(self.params, seed=self.seed, trace=self.trace,
-                      kernel=kernel)
+                      kernel=kernel, memory_bytes=self.memory_bytes,
+                      broker=self.broker)
         recorder = None
         if self.flight_dump is not None:
             recorder = self.recorder = self._attach_flight(world)

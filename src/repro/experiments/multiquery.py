@@ -39,11 +39,20 @@ class ThroughputPoint:
     throughput: float
     cpu_utilization: float
     result: MultiQueryResult
+    #: global mediator pool the batch ran under (None: ungoverned).
+    global_memory_bytes: Optional[int] = None
+    #: queries the admission controller made wait before starting.
+    queued_queries: int = 0
+    #: mean admission-queue wait across all queries in the batch.
+    mean_admission_wait: float = 0.0
 
     def row(self) -> list[str]:
-        return [self.strategy, f"{self.wait * 1e6:.0f}",
+        pool = ("inf" if self.global_memory_bytes is None
+                else f"{self.global_memory_bytes // 1024}K")
+        return [self.strategy, f"{self.wait * 1e6:.0f}", pool,
                 f"{self.mean_response:.3f}", f"{self.makespan:.3f}",
-                f"{self.throughput:.3f}", f"{self.cpu_utilization:.0%}"]
+                f"{self.throughput:.3f}", f"{self.cpu_utilization:.0%}",
+                f"{self.queued_queries}", f"{self.mean_admission_wait:.3f}"]
 
 
 def run_multiquery_experiment(workload: Figure5Workload,
@@ -53,22 +62,41 @@ def run_multiquery_experiment(workload: Figure5Workload,
                               num_queries: int = 4,
                               inter_arrival: float = 0.0,
                               seed: int = 0,
-                              runner: Optional[SweepRunner] = None
+                              runner: Optional[SweepRunner] = None,
+                              global_memories: Optional[
+                                  list[Optional[int]]] = None,
+                              admission: str = "fifo",
+                              memory_bytes: Optional[int] = None,
+                              min_memory_bytes: Optional[int] = None,
+                              max_memory_bytes: Optional[int] = None,
                               ) -> list[ThroughputPoint]:
-    """Run the batch for every (strategy, wait) combination.
+    """Run the batch for every (strategy, wait, global pool) combination.
 
     Each combination is an independent multi-query simulation, so all of
     them go to ``runner`` as one flat batch (sharded / cached) and fold
-    back in ``(wait, strategy)`` order.
+    back in ``(pool, wait, strategy)`` order.  ``global_memories`` adds
+    the resource-governance axis: each entry is a mediator-wide memory
+    pool (``None`` for the classic ungoverned run) under which the whole
+    batch competes for leases through the admission controller, exposing
+    the throughput cost of queueing versus the response-time cost of
+    thrashing.
     """
     if num_queries < 1:
         raise ValueError(f"need >= 1 query, got {num_queries}")
     runner = runner if runner is not None else SweepRunner()
+    pools: list[Optional[int]] = (
+        global_memories if global_memories else [None])
     specs = [
         MultiQuerySpec(strategy=strategy, wait=wait,
                        num_queries=num_queries, seed=seed,
                        scale=workload.scale, inter_arrival=inter_arrival,
-                       params=params, tuple_size=workload.tuple_size)
+                       params=params, tuple_size=workload.tuple_size,
+                       memory_bytes=memory_bytes,
+                       min_memory_bytes=min_memory_bytes,
+                       max_memory_bytes=max_memory_bytes,
+                       global_memory_bytes=pool,
+                       admission=admission if pool is not None else "none")
+        for pool in pools
         for wait in waits
         for strategy in strategies
     ]
@@ -83,6 +111,9 @@ def run_multiquery_experiment(workload: Figure5Workload,
             makespan=result.makespan,
             throughput=result.throughput,
             cpu_utilization=result.cpu_utilization,
-            result=result)
+            result=result,
+            global_memory_bytes=spec.global_memory_bytes,
+            queued_queries=result.queued_queries,
+            mean_admission_wait=result.mean_admission_wait)
         for spec, result in zip(specs, results)
     ]

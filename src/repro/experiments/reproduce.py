@@ -92,8 +92,8 @@ def generate_all(outdir: "str | Path", *, scale: float = 1.0,
         multi_workload, ["SEQ", "DSE"],
         [params.w_min, 5 * params.w_min], params,
         num_queries=4, seed=seed, runner=runner)
-    headers = ["strategy", "w_us", "mean_resp_s", "makespan_s",
-               "queries_per_s", "cpu"]
+    headers = ["strategy", "w_us", "pool", "mean_resp_s", "makespan_s",
+               "queries_per_s", "cpu", "queued", "mean_wait_s"]
     rows = [p.row() for p in multi]
     report.append(format_table(headers, rows,
                                title="Extension: 4 concurrent queries"))

@@ -1,7 +1,13 @@
 """Buffer and memory management.
 
 * :class:`MemoryManager` accounts the query's memory budget (hash tables
-  live here; M-schedulability checks ask it what fits).
+  live here; M-schedulability checks ask it what fits).  It is the
+  per-query *lease* layer of the hierarchical broker — see
+  :mod:`repro.resources.broker`, whose :class:`~repro.resources.broker.MemoryLease`
+  it aliases: standalone construction (``MemoryManager(bytes)``) keeps
+  the old static-budget semantics exactly, while a lease drawn from a
+  governed :class:`~repro.resources.broker.MemoryBroker` can pull and be
+  offered extra bytes at runtime.
 * :class:`BufferManager` owns temp relations on the local disk.  Writers
   use **write-behind**: tuples accumulate into I/O chunks (Table 1's
   8-page I/O cache) flushed by asynchronous background writes.  Readers
@@ -19,75 +25,16 @@ from typing import Any, Generator, Optional
 
 from repro.common.errors import SimulationError
 from repro.config import SimulationParameters
+from repro.resources.broker import MemoryLease
 from repro.sim.cache import LRUPageCache
 from repro.exec import Kernel, Process, SimEvent
 from repro.sim.resources import CPU, Disk
 from repro.sim.stats import Counter
 from repro.sim.tracing import Tracer
 
-
-class MemoryManager:
-    """Byte-accurate accounting of the query's memory budget."""
-
-    def __init__(self, total_bytes: int):
-        if total_bytes <= 0:
-            raise SimulationError(f"memory budget must be positive, got {total_bytes}")
-        self.total_bytes = total_bytes
-        self.used_bytes = 0
-        self.peak_bytes = 0
-        self._allocations: dict[str, int] = {}
-
-    @property
-    def available_bytes(self) -> int:
-        return self.total_bytes - self.used_bytes
-
-    def would_fit(self, num_bytes: int) -> bool:
-        """True if ``num_bytes`` more could be reserved right now."""
-        return num_bytes <= self.available_bytes
-
-    def reserve(self, owner: str, num_bytes: int) -> None:
-        """Reserve memory for ``owner``; caller must check :meth:`would_fit`."""
-        if num_bytes < 0:
-            raise SimulationError(f"negative reservation: {num_bytes}")
-        if owner in self._allocations:
-            raise SimulationError(f"owner {owner!r} already holds a reservation")
-        if not self.would_fit(num_bytes):
-            raise SimulationError(
-                f"reservation of {num_bytes} for {owner!r} exceeds available "
-                f"{self.available_bytes}")
-        self._allocations[owner] = num_bytes
-        self.used_bytes += num_bytes
-        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
-
-    def try_grow(self, owner: str, delta_bytes: int) -> bool:
-        """Grow an existing reservation; False if it does not fit."""
-        if delta_bytes < 0:
-            raise SimulationError(f"negative growth: {delta_bytes}")
-        if owner not in self._allocations:
-            raise SimulationError(f"owner {owner!r} holds no reservation")
-        if not self.would_fit(delta_bytes):
-            return False
-        self._allocations[owner] += delta_bytes
-        self.used_bytes += delta_bytes
-        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
-        return True
-
-    def release(self, owner: str) -> int:
-        """Free ``owner``'s reservation; returns the bytes freed."""
-        try:
-            num_bytes = self._allocations.pop(owner)
-        except KeyError:
-            raise SimulationError(f"owner {owner!r} holds no reservation") from None
-        self.used_bytes -= num_bytes
-        return num_bytes
-
-    def held_by(self, owner: str) -> int:
-        """Bytes currently reserved by ``owner`` (0 if none)."""
-        return self._allocations.get(owner, 0)
-
-    def __repr__(self) -> str:
-        return (f"MemoryManager({self.used_bytes}/{self.total_bytes} used, "
-                f"peak={self.peak_bytes})")
+#: the per-query memory budget is the lease layer of the resource
+#: broker; the historical name is kept for every existing touchpoint.
+MemoryManager = MemoryLease
 
 
 class HashTable:

@@ -20,6 +20,11 @@ DECISION_MF_STOP = "mf-stop"
 DECISION_CF_CREATE = "cf-create"
 DECISION_MEMORY_SPLIT = "memory-split"
 DECISION_REOPT_SWAP = "reopt-swap"
+#: decision kinds the resource-governance plane records.
+DECISION_ADMIT = "admit"
+DECISION_ADMISSION_QUEUE = "admission-queue"
+DECISION_LEASE_GROW = "lease-grow"
+DECISION_LEASE_SHRINK = "lease-shrink"
 
 
 @dataclass(frozen=True)

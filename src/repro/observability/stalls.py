@@ -11,7 +11,10 @@ Every stall interval is attributed to exactly one cause:
   memory from the local disk;
 * ``timeout``            — nothing arrived for the full timeout;
 * ``no-schedulable-qf``  — woken for replanning (e.g. a delivery-rate
-  change) while no scheduled query fragment had work.
+  change) while no scheduled query fragment had work;
+* ``admission-wait``     — (multi-query) the submission sat in the
+  admission queue because its minimum working set did not fit the
+  global memory pool.
 
 The per-cause totals always sum to ``DynamicQueryProcessor.stall_time``.
 """
@@ -27,6 +30,7 @@ from repro.common.errors import SimulationError
 STALL_TIMEOUT = "timeout"
 STALL_MEMORY_WAIT = "memory-wait"
 STALL_NO_SCHEDULABLE = "no-schedulable-qf"
+STALL_ADMISSION_WAIT = "admission-wait"
 _SOURCE_PREFIX = "source-wait:"
 
 

@@ -30,7 +30,9 @@ from repro.observability import DecisionRecord, MetricsRegistry, SamplePoint
 
 #: bumped whenever the payload layout changes (part of the cache key).
 #: 2: telemetry metrics snapshot + periodic samples joined the payload.
-RESULT_SCHEMA_VERSION = 2
+#: 3: multi-query payloads carry the machine-wide decision audit log and
+#:    the per-query admission/memory outcome fields.
+RESULT_SCHEMA_VERSION = 3
 
 #: scalar ExecutionResult fields copied verbatim, in schema order.
 _SCALAR_FIELDS = (
@@ -91,6 +93,7 @@ def multiquery_result_to_payload(result: MultiQueryResult) -> dict[str, Any]:
         "makespan": result.makespan,
         "cpu_busy_time": result.cpu_busy_time,
         "disk_busy_time": result.disk_busy_time,
+        "decisions": [record.to_dict() for record in result.decisions],
     }
 
 
@@ -100,4 +103,6 @@ def multiquery_result_from_payload(payload: dict[str, Any]) -> MultiQueryResult:
         makespan=payload["makespan"],
         cpu_busy_time=payload["cpu_busy_time"],
         disk_busy_time=payload["disk_busy_time"],
+        decisions=[DecisionRecord.from_dict(record)
+                   for record in payload.get("decisions", [])],
     )

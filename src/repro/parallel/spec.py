@@ -171,6 +171,15 @@ class MultiQuerySpec:
     inter_arrival: float = 0.0
     params: SimulationParameters = field(default_factory=SimulationParameters)
     tuple_size: int = 40
+    #: per-query initial budget override (None: params.query_memory_bytes).
+    memory_bytes: int | None = None
+    #: per-query lease bounds (None: pinned to the initial budget).
+    min_memory_bytes: int | None = None
+    max_memory_bytes: int | None = None
+    #: global mediator pool; None runs ungoverned (unbounded pool).
+    global_memory_bytes: int | None = None
+    #: admission policy when governed ("fifo" / "priority" / "none").
+    admission: str = "fifo"
 
     def identity(self) -> dict[str, Any]:
         return {
@@ -183,6 +192,11 @@ class MultiQuerySpec:
             "workload": {"family": "figure5", "scale": self.scale,
                          "tuple_size": self.tuple_size},
             "params": asdict(self.params),
+            "memory": {"query": self.memory_bytes,
+                       "min": self.min_memory_bytes,
+                       "max": self.max_memory_bytes,
+                       "global": self.global_memory_bytes,
+                       "admission": self.admission},
         }
 
     def cache_key(self) -> str:
@@ -196,7 +210,10 @@ class MultiQuerySpec:
 
         workload = figure5_workload(tuple_size=self.tuple_size,
                                     scale=self.scale)
-        engine = MultiQueryEngine(params=self.params, seed=self.seed)
+        engine = MultiQueryEngine(
+            params=self.params, seed=self.seed,
+            global_memory_bytes=self.global_memory_bytes,
+            admission=self.admission)
         for i in range(self.num_queries):
             engine.submit(QuerySubmission(
                 name=f"{self.strategy}-{i}",
@@ -205,7 +222,10 @@ class MultiQuerySpec:
                 policy=make_policy(self.strategy),
                 delay_models={name: UniformDelay(self.wait)
                               for name in workload.relation_names},
-                start_time=i * self.inter_arrival))
+                start_time=i * self.inter_arrival,
+                memory_bytes=self.memory_bytes,
+                min_memory_bytes=self.min_memory_bytes,
+                max_memory_bytes=self.max_memory_bytes))
         return engine.run()
 
     def execute_payload(self) -> dict[str, Any]:

@@ -1,0 +1,35 @@
+"""Unified resource-governance plane (memory broker + admission).
+
+Memory in the mediator is governed hierarchically:
+
+* :class:`MemoryBroker` — one global pool per mediator machine, leased
+  out per query;
+* :class:`MemoryLease` — one query's budget.  The lease is the leaf
+  accounting layer (byte-accurate per-owner reservations, exactly the
+  semantics the old per-query ``MemoryManager`` had — it *is* the
+  ``MemoryManager`` re-exported from :mod:`repro.mediator.buffer`);
+* per-owner reservations — hash tables and in-memory temps reserve
+  against the lease.
+
+:class:`AdmissionController` queues query submissions whose minimum
+working set does not fit the pool and admits them FIFO (or by priority)
+as other leases release bytes.  When bytes return to the pool, the
+broker *offers* them to running leases that subscribed to grow events —
+the dynamic budget re-planning hook the DQS uses to convert degraded
+pipeline chains back to directly-scheduled ones mid-flight.
+"""
+
+from repro.resources.admission import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    AdmissionTicket,
+)
+from repro.resources.broker import MemoryBroker, MemoryLease
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionTicket",
+    "MemoryBroker",
+    "MemoryLease",
+]

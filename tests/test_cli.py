@@ -313,7 +313,7 @@ def test_cmd_top_once_with_nothing_listening_exits_2(capsys):
 
 def test_bench_default_out_is_this_prs_report():
     args = build_parser().parse_args(["bench"])
-    assert args.out == "BENCH_PR4.json"
+    assert args.out == "BENCH_PR5.json"
     assert args.max_regression == "10%"
 
 

@@ -29,9 +29,10 @@ def _spec(strategy="DSE", seed=1, params=TELEMETRY) -> RunSpec:
 
 
 def test_schema_version_covers_the_telemetry_payload():
-    # Bumped 1 -> 2 when metrics/samples joined the payload; the version
-    # is part of every cache key, so stale schema-1 entries miss cleanly.
-    assert RESULT_SCHEMA_VERSION == 2
+    # Bumped 1 -> 2 when metrics/samples joined the payload, 2 -> 3 when
+    # multi-query payloads gained decisions and admission outcomes; the
+    # version is part of every cache key, so stale entries miss cleanly.
+    assert RESULT_SCHEMA_VERSION == 3
 
 
 def test_payload_roundtrip_preserves_metrics_and_samples():

@@ -1,0 +1,258 @@
+"""Unit tests for the resource-governance plane (repro.resources)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.observability import Telemetry
+from repro.resources import AdmissionController, MemoryBroker, MemoryLease
+from repro.sim import Simulator
+
+
+# -- the leaf layer: legacy MemoryManager semantics -------------------------
+
+class TestLeaseLeafAccounting:
+    def test_reserve_release_peak(self):
+        lease = MemoryLease(1000)
+        lease.reserve("a", 400)
+        lease.reserve("b", 300)
+        assert lease.used_bytes == 700
+        assert lease.available_bytes == 300
+        assert lease.peak_bytes == 700
+        assert lease.held_by("a") == 400
+        assert lease.release("a") == 400
+        assert lease.used_bytes == 300
+        assert lease.peak_bytes == 700  # high-water mark survives
+
+    def test_try_grow(self):
+        lease = MemoryLease(1000)
+        lease.reserve("t", 600)
+        assert lease.try_grow("t", 400)
+        assert not lease.try_grow("t", 1)
+        assert lease.held_by("t") == 1000
+
+    def test_would_fit_static(self):
+        lease = MemoryLease(1000)
+        assert lease.would_fit(1000)
+        assert not lease.would_fit(1001)
+
+    def test_error_messages_preserved(self):
+        lease = MemoryLease(100)
+        with pytest.raises(SimulationError, match="negative reservation"):
+            lease.reserve("x", -1)
+        lease.reserve("x", 10)
+        with pytest.raises(SimulationError, match="already holds"):
+            lease.reserve("x", 10)
+        with pytest.raises(SimulationError, match="exceeds available"):
+            lease.reserve("y", 1000)
+        with pytest.raises(SimulationError, match="negative growth"):
+            lease.try_grow("x", -1)
+        with pytest.raises(SimulationError, match="holds no reservation"):
+            lease.try_grow("ghost", 1)
+        with pytest.raises(SimulationError, match="holds no reservation"):
+            lease.release("ghost")
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(SimulationError, match="must be positive"):
+            MemoryLease(0)
+
+    def test_bounds_validated(self):
+        with pytest.raises(SimulationError, match="bounds violated"):
+            MemoryLease(100, min_bytes=200)
+        with pytest.raises(SimulationError, match="bounds violated"):
+            MemoryLease(100, max_bytes=50)
+
+
+# -- broker: pool arithmetic and demand pulls --------------------------------
+
+class TestBroker:
+    def test_unbounded_broker_preserves_legacy(self):
+        broker = MemoryBroker()
+        lease = broker.lease("q", 1000)
+        assert not broker.governed
+        assert broker.spare_bytes() is None
+        # min == max == budget: headroom is zero, arithmetic identical
+        # to the old private MemoryManager.
+        assert not lease.would_fit(1001)
+
+    def test_governed_pool_bounds_leases(self):
+        broker = MemoryBroker(1000)
+        broker.lease("a", 600)
+        with pytest.raises(SimulationError, match="exceeds spare pool"):
+            broker.lease("b", 500)
+        broker.lease("b", 400)
+        assert broker.spare_bytes() == 0
+
+    def test_non_positive_pool_rejected(self):
+        with pytest.raises(SimulationError, match="must be positive"):
+            MemoryBroker(0)
+
+    def test_demand_pull_grows_lease(self):
+        broker = MemoryBroker(1000)
+        lease = broker.lease("q", 400, min_bytes=400, max_bytes=900)
+        # would_fit sees the headroom a pull could claim: 400 budget
+        # + min(900 - 400, 600 spare) = 900.
+        assert lease.would_fit(900)
+        assert not lease.would_fit(901)
+        lease.reserve("t", 700)  # pulls 300 from the pool silently
+        assert lease.total_bytes == 700
+        assert broker.spare_bytes() == 300
+
+    def test_pull_capped_by_max_bytes(self):
+        broker = MemoryBroker(10_000)
+        lease = broker.lease("q", 400, max_bytes=500)
+        assert lease.would_fit(500)
+        assert not lease.would_fit(501)
+        lease.reserve("t", 500)
+        assert lease.total_bytes == 500
+
+    def test_release_offers_bytes_to_subscribed_lease(self):
+        sim = Simulator()
+        telemetry = Telemetry(sim=sim, enabled=True)
+        broker = MemoryBroker(1000, sim=sim, telemetry=telemetry)
+        stay = broker.lease("stay", 400, min_bytes=400, max_bytes=1000)
+        done = broker.lease("done", 600)
+        grows = []
+        stay.subscribe_grow(lambda granted, total: grows.append(
+            (granted, total)))
+        broker.release(done)
+        assert grows == [(600, 1000)]
+        assert stay.grow_revision == 1
+        assert [r.kind for r in telemetry.audit] == ["lease-grow"]
+
+    def test_no_offer_without_subscription(self):
+        broker = MemoryBroker(1000)
+        stay = broker.lease("stay", 400, min_bytes=400, max_bytes=1000)
+        broker.release(broker.lease("done", 600))
+        assert stay.total_bytes == 400  # static query keeps its budget
+
+    def test_reclaim_shrinks_only_under_demand(self):
+        broker = MemoryBroker(1000)
+        fat = broker.lease("fat", 800, min_bytes=200, max_bytes=800)
+        fat.reserve("t", 300)
+        fat.release("t")
+        # Nobody is waiting: the query keeps its full budget.
+        assert fat.total_bytes == 800
+
+        hungry = broker.lease("hungry", 200, min_bytes=200, max_bytes=600)
+        hungry.subscribe_grow(lambda *a: None)
+        fat.reserve("t", 300)
+        fat.release("t")
+        # Demand exists: fat shrinks to max(used, min) and the freed
+        # bytes are offered to the growable lease.
+        assert fat.total_bytes == 200
+        assert hungry.total_bytes == 600
+
+    def test_released_lease_cannot_pull(self):
+        broker = MemoryBroker(1000)
+        lease = broker.lease("q", 400, max_bytes=900)
+        broker.release(lease)
+        assert not broker.expand_lease(lease, 100)
+        assert not lease.would_fit(500)
+
+    def test_lease_gauges(self):
+        sim = Simulator()
+        telemetry = Telemetry(sim=sim, enabled=True)
+        broker = MemoryBroker(1000, sim=sim, telemetry=telemetry)
+        lease = broker.lease("q", 600)
+        lease.attach_metrics(telemetry.registry, prefix="memory.q")
+        lease.reserve("t", 250)
+        registry = telemetry.registry
+        assert registry.gauge("memory.q.used_bytes").value == 250
+        assert registry.gauge("memory.q.peak_bytes").value == 250
+        assert registry.gauge("memory.q.available_bytes").value == 350
+        assert registry.gauge("broker.mediator.pool_bytes").value == 1000
+        assert registry.gauge("broker.mediator.leased_bytes").value == 600
+        assert registry.gauge("broker.mediator.spare_bytes").value == 400
+        assert registry.gauge("broker.mediator.active_leases").value == 1
+
+
+# -- admission control -------------------------------------------------------
+
+def _controller(pool=1000, policy="fifo", enabled=False):
+    sim = Simulator()
+    telemetry = Telemetry(sim=sim, enabled=enabled)
+    broker = MemoryBroker(pool, sim=sim, telemetry=telemetry)
+    return AdmissionController(broker, sim, telemetry=telemetry,
+                               policy=policy), broker, telemetry
+
+
+class TestAdmission:
+    def test_immediate_grant_formula(self):
+        controller, broker, _ = _controller(pool=1000)
+        ticket = controller.request("q", min_bytes=200, max_bytes=700)
+        # spare 1000: granted = min(700, max(200, 1000)) = 700
+        assert ticket.granted
+        assert ticket.lease.total_bytes == 700
+        assert ticket.waited == 0.0
+
+    def test_tight_grant_starts_at_spare(self):
+        controller, broker, _ = _controller(pool=1000)
+        broker.lease("other", 700)
+        ticket = controller.request("q", min_bytes=200, max_bytes=900)
+        # spare 300: granted = min(900, max(200, 300)) = 300
+        assert ticket.granted
+        assert ticket.lease.total_bytes == 300
+
+    def test_queue_and_fifo_drain(self):
+        controller, broker, telemetry = _controller(pool=1000)
+        first = broker.lease("running", 900)
+        a = controller.request("a", min_bytes=300, max_bytes=500)
+        b = controller.request("b", min_bytes=200, max_bytes=300)
+        assert not a.granted and not b.granted
+        assert controller.queue_depth == 2
+        broker.release(first)
+        # Strict head-of-line: a admitted first even though b is smaller.
+        assert a.granted and b.granted
+        assert a.admitted_at is not None
+        kinds = [r.kind for r in telemetry.audit]
+        assert kinds == ["admission-queue", "admission-queue",
+                         "admit", "admit"]
+        assert [r.subject for r in telemetry.audit if r.kind == "admit"] \
+            == ["a", "b"]
+
+    def test_head_of_line_blocks_smaller_followers(self):
+        controller, broker, _ = _controller(pool=1000)
+        broker.lease("running", 600)
+        big = controller.request("big", min_bytes=500, max_bytes=500)
+        small = controller.request("small", min_bytes=100, max_bytes=100)
+        # 400 spare fits small but not the head: nobody is admitted.
+        assert not big.granted and not small.granted
+
+    def test_priority_policy(self):
+        controller, broker, _ = _controller(pool=1000, policy="priority")
+        first = broker.lease("running", 900)
+        low = controller.request("low", 300, 300, priority=1.0)
+        high = controller.request("high", 300, 300, priority=5.0)
+        broker.release(first)
+        assert high.admitted_at is not None and low.admitted_at is not None
+        assert high.lease is not None and low.lease is not None
+        # Both fit after the release, but high was drained first.
+        assert broker.leases.index(high.lease) \
+            < broker.leases.index(low.lease)
+
+    def test_invalid_bounds_rejected(self):
+        controller, _, _ = _controller()
+        with pytest.raises(ConfigurationError, match="need 0 < min <= max"):
+            controller.request("q", min_bytes=0, max_bytes=100)
+        with pytest.raises(ConfigurationError, match="need 0 < min <= max"):
+            controller.request("q", min_bytes=200, max_bytes=100)
+
+    def test_never_admittable_rejected(self):
+        controller, _, _ = _controller(pool=1000)
+        with pytest.raises(ConfigurationError, match="could never be admitted"):
+            controller.request("q", min_bytes=2000, max_bytes=3000)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown admission"):
+            _controller(policy="lifo")
+
+    def test_metrics(self):
+        controller, broker, telemetry = _controller(pool=1000, enabled=True)
+        first = broker.lease("running", 900)
+        controller.request("q", min_bytes=300, max_bytes=500)
+        registry = telemetry.registry
+        assert registry.gauge("admission.queue_depth").value == 1
+        assert registry.counter("admission.queued").value == 1
+        broker.release(first)
+        assert registry.gauge("admission.queue_depth").value == 0
+        assert registry.counter("admission.admitted").value == 1
