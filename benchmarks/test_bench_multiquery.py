@@ -27,8 +27,8 @@ def test_multiquery_throughput(benchmark, small_workload, params):
 
     print()
     print(format_table(
-        ["strategy", "w (µs)", "mean resp (s)", "makespan (s)",
-         "queries/s", "CPU"],
+        ["strategy", "w (µs)", "pool", "mean resp (s)", "makespan (s)",
+         "queries/s", "CPU", "queued", "wait (s)"],
         [p.row() for p in points],
         title="4 concurrent queries: throughput vs response time"))
 

@@ -14,6 +14,13 @@ Also asserts the structural guarantees of the disabled path: the
 registry hands out the null metric without registering it, the result
 carries no metrics object, and no samples are collected.
 
+A span section repeats the check for the causal span recorder with a
+*tighter* budget: spans ride the compiled DQP hook table, so the
+spans-disabled batch loop (one falsy-tuple check per batch) must stay
+within 1% of the spans-enabled loop plus timer grace — and the compiled
+hook table itself must be the shared ``NULL_HOOKS`` no-op when every
+consumer is off.
+
 A second section repeats the comparison on the wall-clock asyncio
 backend: one small live run with telemetry (and the wall-clock sampler)
 fully enabled versus one with telemetry disabled.  Live runs are
@@ -37,11 +44,12 @@ import numpy as np
 from repro import QueryEngine, UniformDelay, make_policy
 from repro.config import SimulationParameters
 from repro.experiments import figure5_workload, run_slowdown_experiment
-from repro.observability import NULL_METRIC, MetricsRegistry
+from repro.observability import NULL_HOOKS, NULL_METRIC, MetricsRegistry
 
 ROUNDS = 3
 RETRIEVAL_TIME = 2.0  # the smallest Figure 6 point
 LIVE_SCALE = 0.02     # live rounds are wall-clock; keep them tiny
+DQP_SCALE = 0.2       # the span-overhead rounds: one batch-loop-bound run
 
 
 def timed_sweep(workload, params) -> float:
@@ -52,6 +60,22 @@ def timed_sweep(workload, params) -> float:
                                 repetitions=1)
         best = min(best, time.perf_counter() - started)
     return best
+
+
+def timed_dqp_run(params):
+    """Best wall-clock of ROUNDS single DSE runs (batch-loop bound)."""
+    workload = figure5_workload(scale=DQP_SCALE)
+    best, result = float("inf"), None
+    for _ in range(ROUNDS):
+        delays = {name: UniformDelay(params.w_min)
+                  for name in workload.relation_names}
+        engine = QueryEngine(workload.catalog, workload.qep,
+                             make_policy("DSE"), delays, params=params,
+                             seed=1)
+        started = time.perf_counter()
+        result = engine.run()
+        best = min(best, time.perf_counter() - started)
+    return best, result
 
 
 def timed_live_run(params) -> float:
@@ -119,6 +143,29 @@ def main() -> int:
               "the enabled path — the no-op instrumentation is not free")
         return 1
     print("OK: disabled-telemetry overhead within budget")
+
+    # Spans ride the compiled hook table: with every consumer off the
+    # table is the shared no-op and the batch loop pays one falsy check.
+    assert not NULL_HOOKS.enabled
+    assert NULL_HOOKS.batch == () and NULL_HOOKS.stall == ()
+    spans_off, off_result = timed_dqp_run(SimulationParameters())
+    assert off_result.spans is None, "spans-off run must not carry spans"
+    spans_on, on_result = timed_dqp_run(
+        SimulationParameters(telemetry_spans=True))
+    assert on_result.spans, "spans-on run recorded no spans"
+    assert on_result.response_time == off_result.response_time, \
+        "span recording perturbed the simulation"
+    spans_budget = spans_on * 1.01 + 0.05  # 1% relative + timer grace
+    print(f"spans disabled: {spans_off:.3f} s (best of {ROUNDS})")
+    print(f"spans enabled : {spans_on:.3f} s (best of {ROUNDS}, "
+          f"{len(on_result.spans)} spans)")
+    print(f"budget for spans-disabled path: {spans_budget:.3f} s")
+    if spans_off > spans_budget:
+        print("FAIL: the spans-disabled DQP batch loop is more than 1% "
+              "slower than the recording loop — the compiled hook "
+              "table's off path is not free")
+        return 1
+    print("OK: spans-disabled batch-loop overhead within 1%")
 
     live_disabled = timed_live_run(SimulationParameters())
     live_enabled = timed_live_run(SimulationParameters(

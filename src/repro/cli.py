@@ -22,8 +22,12 @@ writing any code:
   sweeps mediator-wide memory pools (with ``--admission`` picking the
   queueing policy) to expose the throughput-vs-response-time tradeoff of
   resource governance;
-* ``bench`` — the canonical performance suite; writes ``BENCH_PR5.json``
-  and gates regressions against a committed baseline via ``--compare``.
+* ``bench`` — the canonical performance suite; writes ``BENCH_PR6.json``
+  and gates regressions against a committed baseline via ``--compare``;
+* ``explain`` — record one run's causal span tree and print the
+  attributed critical path (``--vs STRATEGY`` diffs two runs,
+  ``--bench-diff`` two committed bench reports, ``--from`` a saved
+  span export).
 
 Every sweep accepts ``--csv PATH`` to export the series for plotting,
 and ``--jobs N`` / ``--cache-dir DIR`` / ``--no-cache`` to shard the
@@ -108,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-out", metavar="PATH",
                      help="write the Chrome/Perfetto trace JSON to PATH "
                           "(implies collecting trace events)")
+    run.add_argument("--spans-out", metavar="PATH",
+                     help="record the causal span tree and write its JSON "
+                          "export (plus a .trace.json chrome sibling) to "
+                          "PATH; analyze it with `repro explain --from`")
 
     metrics = sub.add_parser(
         "metrics", help="run one strategy with telemetry and export "
@@ -211,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--deadline", type=float, metavar="S", default=None,
                       help="abort + dump when one run exceeds S wall seconds "
                            "(needs --flight-dump)")
+    live.add_argument("--span-dump", metavar="PATH", default=None,
+                      help="record each run's causal span tree on the "
+                           "wall-clock backend and write the export to PATH "
+                           "(the strategy name is suffixed when several "
+                           "strategies run)")
 
     top = sub.add_parser(
         "top", help="terminal dashboard for a live run "
@@ -260,8 +273,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the canonical performance suite and write the "
                       "benchmark report JSON")
-    bench.add_argument("--out", default="BENCH_PR5.json",
-                       help="report path (default ./BENCH_PR5.json)")
+    bench.add_argument("--out", default="BENCH_PR6.json",
+                       help="report path (default ./BENCH_PR6.json)")
     bench.add_argument("--jobs", type=int, default=0,
                        help="worker processes for the parallel sweep case "
                             "(default 0 = one per core)")
@@ -284,6 +297,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="regression budget for --compare, e.g. '10%%' "
                             "(default 10%%; CI uses a looser budget because "
                             "absolute rates are host-relative)")
+
+    explain = sub.add_parser(
+        "explain", help="record one run's span tree and print the "
+                        "attributed critical path (SEQ-vs-DSE diffs, "
+                        "bench-report diffs, saved span exports)")
+    _common(explain)
+    explain.add_argument("--strategy", default="DSE",
+                         help="SEQ, MA, DSE or DSE-ND (default DSE)")
+    explain.add_argument("--vs", metavar="STRATEGY", default=None,
+                         help="also run this strategy on identical sources "
+                              "and print the per-category span diff "
+                              "(e.g. --strategy DSE --vs SEQ)")
+    explain.add_argument("--slow", action="append", default=[],
+                         metavar="REL:FACTOR",
+                         help="slow one relation by a factor of w_min "
+                              "(repeatable), e.g. --slow C:10")
+    explain.add_argument("--segments", type=int, default=8,
+                         help="longest critical-path segments to list "
+                              "(default 8)")
+    explain.add_argument("--spans-out", metavar="PATH",
+                         help="also write the recorded span export (plus "
+                              "its .trace.json chrome sibling) to PATH")
+    explain.add_argument("--from", dest="from_path", metavar="PATH",
+                         help="skip the run: explain a span export written "
+                              "by --spans-out / `repro run --spans-out` / "
+                              "`repro live --span-dump`")
+    explain.add_argument("--bench-diff", nargs=2, metavar=("BASE", "CURRENT"),
+                         default=None,
+                         help="skip the run: diff two committed bench "
+                              "report JSONs case by case")
 
     return parser
 
@@ -332,6 +375,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
         "bench": _cmd_bench,
+        "explain": _cmd_explain,
     }
     try:
         return handlers[args.command](args)
@@ -406,7 +450,8 @@ def _parse_slow(specs: list[str]) -> dict[str, float]:
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = figure5_workload(scale=args.scale)
     params = SimulationParameters().with_overrides(
-        enable_reoptimization=args.reopt)
+        enable_reoptimization=args.reopt,
+        telemetry_spans=bool(args.spans_out))
     slow = _parse_slow(args.slow)
     unknown = set(slow) - set(workload.relation_names)
     if unknown:
@@ -418,6 +463,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     collect_trace = args.trace or bool(args.trace_out)
 
     if args.strategy.upper() == "DPHJ":
+        if args.spans_out:
+            raise SystemExit("--spans-out needs the DQP engine; DPHJ "
+                             "records no scheduling spans")
         from repro.core.symmetric import SymmetricHashJoinEngine
         result = SymmetricHashJoinEngine(
             workload.catalog, workload.tree, delays, params=params,
@@ -456,6 +504,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for path in (args.chrome_trace, args.trace_out):
             if path:
                 print("chrome trace:", write_chrome_trace(path, result))
+    if args.spans_out and result.spans is not None:
+        from repro.observability import write_spans_json
+        print("spans:", write_spans_json(result.spans, args.spans_out))
     if args.trace and result.tracer is not None:
         print()
         for category in ["plan", "degrade", "mf-stop", "chain-complete",
@@ -692,12 +743,19 @@ def _cmd_live(args: argparse.Namespace) -> int:
           f"{args.wait_us:g}µs/tuple, slow: {slow_desc}")
     results = {}
     for strategy in strategies:
+        span_dump = args.span_dump
+        if span_dump is not None and len(strategies) > 1:
+            from pathlib import Path
+            p = Path(span_dump)
+            span_dump = p.with_name(
+                f"{p.stem}-{strategy.lower()}{p.suffix or '.json'}")
         try:
             engine = LiveQueryEngine(
                 workload.catalog, workload.qep, make_policy(strategy),
                 sources(), params=params, seed=args.seed,
                 serve_port=args.serve, flight_dump=args.flight_dump,
                 stall_after=args.stall_after, deadline=args.deadline,
+                span_dump=span_dump,
                 on_serve=lambda server: print(
                     f"observability plane: {server.url}/metrics "
                     f"| /healthz | /stream", flush=True))
@@ -716,6 +774,8 @@ def _cmd_live(args: argparse.Namespace) -> int:
         stalls = ", ".join(f"{cause} {seconds:.3f}s" for cause, seconds
                            in result.stall_by_cause().items())
         print(f"  stalls: {stalls or 'none'}")
+        if span_dump is not None:
+            print(f"  spans: {span_dump}")
         if args.timeline:
             print(result.render_timeline())
 
@@ -865,17 +925,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
           f"batches/s")
     print(f"kernel dispatch: {derived['kernel_events_per_sec']:12,.0f} "
           f"events/s")
-    print(f"parallel sweep : {derived['parallel_speedup']:.2f}x speedup at "
-          f"--jobs {report['config']['jobs']} "
-          f"({report['host']['cpu_count']} cores)")
+    speedup = derived["parallel_speedup"]
+    if speedup is None:
+        print(f"parallel sweep : n/a (single-core host, "
+              f"--jobs {report['config']['jobs']})")
+    else:
+        print(f"parallel sweep : {speedup:.2f}x speedup at "
+              f"--jobs {report['config']['jobs']} "
+              f"({report['host']['cpu_count']} cores)")
     print(f"warm cache     : {100 * derived['warm_cache_fraction']:.1f}% of "
           f"serial wall-clock")
     print("wrote", write_bench_json(report, args.out))
-    if (args.assert_speedup is not None
-            and derived["parallel_speedup"] < args.assert_speedup):
-        print(f"FAIL: parallel speedup {derived['parallel_speedup']:.2f}x "
-              f"< required {args.assert_speedup:g}x")
-        return 1
+    if args.assert_speedup is not None:
+        if speedup is None:
+            print("skipping --assert-speedup: single-core host cannot "
+                  "demonstrate a parallel speedup")
+        elif speedup < args.assert_speedup:
+            print(f"FAIL: parallel speedup {speedup:.2f}x "
+                  f"< required {args.assert_speedup:g}x")
+            return 1
     if baseline is not None:
         comparisons = compare_reports(baseline, report, budget)
         print(f"compare vs {args.compare} "
@@ -891,6 +959,75 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"FAIL: {len(regressed)} metric(s) regressed more than "
                   f"{100 * budget:g}% vs {args.compare}")
             return 1
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.common.errors import ConfigurationError
+    from repro.observability import (
+        explain_spans,
+        format_bench_diff,
+        format_explanation,
+        format_explanation_diff,
+        load_spans,
+        write_spans_json,
+    )
+
+    if args.bench_diff:
+        from repro.parallel.trend import load_bench_report
+        base_path, current_path = args.bench_diff
+        try:
+            base = load_bench_report(base_path)
+            current = load_bench_report(current_path)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_bench_diff(base, current,
+                                base_label=base_path,
+                                current_label=current_path))
+        return 0
+
+    if args.from_path:
+        try:
+            spans = load_spans(args.from_path)
+            explanation = explain_spans(spans)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_explanation(explanation, top_segments=args.segments))
+        return 0
+
+    workload = figure5_workload(scale=args.scale)
+    params = SimulationParameters().with_overrides(telemetry_spans=True)
+    slow = _parse_slow(args.slow)
+    unknown = set(slow) - set(workload.relation_names)
+    if unknown:
+        raise SystemExit(f"unknown relation(s) in --slow: {sorted(unknown)}")
+    waits = {name: params.w_min * slow.get(name, 1.0)
+             for name in workload.relation_names}
+
+    def run_one(strategy: str):
+        # Fresh delay objects per run so both strategies face identical
+        # sources (the per-wrapper RNG streams are seeded by the engine).
+        delays = {name: UniformDelay(wait) for name, wait in waits.items()}
+        engine = QueryEngine(workload.catalog, workload.qep,
+                             make_policy(strategy), delays, params=params,
+                             seed=args.seed)
+        result = engine.run()
+        return result, explain_spans(result.spans,
+                                     strategy=result.strategy)
+
+    result, explanation = run_one(args.strategy)
+    print(format_explanation(explanation, top_segments=args.segments))
+    if args.spans_out and result.spans is not None:
+        print()
+        print("spans:", write_spans_json(result.spans, args.spans_out))
+    if args.vs:
+        _, other = run_one(args.vs)
+        print()
+        print(format_explanation(other, top_segments=args.segments))
+        print()
+        print(format_explanation_diff(explanation, other))
     return 0
 
 

@@ -137,6 +137,11 @@ class SimulationParameters:
     #: depths, delivery rates); 0 disables the periodic sampler.  Only
     #: effective together with ``telemetry_enabled``.
     telemetry_sample_interval: float = 0.0
+    #: record the causal span tree (query → phases → fragments → batches
+    #: and stall intervals) during the run; independent of
+    #: ``telemetry_enabled``.  Off by default: a disabled recorder never
+    #: contributes hook callables, so the DQP batch loop pays nothing.
+    telemetry_spans: bool = False
 
     # --- methodology -----------------------------------------------------
     #: default average per-tuple waiting time for "no problem" wrappers.

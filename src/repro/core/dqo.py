@@ -37,6 +37,12 @@ from repro.core.events import (
 )
 from repro.core.fragments import FragmentKind
 from repro.core.runtime import QueryRuntime
+from repro.observability import (
+    SPAN_EXEC_PHASE,
+    SPAN_LEASE_GROW,
+    SPAN_PLANNING,
+    SPAN_RATE_REPLAN,
+)
 from repro.exec import SimEvent
 
 
@@ -71,11 +77,27 @@ class DynamicQEPOptimizer:
         """Execute the query to completion. ``yield from`` me (or wrap in
         a simulation process)."""
         world = self.runtime.world
+        spans = world.telemetry.spans
+        query_span = self.runtime.query_span
+        if spans is not None and query_span is not None:
+            spans.spans[query_span].attrs["strategy"] = \
+                self.scheduler.policy.name
+        #: span id of the event that *caused* the next planning phase
+        #: (a lease grow or rate change); None for ordinary progress.
+        replan_cause = None
         if self.scheduler.policy.wants_rate_events:
             world.cm.set_rate_listener(self.processor.notify_rate_change)
         while True:
+            if spans is not None:
+                planning_span = spans.begin(
+                    SPAN_PLANNING,
+                    f"planning-{self.scheduler.planning_phases + 1}",
+                    parent_id=query_span, caused_by=replan_cause)
+                replan_cause = None
             yield from world.cpu.work(world.params.planning_instructions)
             sp = self.scheduler.plan()
+            if spans is not None:
+                spans.finish(planning_span, fragments=len(sp.fragments))
 
             if sp.overflow_fragment is not None:
                 self._handle_overflow_fragment(sp.overflow_fragment)
@@ -85,13 +107,38 @@ class DynamicQEPOptimizer:
                     "planning produced no schedulable fragment although the "
                     "query is not complete")
 
+            if spans is not None:
+                phase_span = spans.begin(
+                    SPAN_EXEC_PHASE,
+                    f"exec-{self.scheduler.planning_phases}",
+                    parent_id=query_span, caused_by=planning_span,
+                    fragments=[f.name for f in sp.fragments])
+                self.processor.current_phase_span = phase_span
+
             event = yield from self.processor.execute(sp)
+
+            if spans is not None:
+                spans.finish(phase_span, outcome=type(event).__name__)
+                self.processor.current_phase_span = None
+                if isinstance(event, BudgetGrow):
+                    replan_cause = spans.instant(
+                        SPAN_LEASE_GROW, "lease-grow", parent_id=query_span,
+                        granted_bytes=event.granted_bytes,
+                        total_bytes=event.total_bytes)
+                elif isinstance(event, RateChange):
+                    replan_cause = spans.instant(
+                        SPAN_RATE_REPLAN, f"rate-change:{event.source}",
+                        parent_id=query_span, source=event.source,
+                        old_wait=event.old_wait, new_wait=event.new_wait)
 
             self._check_estimates()
 
             if isinstance(event, EndOfQEP):
                 world.tracer.emit("qep-end", "query complete",
                                   result_tuples=event.result_tuples)
+                if spans is not None and query_span is not None:
+                    spans.finish(query_span,
+                                 result_tuples=event.result_tuples)
                 return event
             if isinstance(event, MemoryOverflow):
                 fragment = self.runtime.fragments[event.fragment_name]

@@ -35,13 +35,12 @@ from repro.core.fragments import (
 from repro.core.runtime import QueryRuntime
 from repro.mediator.queues import SourceQueue
 from repro.observability import (
-    BATCH_BUCKETS,
-    ENTRY_BATCH,
     STALL_MEMORY_WAIT,
     STALL_NO_SCHEDULABLE,
     STALL_TIMEOUT,
     source_wait,
 )
+from repro.observability.hooks import compile_dqp_hooks
 from repro.exec import AnyOf, SimEvent
 
 
@@ -109,19 +108,15 @@ class DynamicQueryProcessor:
         self._round_robin = params.dqp_discipline == "round-robin"
         telemetry = runtime.world.telemetry
         self._stalls = telemetry.stalls
-        #: flight recorder (live runs only); None keeps the per-batch
-        #: cost of the disabled path at one attribute check.
-        self._flight = telemetry.flight
-        registry = telemetry.registry
-        self._batches_metric = registry.counter(
-            "dqp.batches", "Batches the DQP processed.")
-        self._switch_metric = registry.counter(
-            "dqp.context_switches", "Fragment-to-fragment switches charged.")
-        self._batch_tuples_metric = registry.histogram(
-            "dqp.batch_tuples", buckets=BATCH_BUCKETS,
-            help="Tuples actually consumed per batch.")
-        self._stall_metric = registry.histogram(
-            "dqp.stall_seconds", help="Duration of individual DQP stalls.")
+        #: current execution-phase span id (set by the DQO per phase);
+        #: the compiled span hooks read it at call time.
+        self.current_phase_span: Optional[int] = None
+        #: compiled observability dispatch table.  Every active channel
+        #: (metrics, flight recorder, spans) contributed its pre-bound
+        #: callables at compile time; when everything is off the slots
+        #: are empty tuples and the hot loop pays one truthiness check.
+        self.hooks = compile_dqp_hooks(
+            telemetry, phase_span_of=lambda: self.current_phase_span)
         # Subscribe to broker grow offers so a mid-flight budget increase
         # interrupts the execution phase for a replan (same pattern as
         # the CM's rate-change listener).  Only when the feature is on:
@@ -147,12 +142,24 @@ class DynamicQueryProcessor:
         if self._rate_event is not None and not self._rate_event.triggered:
             self._rate_event.succeed("budget-grow")
 
+    def recompile_hooks(self) -> None:
+        """Rebuild the dispatch table after a channel attaches/detaches.
+
+        Cheap (registry getters are get-or-create), and picked up by the
+        next ``execute`` call, i.e. the next scheduling plan.
+        """
+        self.hooks = compile_dqp_hooks(
+            self.runtime.world.telemetry,
+            phase_span_of=lambda: self.current_phase_span)
+
     # -- main loop ---------------------------------------------------------
     def execute(self, sp: SchedulingPlan) -> Generator[
             SimEvent, Any, InterruptionEvent]:
         """Process ``sp`` until an interruption event. ``yield from`` me."""
         world = self.runtime.world
         sim, params = world.sim, world.params
+        batch_hooks = self.hooks.batch
+        switch_hooks = self.hooks.switch
         while True:
             if self._rate_change is not None:
                 source, old, new = self._rate_change
@@ -195,19 +202,22 @@ class DynamicQueryProcessor:
                     and params.context_switch_instructions > 0):
                 yield from world.cpu.work(params.context_switch_instructions)
                 self.context_switches += 1
-                self._switch_metric.inc()
+                if switch_hooks:
+                    for hook in switch_hooks:
+                        hook(sim.now, fragment)
             self._last_fragment = fragment
 
-            tuples_before = fragment.tuples_in
+            if batch_hooks:
+                batch_started = sim.now
+                tuples_before = fragment.tuples_in
             outcome = yield from fragment.process_batch(
                 self._batch_size(fragment))
             self.batches_processed += 1
-            self._batches_metric.inc()
-            self._batch_tuples_metric.observe(fragment.tuples_in - tuples_before)
-            if self._flight is not None:
-                self._flight.record(ENTRY_BATCH, sim.now,
-                                    fragment=fragment.name,
-                                    tuples=fragment.tuples_in - tuples_before)
+            if batch_hooks:
+                now = sim.now
+                tuples = fragment.tuples_in - tuples_before
+                for hook in batch_hooks:
+                    hook(batch_started, now, fragment, tuples)
 
             if outcome == BATCH_OVERFLOW:
                 return self._overflow_event(fragment)
@@ -283,13 +293,16 @@ class DynamicQueryProcessor:
             timeout.cancel()
         stalled_for = sim.now - started
         self.stall_time += stalled_for
-        self._stall_metric.observe(stalled_for)
         data_arrived = any(event.processed for _, event in waits)
         timed_out = (timeout.processed and not data_arrived
                      and self._rate_change is None
                      and self._budget_grow is None)
         cause = self._stall_cause(waits, data_arrived, timed_out)
         self._stalls.record(cause, started, sim.now)
+        stall_hooks = self.hooks.stall
+        if stall_hooks:
+            for hook in stall_hooks:
+                hook(started, sim.now, cause)
         return timed_out
 
     @staticmethod

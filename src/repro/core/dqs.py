@@ -15,6 +15,8 @@ from abc import ABC, abstractmethod
 from repro.core.dqp import SchedulingPlan
 from repro.core.fragments import Fragment, FragmentKind, FragmentStatus
 from repro.core.runtime import QueryRuntime
+from repro.observability import SPAN_BUDGET_REPLAN, SPAN_LEASE_GROW
+from repro.observability.hooks import compile_dqp_hooks
 
 
 class PlanningPolicy(ABC):
@@ -57,16 +59,14 @@ class DynamicQueryScheduler:
         self._dynamic = (runtime.world.params.dynamic_budget_replanning
                          and policy.supports_memory_degradation)
         self._grow_seen = getattr(runtime.world.memory, "grow_revision", 0)
-        registry = runtime.world.telemetry.registry
-        self._phases_metric = registry.counter(
-            "dqs.planning_phases", "Planning phases executed.")
-        self._plan_size_metric = registry.gauge(
-            "dqs.plan_fragments", "Fragments admitted into the current plan.")
+        # Planning is rare (once per phase), so the DQS shares the same
+        # compiled hook surface as the DQP rather than keeping its own
+        # metric fields; only the ``plan`` slot is dispatched here.
+        self._hooks = compile_dqp_hooks(runtime.world.telemetry)
 
     def plan(self) -> SchedulingPlan:
         """One planning phase: select candidates, admit them into memory."""
         self.planning_phases += 1
-        self._phases_metric.inc()
         world = self.runtime.world
         self.runtime.statistics.snapshot_rates(
             world.sim.now, world.cm.wait_snapshot(world.params.w_min))
@@ -86,7 +86,11 @@ class DynamicQueryScheduler:
                 from repro.common.errors import SchedulingError
                 raise SchedulingError(raise_from_policy)
         admitted, overflow = self._admit(candidates)
-        self._plan_size_metric.set(len(admitted))
+        plan_hooks = self._hooks.plan
+        if plan_hooks:
+            now = world.sim.now
+            for hook in plan_hooks:
+                hook(now, len(admitted))
         priorities = self.policy.priorities(self.runtime)
         sp = SchedulingPlan(admitted, priorities, overflow_fragment=overflow)
         self.runtime.world.tracer.emit(
@@ -142,6 +146,12 @@ class DynamicQueryScheduler:
                     and runtime.chain_table_fits(chain)):
                 runtime.request_stop_materialization(chain,
                                                      reason="budget-grow")
+                spans = runtime.world.telemetry.spans
+                if spans is not None:
+                    spans.instant(SPAN_BUDGET_REPLAN, chain.name,
+                                  parent_id=runtime.query_span,
+                                  caused_by=spans.last(SPAN_LEASE_GROW),
+                                  mf=mf.name)
 
     def _degrade_memory_blocked(self, candidates: list[Fragment]) -> bool:
         """Degrade C-schedulable PCs whose build table does not fit.

@@ -20,7 +20,13 @@ from repro.core.events import EndOfQEP
 from repro.core.runtime import QueryRuntime, World
 from repro.core.statistics import RuntimeStatistics
 from repro.core.strategies.lwb import lower_bound
-from repro.observability import DecisionRecord, MetricsRegistry, SamplePoint
+from repro.observability import (
+    DecisionRecord,
+    MetricsRegistry,
+    SamplePoint,
+    Span,
+    span_summary,
+)
 from repro.plan.qep import QEP
 from repro.plan.validation import validate_qep
 from repro.sim.tracing import Tracer
@@ -98,6 +104,11 @@ class ExecutionResult:
     samples: list[SamplePoint] = field(default_factory=list)
     #: the run's metrics registry (None when telemetry was disabled).
     metrics: Optional[MetricsRegistry] = None
+    #: causal span tree of the run (``telemetry_spans`` enabled only).
+    spans: Optional[list[Span]] = None
+    #: compact span-derived summary (count, response time, critical-path
+    #: totals) — cheap enough to ship through result payloads.
+    span_summary: Optional[dict] = None
 
     def stall_by_cause(self) -> dict[str, float]:
         """Stall breakdown sorted largest first."""
@@ -191,6 +202,10 @@ def collect_execution_result(world: World, runtime: QueryRuntime,
         samples=list(world.telemetry.samples),
         metrics=(world.telemetry.registry
                  if world.telemetry.enabled else None),
+        spans=(list(world.telemetry.spans.spans)
+               if world.telemetry.spans is not None else None),
+        span_summary=(span_summary(world.telemetry.spans.spans)
+                      if world.telemetry.spans is not None else None),
     )
 
 

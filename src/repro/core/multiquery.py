@@ -37,7 +37,11 @@ from repro.core.dqs import DynamicQueryScheduler, PlanningPolicy
 from repro.core.events import EndOfQEP
 from repro.core.runtime import QueryRuntime, World
 from repro.exec import Process, SimEvent
-from repro.observability import STALL_ADMISSION_WAIT, DecisionRecord
+from repro.observability import (
+    SPAN_ADMISSION_WAIT,
+    STALL_ADMISSION_WAIT,
+    DecisionRecord,
+)
 from repro.plan.qep import QEP
 from repro.plan.validation import validate_qep
 from repro.resources import ADMISSION_POLICIES, AdmissionController, MemoryBroker
@@ -156,6 +160,9 @@ class MultiQueryResult:
     #: the machine's decision audit log (admission, lease grow/shrink,
     #: degradations of every query interleaved in decision-time order).
     decisions: list[DecisionRecord] = field(default_factory=list)
+    #: the machine-wide causal span tree (every query's spans, plus the
+    #: admission waits that link them); ``None`` when spans were off.
+    spans: Optional[list] = None
 
     @property
     def mean_response_time(self) -> float:
@@ -286,6 +293,8 @@ class MultiQueryEngine:
             cpu_busy_time=machine.cpu.busy_time,
             disk_busy_time=sum(d.busy_time for d in machine.disks),
             decisions=list(machine.telemetry.audit),
+            spans=(list(machine.telemetry.spans.spans)
+                   if machine.telemetry.spans is not None else None),
         )
 
     def _launch(self, submission: QuerySubmission,
@@ -295,6 +304,8 @@ class MultiQueryEngine:
         submitted = machine.sim.now
         initial, min_bytes, max_bytes = submission.resolved_budgets(self.params)
         admission_wait = 0.0
+        wait_span = None
+        spans = machine.telemetry.spans
         if self._controller is not None:
             ticket = self._controller.request(
                 submission.name, min_bytes, max_bytes,
@@ -308,6 +319,10 @@ class MultiQueryEngine:
             if admission_wait > 0:
                 machine.telemetry.stalls.record(
                     STALL_ADMISSION_WAIT, submitted, machine.sim.now)
+                if spans is not None:
+                    wait_span = spans.add(
+                        SPAN_ADMISSION_WAIT, submission.name, submitted,
+                        machine.sim.now, min_bytes=min_bytes)
         else:
             lease = machine.broker.lease(submission.name, initial,
                                          min_bytes=min_bytes,
@@ -329,6 +344,9 @@ class MultiQueryEngine:
                 wrapper.start()
 
             runtime = QueryRuntime(world, submission.qep)
+            if wait_span is not None and runtime.query_span is not None:
+                # The query ran late *because of* this admission wait.
+                spans.set_cause(runtime.query_span, wait_span)
             scheduler = DynamicQueryScheduler(runtime, submission.policy)
             processor = DynamicQueryProcessor(runtime)
             optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)

@@ -42,6 +42,9 @@ from repro.observability import (
     DECISION_MEMORY_SPLIT,
     DECISION_MF_STOP,
     DECISION_REOPT_SWAP,
+    SPAN_FRAGMENT,
+    SPAN_QUERY,
+    SpanRecorder,
     Telemetry,
 )
 from repro.plan.chains import ancestor_closure
@@ -100,6 +103,8 @@ class World:
             self.telemetry = Telemetry(
                 self.sim, enabled=params.telemetry_enabled,
                 sample_interval=params.telemetry_sample_interval)
+            if params.telemetry_spans:
+                self.telemetry.spans = SpanRecorder(self.sim)
             # The machine's memory broker.  Default: an *unbounded*
             # private pool — a lease drawn from it with min == max is
             # arithmetically identical to the old per-query manager.
@@ -180,6 +185,13 @@ class QueryRuntime:
         #: join name -> name of the chain whose probe consumes it.
         self._probing_chain = {join_name: qep.chain_probing(join).name
                                for join_name, join in qep.joins.items()}
+        #: root of this query's causal span tree (None when spans off).
+        self.query_span: Optional[int] = None
+        spans = world.telemetry.spans
+        if spans is not None:
+            self.query_span = spans.begin(
+                SPAN_QUERY, getattr(world.memory, "name", "query"),
+                chains=len(qep.chains))
         for chain in qep.chains:
             self._create_pc_fragment(chain)
 
@@ -534,6 +546,18 @@ class QueryRuntime:
             "fragment-done", fragment.name,
             chain=fragment.chain.name, tuples_in=fragment.tuples_in,
             tuples_out=fragment.tuples_out)
+        spans = self.world.telemetry.spans
+        if spans is not None:
+            # Recorded retrospectively: one span per fragment lifetime,
+            # from its first batch to this finalize.
+            started = (fragment.started_at if fragment.started_at is not None
+                       else self.world.sim.now)
+            spans.add(SPAN_FRAGMENT, fragment.name, started,
+                      self.world.sim.now, parent_id=self.query_span,
+                      fragment_kind=fragment.kind.value,
+                      chain=fragment.chain.name,
+                      tuples_in=fragment.tuples_in,
+                      tuples_out=fragment.tuples_out)
         self._maybe_drop_tables(fragment)
         # A fully consumed temp is dead: free its memory/cache.
         source = fragment.source

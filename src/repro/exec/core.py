@@ -142,7 +142,10 @@ class Timeout(SimEvent):
                  priority: int = PRIORITY_NORMAL):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=f"timeout({delay:g})")
+        # Constant name: timeouts are the single most-minted event kind
+        # (one per CPU slice), and the f-string was measurable there.
+        # The delay is still on the instance for debugging.
+        super().__init__(sim, name="timeout")
         self.delay = delay
         self.value = value
         self._state = _TRIGGERED

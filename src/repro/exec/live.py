@@ -218,6 +218,9 @@ class LiveQueryEngine:
       ``stall_after`` / ``deadline``, a :class:`StallWatchdog`): a run
       that crashes, wedges, or overruns its deadline leaves a loadable
       post-mortem at that path instead of nothing.
+    * ``span_dump`` arms the causal span recorder (wall-clock spans on
+      this backend) and writes the JSON + chrome-trace export there when
+      the run ends — success or failure.
     """
 
     def __init__(self, catalog: Any, qep: Any, policy: Any,
@@ -228,6 +231,7 @@ class LiveQueryEngine:
                  serve_host: str = "127.0.0.1",
                  flight_dump: Optional[Union[str, Path]] = None,
                  flight_capacity: int = 2048,
+                 span_dump: Optional[Union[str, Path]] = None,
                  stall_after: Optional[float] = None,
                  deadline: Optional[float] = None,
                  on_serve: Optional[Callable[[ObservabilityServer], None]] = None,
@@ -261,6 +265,7 @@ class LiveQueryEngine:
         self.serve_host = serve_host
         self.flight_dump = Path(flight_dump) if flight_dump is not None else None
         self.flight_capacity = flight_capacity
+        self.span_dump = Path(span_dump) if span_dump is not None else None
         self.stall_after = stall_after
         self.deadline = deadline
         self.on_serve = on_serve
@@ -297,6 +302,11 @@ class LiveQueryEngine:
         recorder = None
         if self.flight_dump is not None:
             recorder = self.recorder = self._attach_flight(world)
+        if self.span_dump is not None and world.telemetry.spans is None:
+            # Arm the recorder before the DQP is built so its compiled
+            # hook table includes the span callables.
+            from repro.observability.spans import SpanRecorder
+            world.telemetry.spans = SpanRecorder(kernel)
         publisher = None
         if self.serve_port is not None:
             publisher = self.publisher = MetricsPublisher()
@@ -392,6 +402,10 @@ class LiveQueryEngine:
         finally:
             if watchdog is not None:
                 watchdog.stop()
+            if self.span_dump is not None \
+                    and world.telemetry.spans is not None:
+                # Written on success *and* failure, like the flight dump.
+                world.telemetry.spans.write_json(self.span_dump)
             for wrapper in wrappers:
                 wrapper.stop()
             if publisher is not None:

@@ -1,0 +1,160 @@
+"""Compiled observability hook tables for the scheduling hot paths.
+
+Before this module, each observability plane added its own per-batch
+conditional to the DQP loop: a ``NULL_METRIC`` method call for the
+counter and the histogram, an ``is not None`` check for the flight
+recorder — and the batches/second high-water mark eroded with every
+plane.  The hook table inverts that: when a :class:`~repro.observability.
+telemetry.Telemetry` facade is compiled, every *active* channel
+(metrics registry, flight recorder, span recorder) contributes one
+pre-bound callable per hook point, and the hot loop does
+
+.. code-block:: python
+
+    if batch_hooks:               # () when everything is off
+        for hook in batch_hooks:
+            hook(started, now, fragment, tuples)
+
+so the fully-disabled path pays exactly one truthiness check per batch
+— no method calls, no attribute chains, no null objects.  The table is
+compiled once per processor/scheduler and refreshed at each
+``execute(sp)`` entry (once per scheduling plan), so late channel
+attachment is picked up at the next phase boundary for free.
+
+Hook signatures:
+
+* ``batch(started, now, fragment, tuples)`` — one processed batch;
+* ``switch(now, fragment)`` — one charged context switch;
+* ``stall(started, ended, cause)`` — one attributed stall interval;
+* ``plan(now, plan_size)`` — one completed planning phase (DQS).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+from repro.observability.flight import ENTRY_BATCH
+from repro.observability.registry import BATCH_BUCKETS
+from repro.observability.spans import SPAN_BATCH, SPAN_STALL
+
+BatchHook = Callable[[float, float, Any, int], None]
+SwitchHook = Callable[[float, Any], None]
+StallHook = Callable[[float, float, str], None]
+PlanHook = Callable[[float, int], None]
+
+#: the shared no-op hook tuple: falsy, so hot loops skip dispatch whole.
+NO_HOOKS: Tuple[Any, ...] = ()
+
+
+class DQPHooks:
+    """One compiled dispatch table: pre-bound method slots per hook point."""
+
+    __slots__ = ("batch", "switch", "stall", "plan")
+
+    def __init__(self,
+                 batch: Tuple[BatchHook, ...] = NO_HOOKS,
+                 switch: Tuple[SwitchHook, ...] = NO_HOOKS,
+                 stall: Tuple[StallHook, ...] = NO_HOOKS,
+                 plan: Tuple[PlanHook, ...] = NO_HOOKS):
+        self.batch = batch
+        self.switch = switch
+        self.stall = stall
+        self.plan = plan
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.batch or self.switch or self.stall or self.plan)
+
+    def __repr__(self) -> str:
+        return (f"DQPHooks(batch={len(self.batch)}, "
+                f"switch={len(self.switch)}, stall={len(self.stall)}, "
+                f"plan={len(self.plan)})")
+
+
+#: the shared null table components compiled when everything is off.
+NULL_HOOKS = DQPHooks()
+
+
+def compile_dqp_hooks(
+        telemetry: Any,
+        phase_span_of: Optional[Callable[[], Optional[int]]] = None,
+) -> DQPHooks:
+    """Compile the hook table for one processor/scheduler.
+
+    ``phase_span_of`` supplies the current execution-phase span id at
+    call time (the DQO rebinds it per phase), so batch and stall spans
+    land under the right parent even when several queries interleave on
+    one shared recorder.
+    """
+    batch: list = []
+    switch: list = []
+    stall: list = []
+    plan: list = []
+
+    registry = telemetry.registry
+    if getattr(registry, "enabled", False):
+        batches_metric = registry.counter(
+            "dqp.batches", "Batches the DQP processed.")
+        batch_tuples_metric = registry.histogram(
+            "dqp.batch_tuples", buckets=BATCH_BUCKETS,
+            help="Tuples actually consumed per batch.")
+        switch_metric = registry.counter(
+            "dqp.context_switches", "Fragment-to-fragment switches charged.")
+        stall_metric = registry.histogram(
+            "dqp.stall_seconds", help="Duration of individual DQP stalls.")
+        phases_metric = registry.counter(
+            "dqs.planning_phases", "Planning phases executed.")
+        plan_size_metric = registry.gauge(
+            "dqs.plan_fragments", "Fragments admitted into the current plan.")
+
+        def metrics_batch(started: float, now: float, fragment: Any,
+                          tuples: int) -> None:
+            batches_metric.inc()
+            batch_tuples_metric.observe(tuples)
+
+        def metrics_stall(started: float, ended: float, cause: str) -> None:
+            stall_metric.observe(ended - started)
+
+        def metrics_plan(now: float, plan_size: int) -> None:
+            phases_metric.inc()
+            plan_size_metric.set(plan_size)
+
+        batch.append(metrics_batch)
+        switch.append(lambda now, fragment: switch_metric.inc())
+        stall.append(metrics_stall)
+        plan.append(metrics_plan)
+
+    flight = telemetry.flight
+    if flight is not None:
+        def flight_batch(started: float, now: float, fragment: Any,
+                         tuples: int) -> None:
+            flight.record(ENTRY_BATCH, now, fragment=fragment.name,
+                          tuples=tuples)
+
+        batch.append(flight_batch)
+        # Stall and decision entries reach the flight recorder through
+        # the ``stalls.on_record`` / ``audit.on_record`` observers the
+        # live engine installs; only the per-batch path rides the table.
+
+    spans = getattr(telemetry, "spans", None)
+    if spans is not None:
+        current_phase = phase_span_of if phase_span_of is not None \
+            else (lambda: None)
+
+        def span_batch(started: float, now: float, fragment: Any,
+                       tuples: int) -> None:
+            spans.add(SPAN_BATCH, fragment.name, started, now,
+                      parent_id=current_phase(),
+                      fragment_kind=fragment.kind.value, tuples=tuples)
+
+        def span_stall(started: float, ended: float, cause: str) -> None:
+            spans.add(SPAN_STALL, cause, started, ended,
+                      parent_id=current_phase(), cause=cause)
+
+        batch.append(span_batch)
+        stall.append(span_stall)
+
+    if not (batch or switch or stall or plan):
+        return NULL_HOOKS
+    return DQPHooks(batch=tuple(batch), switch=tuple(switch),
+                    stall=tuple(stall), plan=tuple(plan))

@@ -24,6 +24,7 @@ from repro.observability.audit import DecisionAuditLog
 from repro.observability.flight import FlightRecorder
 from repro.observability.registry import MetricsRegistry
 from repro.observability.sampling import SamplePoint, TelemetrySampler
+from repro.observability.spans import SpanRecorder
 from repro.observability.stalls import StallAttribution
 from repro.exec import Kernel
 
@@ -43,6 +44,9 @@ class Telemetry:
         #: optional flight recorder; ``None`` (the default) keeps every
         #: instrumented hot path at a single attribute check.
         self.flight: Optional[FlightRecorder] = None
+        #: optional causal span recorder; ``None`` keeps the compiled
+        #: hook tables free of span callables entirely.
+        self.spans: Optional[SpanRecorder] = None
         self._sampler: Optional[TelemetrySampler] = None
 
     @property

@@ -157,18 +157,23 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                       "runs": len(specs),
                       "cache_hits": warm.stats.cache_hits})
 
+    host = host_info()
     report = {
         "suite": SUITE,
         "schema_version": SCHEMA_VERSION,
-        "host": host_info(),
+        "host": host,
         "config": {"jobs": jobs, "scale": scale,
                    "retrieval_times": retrieval_times,
                    "repetitions": repetitions, "seed": seed,
                    "best_of": best_of},
         "cases": cases,
         "derived": {
-            "parallel_speedup": (serial_wall / parallel_wall
-                                 if parallel_wall else 0.0),
+            # A single-core host cannot speed anything up by sharding;
+            # null (not a ratio near 1) keeps trend comparisons from
+            # flagging the hardware as a regression.
+            "parallel_speedup": (
+                None if host["cpu_count"] <= 1
+                else serial_wall / parallel_wall if parallel_wall else 0.0),
             "warm_cache_fraction": (warm_wall / serial_wall
                                     if serial_wall else 0.0),
             "dqp_batches_per_sec": cases[0]["batches_per_sec"],

@@ -26,13 +26,20 @@ from typing import Any
 
 from repro.core.engine import ExecutionResult, FragmentStat
 from repro.core.multiquery import MultiQueryResult, QueryOutcome
-from repro.observability import DecisionRecord, MetricsRegistry, SamplePoint
+from repro.observability import (
+    DecisionRecord,
+    MetricsRegistry,
+    SamplePoint,
+    Span,
+)
 
 #: bumped whenever the payload layout changes (part of the cache key).
 #: 2: telemetry metrics snapshot + periodic samples joined the payload.
 #: 3: multi-query payloads carry the machine-wide decision audit log and
 #:    the per-query admission/memory outcome fields.
-RESULT_SCHEMA_VERSION = 3
+#: 4: causal span trees and their compact summaries cross the boundary
+#:    (``spans`` / ``span_summary``; None when spans were disabled).
+RESULT_SCHEMA_VERSION = 4
 
 #: scalar ExecutionResult fields copied verbatim, in schema order.
 _SCALAR_FIELDS = (
@@ -60,6 +67,9 @@ def result_to_payload(result: ExecutionResult) -> dict[str, Any]:
     payload["metrics"] = (result.metrics.as_dict()
                           if result.metrics is not None else None)
     payload["samples"] = [sample.to_dict() for sample in result.samples]
+    payload["spans"] = ([span.to_dict() for span in result.spans]
+                        if result.spans is not None else None)
+    payload["span_summary"] = result.span_summary
     return payload
 
 
@@ -83,6 +93,10 @@ def result_from_payload(payload: dict[str, Any]) -> ExecutionResult:
         result.metrics = MetricsRegistry.from_snapshot(metrics)
     result.samples = [SamplePoint.from_dict(sample)
                       for sample in payload.get("samples", [])]
+    spans = payload.get("spans")
+    if spans is not None:
+        result.spans = [Span.from_dict(span) for span in spans]
+    result.span_summary = payload.get("span_summary")
     return result
 
 
@@ -94,10 +108,13 @@ def multiquery_result_to_payload(result: MultiQueryResult) -> dict[str, Any]:
         "cpu_busy_time": result.cpu_busy_time,
         "disk_busy_time": result.disk_busy_time,
         "decisions": [record.to_dict() for record in result.decisions],
+        "spans": ([span.to_dict() for span in result.spans]
+                  if result.spans is not None else None),
     }
 
 
 def multiquery_result_from_payload(payload: dict[str, Any]) -> MultiQueryResult:
+    spans = payload.get("spans")
     return MultiQueryResult(
         outcomes=[QueryOutcome(**outcome) for outcome in payload["outcomes"]],
         makespan=payload["makespan"],
@@ -105,4 +122,6 @@ def multiquery_result_from_payload(payload: dict[str, Any]) -> MultiQueryResult:
         disk_busy_time=payload["disk_busy_time"],
         decisions=[DecisionRecord.from_dict(record)
                    for record in payload.get("decisions", [])],
+        spans=([Span.from_dict(span) for span in spans]
+               if spans is not None else None),
     )

@@ -29,6 +29,9 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "resource"
+        # Request events are minted on the hot path (one per CPU slice);
+        # the debug name is precomputed once instead of per event.
+        self._request_name = f"request:{self.name}"
         self._in_use = 0
         self._waiters: deque[SimEvent] = deque()
         self.occupancy = TimeWeightedStat(sim)
@@ -45,7 +48,7 @@ class Resource:
 
     def request(self) -> SimEvent:
         """An event that succeeds once a slot is granted to the caller."""
-        event = self.sim.event(name=f"request:{self.name}")
+        event = self.sim.event(name=self._request_name)
         if self._in_use < self.capacity:
             self._in_use += 1
             self.occupancy.record(self._in_use)
@@ -80,6 +83,9 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name or "store"
+        # Same hot-path consideration as Resource._request_name.
+        self._put_name = f"put:{self.name}"
+        self._get_name = f"get:{self.name}"
         self.items: deque[Any] = deque()
         self._putters: deque[tuple[SimEvent, Any]] = deque()
         self._getters: deque[SimEvent] = deque()
@@ -94,7 +100,7 @@ class Store:
 
     def put(self, item: Any) -> SimEvent:
         """Event that succeeds when ``item`` has been deposited."""
-        event = self.sim.event(name=f"put:{self.name}")
+        event = self.sim.event(name=self._put_name)
         if self._getters:
             # Hand the item straight to the oldest waiting consumer.
             getter = self._getters.popleft()
@@ -110,7 +116,7 @@ class Store:
 
     def get(self) -> SimEvent:
         """Event that succeeds with the oldest item once one is available."""
-        event = self.sim.event(name=f"get:{self.name}")
+        event = self.sim.event(name=self._get_name)
         if self.items:
             item = self.items.popleft()
             self._admit_blocked_putter()

@@ -84,7 +84,9 @@ class Wrapper:
         while remaining > 0:
             count = min(per_message, remaining)
             waits = self.delay_model.waiting_times(count, self.rng)
-            production = float(np.sum(waits))
+            # ndarray.sum() skips numpy's dispatch wrapper; same value,
+            # same RNG stream, measurably less per-message overhead.
+            production = float(waits.sum())
             if production > 0:
                 yield self.sim.timeout(production)
             self.production_time += production

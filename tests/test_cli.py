@@ -209,15 +209,29 @@ def test_cmd_bench_writes_report(capsys, tmp_path):
     assert names == ["dqp_batch_loop", "kernel_dispatch",
                      "fig6_sweep_jobs1", "fig6_sweep_jobsN",
                      "fig6_sweep_warm_cache"]
-    assert report["derived"]["parallel_speedup"] > 0
+    speedup = report["derived"]["parallel_speedup"]
+    if report["host"]["cpu_count"] > 1:
+        assert speedup > 0
+    else:
+        # A single-core host cannot demonstrate parallelism: the metric
+        # is explicitly null rather than a misleading ~1.0.
+        assert speedup is None
     assert 0 < report["derived"]["warm_cache_fraction"] < 1
 
 
-def test_cmd_bench_assert_speedup_can_fail(tmp_path):
-    # An impossible bar: guarantees the gate path is exercised.
-    assert main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
+def test_cmd_bench_assert_speedup_can_fail(capsys, tmp_path):
+    import os
+
+    # An impossible bar: guarantees the gate path is exercised -- except
+    # on a single-core host, where the gate is explicitly skipped.
+    code = main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
                  "--best-of", "1", "--jobs", "1", "--out",
-                 str(tmp_path / "b.json"), "--assert-speedup", "1000"]) == 1
+                 str(tmp_path / "b.json"), "--assert-speedup", "1000"])
+    if os.cpu_count() and os.cpu_count() > 1:
+        assert code == 1
+    else:
+        assert code == 0
+        assert "skipping --assert-speedup" in capsys.readouterr().out
 
 
 # --------------------------------------------------------------------------
@@ -313,7 +327,7 @@ def test_cmd_top_once_with_nothing_listening_exits_2(capsys):
 
 def test_bench_default_out_is_this_prs_report():
     args = build_parser().parse_args(["bench"])
-    assert args.out == "BENCH_PR5.json"
+    assert args.out == "BENCH_PR6.json"
     assert args.max_regression == "10%"
 
 
@@ -364,3 +378,106 @@ def test_cmd_bench_compare_gates_an_injected_regression(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "<< REGRESSION" in out
     assert "FAIL:" in out
+
+
+# --------------------------------------------------------------------------
+# repro explain: the critical-path analyzer
+# --------------------------------------------------------------------------
+
+def test_cmd_explain_prints_an_exact_critical_path(capsys):
+    assert main(["explain", "--scale", "0.02", "--slow", "C:6",
+                 "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out and "(DSE)" in out
+    assert "(exact)" in out and "residual" not in out
+    assert "longest critical-path segments:" in out
+
+
+def test_cmd_explain_vs_prints_both_paths_and_the_diff(capsys):
+    assert main(["explain", "--scale", "0.02", "--slow", "C:6",
+                 "--seed", "5", "--vs", "SEQ"]) == 0
+    out = capsys.readouterr().out
+    assert "(DSE)" in out and "(SEQ)" in out
+    assert "span diff:" in out
+    assert "largest contributor to the delta:" in out
+
+
+def test_cmd_explain_spans_out_export_feeds_explain_from(capsys, tmp_path):
+    target = tmp_path / "spans.json"
+    assert main(["explain", "--scale", "0.02", "--seed", "5",
+                 "--spans-out", str(target)]) == 0
+    live_out = capsys.readouterr().out
+    assert target.exists()
+    assert target.with_suffix(".trace.json").exists()
+
+    assert main(["explain", "--from", str(target)]) == 0
+    replay_out = capsys.readouterr().out
+    assert "(exact)" in replay_out
+    # The export carries the full tree, so the offline attribution
+    # reproduces the live category table line for line (the headers
+    # differ only in the strategy tag, which the export doesn't carry).
+    def table(text):
+        return [line for line in text.splitlines()
+                if "%" in line or "= response time" in line]
+
+    assert table(replay_out) == table(live_out)
+    assert table(replay_out), "no category table rendered"
+
+
+def test_cmd_explain_from_missing_file_exits_2(capsys, tmp_path):
+    assert main(["explain", "--from", str(tmp_path / "nope.json")]) == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_cmd_explain_unknown_slow_relation_fails_fast():
+    with pytest.raises(SystemExit):
+        main(["explain", "--scale", "0.02", "--slow", "ZZ:4"])
+
+
+def test_cmd_explain_bench_diff(capsys, tmp_path):
+    import json as _json
+
+    base = {"suite": "repro-parallel-bench",
+            "cases": [{"name": "dqp_hot_loop", "wall_s": 1.0}],
+            "derived": {"dqp_batches_per_sec": 20000.0,
+                        "parallel_speedup": None}}
+    current = {"suite": "repro-parallel-bench",
+               "cases": [{"name": "dqp_hot_loop", "wall_s": 1.1}],
+               "derived": {"dqp_batches_per_sec": 22000.0,
+                           "parallel_speedup": 1.7}}
+    base_path = tmp_path / "base.json"
+    current_path = tmp_path / "current.json"
+    base_path.write_text(_json.dumps(base))
+    current_path.write_text(_json.dumps(current))
+
+    assert main(["explain", "--bench-diff", str(base_path),
+                 str(current_path)]) == 0
+    out = capsys.readouterr().out
+    assert "bench diff:" in out
+    assert "dqp_hot_loop" in out and "+10.0%" in out
+    assert "n/a" in out  # None-valued derived metric renders as n/a
+
+
+def test_cmd_explain_bench_diff_bad_report_exits_2(capsys, tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    assert main(["explain", "--bench-diff", str(bogus), str(bogus)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cmd_run_spans_out_writes_a_loadable_export(capsys, tmp_path):
+    from repro.observability import explain_spans, load_spans
+
+    target = tmp_path / "run-spans.json"
+    assert main(["run", "--scale", "0.02", "--strategy", "DSE",
+                 "--seed", "5", "--spans-out", str(target)]) == 0
+    assert "spans:" in capsys.readouterr().out
+    spans = load_spans(target)
+    explanation = explain_spans(spans)
+    assert explanation.accounted == explanation.response_time
+
+
+def test_cmd_run_spans_out_rejects_dphj():
+    with pytest.raises(SystemExit, match="DQP engine"):
+        main(["run", "--scale", "0.02", "--strategy", "DPHJ",
+              "--spans-out", "nope.json"])

@@ -172,13 +172,16 @@ def _http_get(port: int, path: str) -> tuple[int, str]:
 
 
 @pytest.fixture(scope="module")
-def serving_run():
+def serving_run(tmp_path_factory):
     """One live DSE run with the plane armed, scraped while in flight.
 
     Collects /metrics and /healthz bodies during the run plus the first
-    SSE event, then returns everything for the assertions below (one
-    wall-clock run shared by the whole module keeps the suite fast).
+    few SSE events, then dumps the armed flight recorder post-run so the
+    ``repro top --replay`` tests read a *recorded* dump rather than a
+    synthetic one (one wall-clock run shared by the whole module keeps
+    the suite fast).
     """
+    tmp = tmp_path_factory.mktemp("serving-run")
     workload = figure5_workload(scale=0.01)
     params = SimulationParameters(telemetry_enabled=True,
                                   telemetry_sample_interval=0.02)
@@ -198,6 +201,7 @@ def serving_run():
         workload.catalog, workload.qep, make_policy("DSE"),
         {rel: factory(rel) for rel in workload.relation_names},
         params=params, seed=9, serve_port=0,
+        flight_dump=tmp / "flight.json",
         on_serve=lambda server: (port.update(value=server.port),
                                  served.set()))
 
@@ -214,7 +218,7 @@ def serving_run():
     assert served.wait(timeout=10.0), "server never came up"
 
     scrapes, healths = [], []
-    stream_event = None
+    stream_events = []
     try:
         conn = http.client.HTTPConnection("127.0.0.1", port["value"],
                                           timeout=10)
@@ -225,8 +229,9 @@ def serving_run():
         for raw in response:
             line = raw.decode("utf-8").rstrip("\r\n")
             if line.startswith("data:"):
-                stream_event = json.loads(line.split(":", 1)[1])
-                break
+                stream_events.append(json.loads(line.split(":", 1)[1]))
+                if len(stream_events) >= 3:
+                    break
         conn.close()
         while thread.is_alive() and len(scrapes) < 50:
             status, body = _http_get(port["value"], "/metrics")
@@ -240,8 +245,13 @@ def serving_run():
     assert not thread.is_alive()
     if "error" in outcome:
         raise outcome["error"]
+    # The recorder stays attached after a green run: dump it now so the
+    # --replay tests below read a genuinely *recorded* flight dump.
+    dump_path = engine.recorder.dump(tmp / "recorded.json",
+                                     reason="post-run test dump")
     return {"scrapes": scrapes, "healths": healths,
-            "stream_event": stream_event, "result": outcome["result"]}
+            "stream_events": stream_events, "result": outcome["result"],
+            "dump_path": dump_path}
 
 
 def test_midflight_scrapes_are_valid_exposition_text(serving_run):
@@ -279,11 +289,52 @@ def test_healthz_reports_progressing_snapshots(serving_run):
 
 
 def test_stream_first_event_is_a_complete_snapshot(serving_run):
-    event = serving_run["stream_event"]
-    assert event is not None
+    events = serving_run["stream_events"]
+    assert events, "SSE stream delivered no events"
+    event = events[0]
     assert event["strategy"] == "DSE"
     assert {"now", "fragments", "queues", "stalls",
             "stall_time", "memory", "seq"} <= set(event)
+
+
+def test_stream_events_advance_monotonically(serving_run):
+    """Each SSE event is a newer snapshot: strictly increasing seq and
+    non-decreasing simulated time and batch counts."""
+    events = serving_run["stream_events"]
+    assert len(events) >= 2, "stream closed after a single event"
+    seqs = [event["seq"] for event in events]
+    assert seqs == sorted(set(seqs)), f"seq not strictly increasing: {seqs}"
+    for earlier, later in zip(events, events[1:]):
+        assert later["now"] >= earlier["now"]
+        assert later["batches"] >= earlier["batches"]
+
+
+def test_top_replay_renders_the_recorded_flight_dump(serving_run, capsys):
+    """`repro top --replay` over the dump recorded from the live run
+    above renders the embedded final snapshot without any server."""
+    from repro.cli import main
+
+    assert main(["top", "--replay", str(serving_run["dump_path"])]) == 0
+    out = capsys.readouterr().out
+    assert "DSE" in out
+    assert "memory [" in out
+    # The replayed snapshot is the run's last sampler tick, so it shows
+    # real progress from the recorded run.
+    event = serving_run["stream_events"][0]
+    header = out.splitlines()[0]
+    assert "t=" in header and "batches" in header
+    assert event["seq"] >= 1
+
+
+def test_recorded_dump_roundtrips_through_the_loader(serving_run):
+    from repro.observability.flight import load_flight_dump
+
+    dump = load_flight_dump(serving_run["dump_path"])
+    assert dump["reason"] == "post-run test dump"
+    assert dump["entries"], "armed recorder captured no entries"
+    assert dump["snapshot"] is not None
+    times = [entry.time for entry in dump["entries"]]
+    assert times == sorted(times)
 
 
 def test_serving_run_still_returns_a_normal_result(serving_run):

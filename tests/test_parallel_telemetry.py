@@ -30,9 +30,10 @@ def _spec(strategy="DSE", seed=1, params=TELEMETRY) -> RunSpec:
 
 def test_schema_version_covers_the_telemetry_payload():
     # Bumped 1 -> 2 when metrics/samples joined the payload, 2 -> 3 when
-    # multi-query payloads gained decisions and admission outcomes; the
-    # version is part of every cache key, so stale entries miss cleanly.
-    assert RESULT_SCHEMA_VERSION == 3
+    # multi-query payloads gained decisions and admission outcomes,
+    # 3 -> 4 when span trees and their summaries joined; the version is
+    # part of every cache key, so stale entries miss cleanly.
+    assert RESULT_SCHEMA_VERSION == 4
 
 
 def test_payload_roundtrip_preserves_metrics_and_samples():
