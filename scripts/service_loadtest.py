@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Drive the always-on service with a sustained open-loop arrival stream.
+
+Usage:
+    PYTHONPATH=src python scripts/service_loadtest.py \
+        [--submissions N] [--rate QPS] [--concurrency N] [--scale S] \
+        [--strategy NAME] [--admission fifo|priority|none] [--seed N] \
+        [--json PATH]
+
+Wraps :func:`repro.service.loadtest.run_loadtest`: one in-process
+:class:`~repro.service.service.QueryService` with the default
+gold/silver/bronze tenant mix, submissions arriving on a fixed schedule
+(open loop — the arrival process does not slow down when the service
+falls behind), the pool sized to ``concurrency`` simultaneous leases so
+the backlog queues in the admission controller.  Prints a human summary
+and optionally writes the full JSON report (the shape consumed by the
+``service_loadtest`` bench case behind ``BENCH_PR7.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.common.errors import ConfigurationError  # noqa: E402
+from repro.service.loadtest import run_loadtest  # noqa: E402
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        description="sustained-arrival load test for `repro serve`")
+    parser.add_argument("--submissions", type=int, default=10_000)
+    parser.add_argument("--rate", type=float, default=150.0,
+                        help="arrival rate in submissions/second "
+                             "(default 150)")
+    parser.add_argument("--concurrency", type=int, default=64,
+                        help="pool size in simultaneous leases (default 64)")
+    parser.add_argument("--scale", type=float, default=0.0005)
+    parser.add_argument("--wait-us", type=float, default=50.0)
+    parser.add_argument("--jitter", type=float, default=1.0)
+    parser.add_argument("--strategy", default="DSE")
+    parser.add_argument("--admission", default="priority",
+                        choices=["fifo", "priority", "none"])
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full JSON report to PATH")
+    args = parser.parse_args(argv[1:])
+
+    def progress(submitted: int, completed: int) -> None:
+        print(f"  submitted {submitted:>6}  completed {completed:>6}",
+              flush=True)
+
+    print(f"service loadtest: {args.submissions} submissions at "
+          f"{args.rate:g}/s, {args.concurrency} leases, "
+          f"{args.strategy} scale={args.scale:g}", flush=True)
+    try:
+        report = asyncio.run(run_loadtest(
+            submissions=args.submissions, rate=args.rate,
+            scale=args.scale, wait_us=args.wait_us, jitter=args.jitter,
+            strategy=args.strategy, concurrency=args.concurrency,
+            seed=args.seed, admission=args.admission,
+            on_progress=progress))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    latency, admission = report["latency"], report["admission"]
+    print(f"completed {report['completed']}/{report['submitted']} in "
+          f"{report['wall_s']:.1f}s -> {report['service_qps']:.1f} q/s")
+    print(f"latency   p50 {1e3 * latency['p50_s']:.1f}ms  "
+          f"p95 {1e3 * latency['p95_s']:.1f}ms  "
+          f"p99 {1e3 * latency['p99_s']:.1f}ms  "
+          f"max {latency['max_s']:.2f}s")
+    print(f"admission {admission['queued']} queued  "
+          f"mean wait {1e3 * admission['mean_wait_s']:.1f}ms  "
+          f"p99 {1e3 * admission['p99_wait_s']:.1f}ms")
+    for tenant in report["tenants"]:
+        print(f"  {tenant['name']:<10} done {tenant['completed']:>6}  "
+              f"wait {1e3 * tenant['mean_wait_s']:>7.1f}ms  "
+              f"latency {1e3 * tenant['mean_latency_s']:>7.1f}ms")
+    if args.json is not None:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

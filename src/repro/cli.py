@@ -16,8 +16,15 @@ writing any code:
   wall-clock execution backend; ``--serve`` exposes /metrics, /healthz
   and an SSE /stream while the run is in flight, ``--flight-dump`` (with
   ``--stall-after`` / ``--deadline``) arms the flight-recorder watchdog;
-* ``top`` — terminal dashboard attached to a serving live run (or
-  ``--replay`` of a flight-recorder dump);
+* ``serve`` — the always-on multi-tenant query service: one shared
+  wall-clock kernel accepting JSON submissions over HTTP, with
+  per-tenant priorities/quotas, a governed memory pool, SSE progress
+  streaming and graceful SIGTERM drain;
+* ``submit`` — POST one (or ``--count`` many) submissions to a serving
+  daemon; ``--wait`` polls until they finish;
+* ``watch`` — tail a daemon's SSE snapshot stream as JSON lines;
+* ``top`` — terminal dashboard attached to a serving live run or a
+  ``repro serve`` daemon (or ``--replay`` of a flight-recorder dump);
 * ``multiquery`` — the Section 6 throughput experiment; ``--global-memory``
   sweeps mediator-wide memory pools (with ``--admission`` picking the
   queueing policy) to expose the throughput-vs-response-time tradeoff of
@@ -39,7 +46,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.config import SimulationParameters
 from repro.core.engine import QueryEngine
@@ -225,12 +232,88 @@ def build_parser() -> argparse.ArgumentParser:
                            "(the strategy name is suffixed when several "
                            "strategies run)")
 
+    serve = sub.add_parser(
+        "serve", help="run the always-on multi-tenant query service "
+                      "(JSON submissions over HTTP, SSE progress, "
+                      "graceful SIGTERM drain)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9100,
+                       help="HTTP port (0 = ephemeral; the bound address "
+                            "is printed)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--global-memory", default=None, metavar="SIZE",
+                       help="mediator-wide memory pool, e.g. 64M (suffixes "
+                            "K/M/G; 'inf'/'none' = ungoverned). Governed "
+                            "pools queue submissions through the admission "
+                            "controller")
+    serve.add_argument("--admission", default="priority",
+                       choices=["fifo", "priority", "none"],
+                       help="admission ordering for a governed pool "
+                            "(default priority — tenants with higher "
+                            "priority admit first)")
+    serve.add_argument("--tenant", action="append", dest="tenants",
+                       default=None,
+                       metavar="NAME[:PRI[:MAX_ACTIVE[:MEMORY]]]",
+                       help="declare a tenant with admission priority and "
+                            "quotas, repeatable (e.g. gold:2, "
+                            "batch:0:8:64M); unknown tenants are "
+                            "auto-registered at priority 0 unless "
+                            "--strict-tenants")
+    serve.add_argument("--strict-tenants", action="store_true",
+                       help="refuse submissions from undeclared tenants")
+    serve.add_argument("--publish-interval", type=float, default=1.0,
+                       help="seconds between /stream snapshot frames "
+                            "(default 1)")
+    serve.add_argument("--flight-dump", metavar="PATH", default=None,
+                       help="arm the machine-level flight recorder; the "
+                            "drain flushes it to PATH")
+    serve.add_argument("--span-dump", metavar="PATH", default=None,
+                       help="record the machine-wide causal span tree and "
+                            "write it to PATH at drain")
+
+    submit = sub.add_parser(
+        "submit", help="POST query submissions to a serving daemon")
+    submit.add_argument("--connect", default="127.0.0.1:9100",
+                        metavar="URL", help="the daemon's address "
+                                            "(default 127.0.0.1:9100)")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--strategy", default="DSE")
+    submit.add_argument("--scale", type=float, default=0.02)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--wait-us", type=float, default=200.0,
+                        help="mean per-tuple source wait in µs (default 200)")
+    submit.add_argument("--jitter", type=float, default=1.0)
+    submit.add_argument("--slow", action="append", default=None,
+                        metavar="REL:FACTOR",
+                        help="slow one source by this factor (repeatable)")
+    submit.add_argument("--priority", type=float, default=None,
+                        help="admission priority override "
+                             "(default: the tenant's priority)")
+    submit.add_argument("--memory", default=None, metavar="SIZE",
+                        help="declared working set, e.g. 8M (default: the "
+                             "engine's query_memory_bytes)")
+    submit.add_argument("--count", type=int, default=1,
+                        help="submissions to send (default 1; seeds "
+                             "increment per submission)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until every submission finished and "
+                             "print the outcomes")
+
+    watch = sub.add_parser(
+        "watch", help="tail a daemon's SSE snapshot stream as JSON lines")
+    watch.add_argument("--connect", default="127.0.0.1:9100", metavar="URL",
+                       help="the daemon's address (default 127.0.0.1:9100)")
+    watch.add_argument("--frames", type=int, default=0,
+                       help="stop after this many frames (0 = until the "
+                            "stream ends)")
+
     top = sub.add_parser(
-        "top", help="terminal dashboard for a live run "
-                    "(attach to `repro live --serve`)")
+        "top", help="terminal dashboard for a live run or daemon "
+                    "(attach to `repro live --serve` or `repro serve`)")
     top.add_argument("--connect", default="127.0.0.1:9100", metavar="HOST:PORT",
-                     help="the /stream endpoint of a serving live run "
-                          "(default 127.0.0.1:9100)")
+                     help="the /stream endpoint of a serving live run or "
+                          "`repro serve` daemon (default 127.0.0.1:9100; "
+                          "URLs are accepted)")
     top.add_argument("--replay", metavar="DUMP", default=None,
                      help="render the final snapshot of a flight-recorder "
                           "dump instead of connecting")
@@ -273,8 +356,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the canonical performance suite and write the "
                       "benchmark report JSON")
-    bench.add_argument("--out", default="BENCH_PR6.json",
-                       help="report path (default ./BENCH_PR6.json)")
+    bench.add_argument("--out", default="BENCH_PR7.json",
+                       help="report path (default ./BENCH_PR7.json)")
     bench.add_argument("--jobs", type=int, default=0,
                        help="worker processes for the parallel sweep case "
                             "(default 0 = one per core)")
@@ -287,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--best-of", type=int, default=3,
                        help="repeats of the micro cases; best is kept")
+    bench.add_argument("--service-submissions", type=int, default=300,
+                       help="submissions of the service_loadtest case "
+                            "(default 300; the committed baseline uses "
+                            "the full 10k run)")
+    bench.add_argument("--service-rate", type=float, default=200.0,
+                       help="open-loop arrival rate of the service case "
+                            "in submissions/s (default 200)")
     bench.add_argument("--assert-speedup", type=float, metavar="X",
                        help="exit non-zero unless the parallel sweep is at "
                             "least X times faster than serial (CI gate)")
@@ -371,6 +461,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "anatomy": _cmd_anatomy,
         "live": _cmd_live,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "watch": _cmd_watch,
         "top": _cmd_top,
         "multiquery": _cmd_multiquery,
         "reproduce": _cmd_reproduce,
@@ -821,6 +914,178 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.common.errors import ConfigurationError
+    from repro.resources import TenantSpec
+    from repro.service import QueryService, ServiceServer
+
+    try:
+        tenants = [TenantSpec.parse(text) for text in (args.tenants or [])]
+        pool = (_parse_size(args.global_memory, "--global-memory")
+                if args.global_memory is not None else None)
+        service = QueryService(
+            seed=args.seed, global_memory_bytes=pool,
+            admission=args.admission, tenants=tenants,
+            strict_tenants=args.strict_tenants,
+            publish_interval_s=args.publish_interval,
+            flight_dump=args.flight_dump, span_dump=args.span_dump)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+    async def _serve() -> None:
+        await service.start()
+        server = ServiceServer(service, host=args.host,
+                               port=args.port).start()
+        loop = asyncio.get_running_loop()
+
+        def _on_signal(name: str) -> None:
+            print(f"{name}: draining ({service.active} in flight; "
+                  f"new submissions get 503)", flush=True)
+            service.drain()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, _on_signal, sig.name)
+        print(f"serving on {server.url}", flush=True)
+        print(f"  endpoints: POST /submit /drain | GET /metrics /healthz "
+              f"/stream /submissions", flush=True)
+        try:
+            await service.wait_drained()
+        finally:
+            await service.stop()
+            server.stop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.remove_signal_handler(sig)
+        print(f"drained: {service.completed} completed, "
+              f"{service.failed} failed, {service.rejected} rejected",
+              flush=True)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _submit_one(host: str, port: int, payload: "dict[str, Any]",
+                timeout: float = 10.0) -> "tuple[int, dict[str, Any]]":
+    import http.client
+    import json as json_mod
+
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("POST", "/submit", json_mod.dumps(payload),
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        body = response.read().decode("utf-8", errors="replace")
+        try:
+            data = json_mod.loads(body)
+        except json_mod.JSONDecodeError:
+            data = {"error": body.strip() or f"HTTP {response.status}"}
+        return response.status, data
+    finally:
+        conn.close()
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import http.client
+    import json as json_mod
+    import time as time_mod
+
+    from repro.common.errors import ConfigurationError
+    from repro.observability.top import _parse_endpoint
+
+    try:
+        host, port = _parse_endpoint(args.connect)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    slow = _parse_slow(args.slow) if args.slow else {}
+    base = {"tenant": args.tenant, "strategy": args.strategy,
+            "scale": args.scale, "wait_us": args.wait_us,
+            "jitter": args.jitter}
+    if slow:
+        base["slow"] = slow
+    if args.priority is not None:
+        base["priority"] = args.priority
+    if args.memory is not None:
+        base["memory_bytes"] = _parse_size(args.memory, "--memory")
+
+    ids = []
+    try:
+        for index in range(args.count):
+            status, data = _submit_one(
+                host, port, dict(base, seed=args.seed + index))
+            if status != 202:
+                print(f"error: HTTP {status}: "
+                      f"{data.get('error', 'submission refused')}",
+                      file=sys.stderr)
+                return 1
+            ids.append(data["id"])
+            print(f"{data['id']} {data['tenant']} {data['state']}")
+
+        if not args.wait:
+            return 0
+        failed = 0
+        for submission_id in ids:
+            while True:
+                conn = http.client.HTTPConnection(host, port, timeout=10.0)
+                try:
+                    conn.request("GET", f"/submissions/{submission_id}")
+                    response = conn.getresponse()
+                    body = response.read()
+                finally:
+                    conn.close()
+                if response.status != 200:
+                    print(f"error: {submission_id}: HTTP {response.status} "
+                          f"(finished submissions age out of the daemon)",
+                          file=sys.stderr)
+                    failed += 1
+                    break
+                record = json_mod.loads(body)
+                if record["state"] in ("done", "failed"):
+                    break
+                time_mod.sleep(0.2)
+            else:
+                continue
+            if response.status != 200:
+                continue
+            if record["state"] == "failed":
+                failed += 1
+                print(f"{submission_id} failed: {record.get('error')}")
+            else:
+                outcome = record.get("outcome") or {}
+                print(f"{submission_id} done: "
+                      f"{outcome.get('result_tuples', 0)} tuples in "
+                      f"{record['latency_s']:.3f}s "
+                      f"(admission wait {record['admission_wait']:.3f}s)")
+        return 1 if failed else 0
+    except (ConnectionError, OSError) as exc:
+        print(f"error: cannot reach {host}:{port}: {exc} "
+              f"(is `repro serve` running?)", file=sys.stderr)
+        return 2
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.common.errors import ConfigurationError
+    from repro.observability.top import stream_snapshots
+
+    frames = 0
+    try:
+        for snapshot in stream_snapshots(args.connect):
+            print(json_mod.dumps(snapshot, sort_keys=True), flush=True)
+            frames += 1
+            if args.frames and frames >= args.frames:
+                return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import generate_all
     out = generate_all(args.outdir, scale=args.scale,
@@ -919,6 +1184,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         retrieval_times=list(args.retrieval_times),
         repetitions=args.repetitions, seed=args.seed,
         best_of=args.best_of,
+        service_submissions=args.service_submissions,
+        service_rate=args.service_rate,
         progress=lambda step: print(f"[{step}]", flush=True))
     derived = report["derived"]
     print(f"dqp batch loop : {derived['dqp_batches_per_sec']:12,.0f} "
@@ -935,6 +1202,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"({report['host']['cpu_count']} cores)")
     print(f"warm cache     : {100 * derived['warm_cache_fraction']:.1f}% of "
           f"serial wall-clock")
+    print(f"service        : {derived['service_qps']:,.1f} q/s sustained "
+          f"(p50 {1e3 * derived['service_p50_latency_s']:.1f}ms, "
+          f"p99 {1e3 * derived['service_p99_latency_s']:.1f}ms)")
     print("wrote", write_bench_json(report, args.out))
     if args.assert_speedup is not None:
         if speedup is None:

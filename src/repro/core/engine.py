@@ -66,6 +66,10 @@ class ExecutionResult:
     #: for an empty result) — the metric operator-level adaptation
     #: optimizes for.
     time_to_first_tuple: Optional[float] = None
+    # Submission identity (set by the multi-tenant service; None for the
+    # one-shot front-ends).
+    submission_id: Optional[str] = None
+    tenant: Optional[str] = None
     # Engine behaviour.
     planning_phases: int = 0
     context_switches: int = 0

@@ -69,6 +69,8 @@ class QuerySubmission:
     max_memory_bytes: Optional[int] = None
     #: admission priority (higher admits first under ``priority`` policy).
     priority: float = 0.0
+    #: owning tenant ("" outside the multi-tenant service).
+    tenant: str = ""
 
     def __post_init__(self):
         if not self.name:
@@ -142,6 +144,10 @@ class QueryOutcome:
     memory_peak_bytes: int = 0
     #: lease grow offers the query accepted mid-flight.
     budget_grows: int = 0
+    #: owning tenant ("" outside the multi-tenant service).
+    tenant: str = ""
+    #: service submission id (None for batch multi-query runs).
+    submission_id: Optional[str] = None
 
     @property
     def response_time(self) -> float:
@@ -309,7 +315,7 @@ class MultiQueryEngine:
         if self._controller is not None:
             ticket = self._controller.request(
                 submission.name, min_bytes, max_bytes,
-                priority=submission.priority)
+                priority=submission.priority, tenant=submission.tenant)
             if not ticket.granted:
                 assert ticket.event is not None
                 yield ticket.event
@@ -326,7 +332,8 @@ class MultiQueryEngine:
         else:
             lease = machine.broker.lease(submission.name, initial,
                                          min_bytes=min_bytes,
-                                         max_bytes=max_bytes)
+                                         max_bytes=max_bytes,
+                                         tenant=submission.tenant)
         granted_bytes = lease.total_bytes
         world = World(self.params, share_machine=machine, lease=lease,
                       query_name=submission.name)
@@ -368,6 +375,7 @@ class MultiQueryEngine:
                 memory_granted_bytes=granted_bytes,
                 memory_peak_bytes=lease.peak_bytes,
                 budget_grows=optimizer.budget_grows,
+                tenant=submission.tenant,
             )
         finally:
             # Query over (or failed): the lease goes back to the pool,

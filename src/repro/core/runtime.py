@@ -75,7 +75,8 @@ class World:
                  kernel: Optional[Kernel] = None,
                  broker: Optional[MemoryBroker] = None,
                  lease: Optional[MemoryLease] = None,
-                 query_name: Optional[str] = None):
+                 query_name: Optional[str] = None,
+                 attach_memory_metrics: bool = True):
         self.params = params
         if share_machine is None:
             self.streams = RandomStreams(seed)
@@ -135,9 +136,14 @@ class World:
             budget = (memory_bytes if memory_bytes is not None
                       else params.query_memory_bytes)
             self.memory = self.broker.lease(query_name or "query", budget)
-        self.memory.attach_metrics(
-            self.telemetry.registry,
-            prefix="memory" if query_name is None else f"memory.{query_name}")
+        # The always-on service passes attach_memory_metrics=False: a
+        # per-query gauge prefix would grow the shared machine registry
+        # without bound across its unbounded submission stream.
+        if attach_memory_metrics:
+            self.memory.attach_metrics(
+                self.telemetry.registry,
+                prefix=("memory" if query_name is None
+                        else f"memory.{query_name}"))
 
     @property
     def disk(self) -> "Disk":

@@ -60,6 +60,21 @@ class AsyncioKernel(KernelBase):
         """Total number of events processed since construction."""
         return self._processed_events
 
+    @property
+    def wall_now(self) -> float:
+        """Real elapsed seconds since ``run`` first started.
+
+        ``now`` is the *dispatch* clock: it only advances when events
+        fire, so between events (an idle kernel waiting on live
+        sources) it reports the time of the last dispatch.  Callers
+        timestamping external arrivals — the service stamping a
+        submission that came in over HTTP — need the real clock, or an
+        idle gap before the arrival is billed to its latency.
+        """
+        if self._loop is not None and self._origin is not None:
+            return max(self._now, self._wall())
+        return self._now
+
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
         if delay < 0:

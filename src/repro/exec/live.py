@@ -193,6 +193,106 @@ class LiveWrapper:
                 f"eof={self.finished_at is not None})")
 
 
+class QueryRun:
+    """One query's lifetime, attached to a (possibly shared) kernel.
+
+    The piece of :class:`LiveQueryEngine` that is *per query* rather than
+    *per kernel*: live wrappers, the DQO → DQS → DQP stack, the driving
+    process, and result collection.  :class:`LiveQueryEngine` builds a
+    fresh kernel for exactly one run; :mod:`repro.service` keeps one
+    kernel alive indefinitely and attaches/detaches an unbounded stream
+    of runs, many in flight at once, each on its own query-view
+    :class:`~repro.core.runtime.World` sharing the machine.
+
+    ``sources`` maps every source relation of the plan to a *factory*
+    returning a fresh :data:`BatchSource`.
+    """
+
+    def __init__(self, kernel: AsyncioKernel, world: Any, qep: Any,
+                 policy: Any,
+                 sources: Mapping[str, Callable[[], BatchSource]],
+                 name: str = "engine"):
+        self.kernel = kernel
+        self.world = world
+        self.qep = qep
+        self.policy = policy
+        self.sources = sources
+        self.name = name
+        self.wrappers: list[LiveWrapper] = []
+        self.runtime: Any = None
+        self.scheduler: Any = None
+        self.processor: Any = None
+        self.optimizer: Any = None
+        self.main: Any = None
+
+    @property
+    def strategy(self) -> str:
+        return getattr(self.policy, "name", type(self.policy).__name__)
+
+    def start(self) -> Any:
+        """Attach: start the sources and the driving engine process.
+
+        Returns the main :class:`~repro.exec.core.Process`; it is born
+        defused, so a failure surfaces through :meth:`result` (or through
+        whoever joins it) rather than crashing the shared kernel.
+        """
+        from repro.core.dqo import DynamicQEPOptimizer
+        from repro.core.dqp import DynamicQueryProcessor
+        from repro.core.dqs import DynamicQueryScheduler
+        from repro.core.runtime import QueryRuntime
+
+        if self.main is not None:
+            raise SimulationError(f"query run {self.name!r} started twice")
+        for relation in self.qep.source_relations():
+            wrapper = LiveWrapper(self.kernel, relation, self.world.cm,
+                                  self.sources[relation]())
+            wrapper.start()
+            self.wrappers.append(wrapper)
+        self.runtime = QueryRuntime(self.world, self.qep)
+        self.scheduler = DynamicQueryScheduler(self.runtime, self.policy)
+        self.processor = DynamicQueryProcessor(self.runtime)
+        self.optimizer = DynamicQEPOptimizer(self.runtime, self.scheduler,
+                                             self.processor)
+        self.main = self.kernel.process(self.optimizer.run(), name=self.name)
+        self.main.defused = True
+        return self.main
+
+    def snapshot(self) -> Any:
+        """A live snapshot of this run (see :func:`build_live_snapshot`)."""
+        return build_live_snapshot(self.world, self.runtime, self.processor,
+                                   self.strategy)
+
+    def detach(self) -> None:
+        """Stop the source feeder tasks (idempotent; failure paths too)."""
+        for wrapper in self.wrappers:
+            wrapper.stop()
+
+    def check_complete(self) -> None:
+        """Raise unless the run finished cleanly (same checks as before)."""
+        from repro.core.events import EndOfQEP
+
+        if self.main is None or not self.main.triggered:
+            raise SimulationError(
+                f"query run {self.name!r} has not finished")
+        if self.main.failure is not None:
+            raise self.main.failure
+        if not isinstance(self.main.value, EndOfQEP):
+            raise SimulationError(
+                f"live engine ended without EndOfQEP: {self.main.value!r}")
+        if not self.runtime.all_done:
+            raise SimulationError("kernel idle but query incomplete")
+
+    def result(self, trace: bool = False) -> Any:
+        """Validate completion and collect the :class:`ExecutionResult`."""
+        from repro.core.engine import collect_execution_result
+
+        self.check_complete()
+        return collect_execution_result(self.world, self.runtime,
+                                        self.scheduler, self.processor,
+                                        self.optimizer, self.wrappers,
+                                        self.main.value, trace=trace)
+
+
 class LiveQueryEngine:
     """Runs one query with one strategy against live async sources.
 
@@ -288,12 +388,7 @@ class LiveQueryEngine:
 
     async def run(self) -> Any:
         """Execute once on the asyncio backend; returns ExecutionResult."""
-        from repro.core.dqo import DynamicQEPOptimizer
-        from repro.core.dqp import DynamicQueryProcessor
-        from repro.core.dqs import DynamicQueryScheduler
-        from repro.core.engine import collect_execution_result
-        from repro.core.events import EndOfQEP
-        from repro.core.runtime import QueryRuntime, World
+        from repro.core.runtime import World
 
         kernel = AsyncioKernel()
         world = World(self.params, seed=self.seed, trace=self.trace,
@@ -315,24 +410,12 @@ class LiveQueryEngine:
             if self.on_serve is not None:
                 self.on_serve(self.server)
 
-        wrappers: list[LiveWrapper] = []
-        for relation in self.qep.source_relations():
-            wrapper = LiveWrapper(kernel, relation, world.cm,
-                                  self.sources[relation]())
-            wrapper.start()
-            wrappers.append(wrapper)
-
-        runtime = QueryRuntime(world, self.qep)
-        scheduler = DynamicQueryScheduler(runtime, self.policy)
-        processor = DynamicQueryProcessor(runtime)
-        optimizer = DynamicQEPOptimizer(runtime, scheduler, processor)
-        main = kernel.process(optimizer.run(), name="engine")
-        main.defused = True
-
-        strategy = getattr(self.policy, "name", type(self.policy).__name__)
+        query = QueryRun(kernel, world, self.qep, self.policy, self.sources,
+                         name="engine")
+        main = query.start()
 
         def _snapshot() -> Any:
-            return build_live_snapshot(world, runtime, processor, strategy)
+            return query.snapshot()
 
         def _on_sample(sample: Any) -> None:
             snapshot = _snapshot()
@@ -380,13 +463,7 @@ class LiveQueryEngine:
                         f"dumped to {self.flight_dump}") from None
                 raise
 
-            if main.failure is not None:
-                raise main.failure
-            if not isinstance(main.value, EndOfQEP):
-                raise SimulationError(
-                    f"live engine ended without EndOfQEP: {main.value!r}")
-            if not runtime.all_done:
-                raise SimulationError("kernel idle but query incomplete")
+            query.check_complete()
             if recorder is not None:
                 recorder.record(ENTRY_PHASE, kernel.now, name="run-end")
         except BaseException as exc:
@@ -406,8 +483,7 @@ class LiveQueryEngine:
                     and world.telemetry.spans is not None:
                 # Written on success *and* failure, like the flight dump.
                 world.telemetry.spans.write_json(self.span_dump)
-            for wrapper in wrappers:
-                wrapper.stop()
+            query.detach()
             if publisher is not None:
                 publisher.publish(_snapshot())  # final state for /stream
                 publisher.close()
@@ -415,6 +491,4 @@ class LiveQueryEngine:
                 self.server.stop()
                 self.server = None
 
-        return collect_execution_result(world, runtime, scheduler, processor,
-                                        optimizer, wrappers, main.value,
-                                        trace=self.trace)
+        return query.result(trace=self.trace)

@@ -11,6 +11,7 @@ becomes a structured query instead of string matching.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -81,10 +82,20 @@ _TYPED_FIELDS = frozenset({
 
 
 class DecisionAuditLog:
-    """Append-only log of :class:`DecisionRecord`."""
+    """Append-only log of :class:`DecisionRecord`.
 
-    def __init__(self) -> None:
-        self.records: List[DecisionRecord] = []
+    ``capacity`` bounds the log to the newest N records (a ring) — the
+    always-on service sets it so an unbounded submission stream cannot
+    grow the machine's audit log without limit.  One-shot runs keep the
+    default unbounded list, so nothing a finished run reports changes.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.capacity = capacity
+        self.records: "List[DecisionRecord] | deque[DecisionRecord]" = (
+            [] if capacity is None else deque(maxlen=capacity))
+        #: total records ever appended (>= len() once the ring wraps).
+        self.appended = 0
         #: optional observer invoked after each appended record (the
         #: flight recorder hooks in here); must not raise.
         self.on_record: Optional[Callable[[DecisionRecord], None]] = None
@@ -105,6 +116,7 @@ class DecisionAuditLog:
         record = DecisionRecord(time=time, kind=kind, subject=subject,
                                 details=merged, **typed)
         self.records.append(record)
+        self.appended += 1
         if self.on_record is not None:
             self.on_record(record)
         return record

@@ -18,10 +18,14 @@ finished run's virtual-time snapshot for offline ingestion).
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 #: live snapshot layout version (part of the SSE/JSON payload).
 LIVE_SNAPSHOT_VERSION = 1
+
+#: frames a stream subscriber may lag behind before the oldest is dropped.
+DEFAULT_SUBSCRIPTION_CAPACITY = 8
 
 
 def build_live_snapshot(world: Any, runtime: Any, processor: Any,
@@ -85,12 +89,63 @@ def build_live_snapshot(world: Any, runtime: Any, processor: Any,
     }
 
 
+class SnapshotSubscription:
+    """One bounded, drop-oldest frame queue hanging off a publisher.
+
+    Created by :meth:`MetricsPublisher.subscribe`.  The publisher appends
+    every published snapshot; when the queue is full the *oldest* frame
+    is discarded (and counted) so a slow or stalled SSE client can never
+    block the publishing thread or grow memory without bound.
+    """
+
+    def __init__(self, publisher: "MetricsPublisher", capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("subscription capacity must be >= 1")
+        self._publisher = publisher
+        self.capacity = capacity
+        #: frames dropped from *this* subscription because it lagged.
+        self.dropped = 0
+        self._frames: Deque[Tuple[Dict[str, Any], int]] = deque()
+        self._closed = False
+
+    def pop(self, timeout: float) -> Tuple[Optional[Dict[str, Any]], int]:
+        """Dequeue the next frame, waiting up to ``timeout`` seconds.
+
+        Returns ``(snapshot, seq)``; the snapshot is None when the wait
+        timed out or the publisher closed with nothing queued (check
+        :attr:`finished` to tell the two apart).
+        """
+        cond = self._publisher._cond
+        with cond:
+            cond.wait_for(
+                lambda: self._frames or self._publisher._closed
+                or self._closed,
+                timeout=timeout)
+            if self._frames:
+                return self._frames.popleft()
+            return None, self._publisher._seq
+
+    @property
+    def finished(self) -> bool:
+        """True once the publisher closed and every frame was consumed."""
+        with self._publisher._cond:
+            return ((self._publisher._closed or self._closed)
+                    and not self._frames)
+
+    def close(self) -> None:
+        """Detach from the publisher (idempotent)."""
+        with self._publisher._cond:
+            self._closed = True
+            self._publisher._subscriptions.discard(self)
+
+
 class MetricsPublisher:
     """Single-slot, sequence-numbered snapshot exchange between threads.
 
     The engine thread :meth:`publish`-es; any number of reader threads
-    :meth:`latest` (scrapes) or :meth:`wait_newer` (SSE streams).  The
-    published dict is treated as immutable by all parties.
+    :meth:`latest` (scrapes), :meth:`wait_newer` (polling), or
+    :meth:`subscribe` (lossy-but-ordered SSE streams).  The published
+    dict is treated as immutable by all parties.
     """
 
     def __init__(self) -> None:
@@ -98,6 +153,9 @@ class MetricsPublisher:
         self._snapshot: Optional[Dict[str, Any]] = None
         self._seq = 0
         self._closed = False
+        self._subscriptions: "set[SnapshotSubscription]" = set()
+        #: frames dropped across all subscriptions (slow-client metric).
+        self.dropped_total = 0
 
     def publish(self, snapshot: Dict[str, Any]) -> int:
         """Install a fresh snapshot; returns its sequence number."""
@@ -105,8 +163,28 @@ class MetricsPublisher:
             self._seq += 1
             snapshot = dict(snapshot, seq=self._seq)
             self._snapshot = snapshot
+            for subscription in self._subscriptions:
+                if len(subscription._frames) >= subscription.capacity:
+                    subscription._frames.popleft()
+                    subscription.dropped += 1
+                    self.dropped_total += 1
+                subscription._frames.append((snapshot, self._seq))
             self._cond.notify_all()
             return self._seq
+
+    def subscribe(self, capacity: int = DEFAULT_SUBSCRIPTION_CAPACITY
+                  ) -> SnapshotSubscription:
+        """Register a bounded per-client frame queue.
+
+        The latest snapshot (if any) is pre-queued so a late subscriber
+        renders a frame without waiting for the next publish tick.
+        """
+        subscription = SnapshotSubscription(self, capacity)
+        with self._cond:
+            self._subscriptions.add(subscription)
+            if self._snapshot is not None:
+                subscription._frames.append((self._snapshot, self._seq))
+        return subscription
 
     def close(self) -> None:
         """Wake streamers so they can observe the end of the run."""
@@ -142,12 +220,14 @@ def _esc(label: str) -> str:
     return label.replace("\\", r"\\").replace('"', r'\"')
 
 
-def live_prometheus_text(snapshot: Optional[Dict[str, Any]]) -> str:
+def live_prometheus_text(snapshot: Optional[Dict[str, Any]], *,
+                         stream_dropped: Optional[int] = None) -> str:
     """Render one live snapshot in the Prometheus text format.
 
     Before the first sampler tick (``snapshot is None``) only
     ``repro_live_up`` is exposed, so a scrape racing engine start-up is
-    still valid exposition text.
+    still valid exposition text.  ``stream_dropped`` (when not None) adds
+    the publisher-wide slow-SSE-client drop counter to the exposition.
     """
     lines: List[str] = []
 
@@ -161,6 +241,10 @@ def live_prometheus_text(snapshot: Optional[Dict[str, Any]]) -> str:
     emit("repro_live_up", "gauge",
          "1 while the live engine is publishing snapshots.",
          [("", 1.0 if snapshot is not None else 0.0)])
+    if stream_dropped is not None:
+        emit("repro_live_stream_dropped_frames_total", "counter",
+             "SSE frames dropped because stream clients lagged.",
+             [("", stream_dropped)])
     if snapshot is None:
         return "\n".join(lines) + "\n"
 

@@ -21,13 +21,45 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Optional
+from typing import Any, BinaryIO, Optional
 
 from repro.observability.live import MetricsPublisher, live_prometheus_text
 
 #: how long one SSE poll waits for a fresh snapshot before re-checking
 #: whether the server is shutting down.
 _STREAM_POLL_S = 0.25
+
+
+def write_sse_event(wfile: BinaryIO, snapshot: Any, seq: int) -> None:
+    """Write one Server-Sent-Events frame (``id`` + JSON ``data``)."""
+    payload = json.dumps(snapshot, sort_keys=True)
+    wfile.write(f"id: {seq}\ndata: {payload}\n\n".encode("utf-8"))
+    wfile.flush()
+
+
+def stream_publisher(wfile: BinaryIO, publisher: MetricsPublisher,
+                     stopping: threading.Event,
+                     poll_s: float = _STREAM_POLL_S) -> None:
+    """Stream a publisher's snapshots over SSE until it closes.
+
+    Each client gets its own bounded drop-oldest subscription, so a slow
+    or disconnected client only loses *its own* frames — the publisher
+    and the other clients never block behind it.  Ends with an
+    ``event: end`` frame (how clients distinguish a finished run from a
+    dropped connection).
+    """
+    subscription = publisher.subscribe()
+    try:
+        while not stopping.is_set():
+            snapshot, seq = subscription.pop(poll_s)
+            if snapshot is not None:
+                write_sse_event(wfile, snapshot, seq)
+            elif subscription.finished:
+                break
+        wfile.write(b"event: end\ndata: {}\n\n")
+        wfile.flush()
+    finally:
+        subscription.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -61,8 +93,10 @@ class _Handler(BaseHTTPRequestHandler):
                        b"unknown endpoint; try /metrics, /healthz, /stream\n")
 
     def _metrics(self) -> None:
-        snapshot, _seq = self.server.publisher.latest()
-        body = live_prometheus_text(snapshot).encode("utf-8")
+        publisher = self.server.publisher
+        snapshot, _seq = publisher.latest()
+        body = live_prometheus_text(
+            snapshot, stream_dropped=publisher.dropped_total).encode("utf-8")
         self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
 
     def _healthz(self) -> None:
@@ -80,32 +114,13 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.end_headers()
-        publisher = self.server.publisher
-        seq = 0
-        # Replay the current snapshot immediately so a late subscriber
-        # gets a frame without waiting for the next sampler tick.
-        snapshot, seq0 = publisher.latest()
         try:
-            if snapshot is not None:
-                seq = seq0
-                self._event(snapshot, seq)
-            while not self.server.stopping.is_set():
-                snapshot, seq = publisher.wait_newer(seq, _STREAM_POLL_S)
-                if snapshot is not None:
-                    self._event(snapshot, seq)
-                elif publisher.closed:
-                    break
-            self.wfile.write(b"event: end\ndata: {}\n\n")
-            self.wfile.flush()
+            stream_publisher(self.wfile, self.server.publisher,
+                             self.server.stopping)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-stream
         finally:
             self.close_connection = True
-
-    def _event(self, snapshot: Any, seq: int) -> None:
-        payload = json.dumps(snapshot, sort_keys=True)
-        self.wfile.write(f"id: {seq}\ndata: {payload}\n\n".encode("utf-8"))
-        self.wfile.flush()
 
 
 class _Server(ThreadingHTTPServer):

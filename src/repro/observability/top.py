@@ -49,9 +49,17 @@ def _fmt_count(value: float) -> str:
 
 
 def render_top(snapshot: Optional[Dict[str, Any]], width: int = 80) -> List[str]:
-    """Render one snapshot as fixed-width text lines (pure function)."""
+    """Render one snapshot as fixed-width text lines (pure function).
+
+    Dispatches on the snapshot's ``kind``: a multi-tenant service
+    snapshot (``repro serve``) gets the fleet view, anything else the
+    single-query view — so ``repro top --connect`` works against both
+    a serving live run and the always-on daemon.
+    """
     if snapshot is None:
         return ["repro top — waiting for first snapshot..."]
+    if snapshot.get("kind") == "service":
+        return render_service_top(snapshot, width)
     lines: List[str] = []
     header = (f"repro top — {snapshot['strategy']}  "
               f"t={snapshot['now']:.2f}s  "
@@ -95,7 +103,76 @@ def render_top(snapshot: Optional[Dict[str, Any]], width: int = 80) -> List[str]
     return lines
 
 
+def render_service_top(snapshot: Dict[str, Any],
+                       width: int = 80) -> List[str]:
+    """The multi-tenant fleet view of one service snapshot."""
+    lines: List[str] = []
+    state = "DRAINING" if snapshot["draining"] else "serving"
+    header = (f"repro top — service ({state})  "
+              f"up={snapshot['now']:.1f}s  "
+              f"active={snapshot['active']}  "
+              f"queued={snapshot['admission_queued']}  "
+              f"done={_fmt_count(snapshot['completed'])}  "
+              f"failed={snapshot['failed']}  "
+              f"rejected={snapshot['rejected']}")
+    lines.append(header[:width])
+
+    latency = snapshot["latency"]
+    lines.append(
+        f"latency p50={latency['p50_s'] * 1e3:.1f}ms "
+        f"p95={latency['p95_s'] * 1e3:.1f}ms "
+        f"p99={latency['p99_s'] * 1e3:.1f}ms  "
+        f"rate={latency.get('throughput_qps', 0.0):.1f} q/s  "
+        f"batches={_fmt_count(snapshot['batches'])}"[:width])
+
+    pool = snapshot["pool"]
+    if pool["total"]:
+        bar_width = max(10, width - 48)
+        leased_frac = pool["leased"] / pool["total"]
+        lines.append(f"pool   [{_bar(leased_frac, bar_width)}] "
+                     f"{pool['leased'] / 1e6:6.1f}/"
+                     f"{pool['total'] / 1e6:.1f} MB "
+                     f"({pool['active_leases']} leases)"[:width])
+    else:
+        lines.append(f"pool   unbounded "
+                     f"({pool['active_leases']} leases, "
+                     f"{pool['leased'] / 1e6:.1f} MB leased)"[:width])
+
+    stalls = sorted(snapshot["stalls"].items(), key=lambda kv: -kv[1])
+    stall_text = "  ".join(f"{cause}={seconds:.2f}s"
+                           for cause, seconds in stalls[:4]) or "none"
+    lines.append(f"stalls {stall_text}"[:width])
+    lines.append("")
+
+    lines.append(f"{'TENANT':<14} {'PRI':>5} {'FLIGHT':>7} {'DONE':>8} "
+                 f"{'FAIL':>5} {'REJ':>5} {'WAIT':>9} {'LATENCY':>9}"[:width])
+    for tenant in snapshot["tenants"]:
+        lines.append(
+            f"{tenant['name']:<14.14} {tenant['priority']:>5.1f} "
+            f"{tenant['in_flight']:>7} {_fmt_count(tenant['completed']):>8} "
+            f"{tenant['failed']:>5} {tenant['rejected']:>5} "
+            f"{tenant['mean_wait_s'] * 1e3:>7.1f}ms "
+            f"{tenant['mean_latency_s'] * 1e3:>7.1f}ms"[:width])
+    lines.append("")
+
+    lines.append(f"{'QUERY':<12} {'TENANT':<12} {'STRAT':<7} "
+                 f"{'STATE':<8} {'WAIT':>9} {'AGE':>9}"[:width])
+    rows = list(snapshot["queries"]) + list(snapshot["recent"])
+    for record in rows[:12]:
+        lines.append(
+            f"{record['id']:<12.12} {record['tenant']:<12.12} "
+            f"{record['strategy']:<7.7} {record['state']:<8} "
+            f"{record['admission_wait'] * 1e3:>7.1f}ms "
+            f"{record['latency_s'] * 1e3:>7.1f}ms"[:width])
+    return lines
+
+
 def _parse_endpoint(endpoint: str) -> Tuple[str, int]:
+    # Accept a full URL (`http://host:port[/...]`, as printed by
+    # `repro serve`) as well as the bare HOST:PORT form.
+    if "//" in endpoint:
+        endpoint = endpoint.split("//", 1)[1]
+    endpoint = endpoint.split("/", 1)[0]
     host, sep, port = endpoint.rpartition(":")
     if not sep or not port.isdigit():
         raise ConfigurationError(
@@ -131,7 +208,7 @@ def stream_snapshots(endpoint: str,
     except (ConnectionError, OSError) as exc:
         raise ConfigurationError(
             f"cannot stream from {endpoint}: {exc} "
-            f"(is `repro live --serve` running?)")
+            f"(is `repro live --serve` or `repro serve` running?)")
     finally:
         conn.close()
 

@@ -11,7 +11,10 @@ Four cases, each reported as wall-clock seconds plus a rate:
   sweep run serially and sharded over ``N`` worker processes
   (``derived.parallel_speedup`` is the ratio);
 * ``fig6_sweep_warm_cache`` — the sweep served entirely from a freshly
-  populated run cache (``derived.warm_cache_fraction`` is warm/serial).
+  populated run cache (``derived.warm_cache_fraction`` is warm/serial);
+* ``service_loadtest`` — the always-on service under sustained open-loop
+  arrival (:func:`repro.service.loadtest.run_loadtest`):
+  ``derived.service_qps`` plus p50/p99 completion latency.
 
 :func:`run_bench_suite` returns a JSON-ready dict with a stable schema
 (``schema_version`` guards consumers); :func:`write_bench_json` writes it
@@ -102,6 +105,24 @@ def _kernel_case(best_of: int, processes: int = 20,
             "events_per_sec": events / best_wall if best_wall else 0.0}
 
 
+def _service_case(submissions: int, rate: float,
+                  seed: int) -> dict[str, Any]:
+    """The always-on service under sustained arrival (wall-clock)."""
+    import asyncio
+
+    from repro.service.loadtest import run_loadtest
+
+    report = asyncio.run(run_loadtest(submissions=submissions, rate=rate,
+                                      seed=seed))
+    return {"name": "service_loadtest", "wall_s": report["wall_s"],
+            "submissions": report["submitted"],
+            "completed": report["completed"],
+            "admission_queued": report["admission"]["queued"],
+            "service_qps": report["service_qps"],
+            "service_p50_latency_s": report["latency"]["p50_s"],
+            "service_p99_latency_s": report["latency"]["p99_s"]}
+
+
 def _sweep_specs(scale: float, retrieval_times: list[float],
                  repetitions: int, seed: int) -> list[Any]:
     from repro.experiments.runner import point_specs
@@ -123,6 +144,8 @@ def _sweep_specs(scale: float, retrieval_times: list[float],
 def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                     retrieval_times: Optional[list[float]] = None,
                     repetitions: int = 1, seed: int = 1, best_of: int = 3,
+                    service_submissions: int = 300,
+                    service_rate: float = 200.0,
                     progress: Optional[ProgressFn] = None) -> dict[str, Any]:
     """Run every case and return the JSON-ready report dict."""
     say = progress if progress is not None else (lambda _msg: None)
@@ -157,6 +180,10 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                       "runs": len(specs),
                       "cache_hits": warm.stats.cache_hits})
 
+    say("service_loadtest")
+    service_case = _service_case(service_submissions, service_rate, seed)
+    cases.append(service_case)
+
     host = host_info()
     report = {
         "suite": SUITE,
@@ -165,7 +192,9 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
         "config": {"jobs": jobs, "scale": scale,
                    "retrieval_times": retrieval_times,
                    "repetitions": repetitions, "seed": seed,
-                   "best_of": best_of},
+                   "best_of": best_of,
+                   "service_submissions": service_submissions,
+                   "service_rate": service_rate},
         "cases": cases,
         "derived": {
             # A single-core host cannot speed anything up by sharding;
@@ -178,6 +207,9 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                                     if serial_wall else 0.0),
             "dqp_batches_per_sec": cases[0]["batches_per_sec"],
             "kernel_events_per_sec": cases[1]["events_per_sec"],
+            "service_qps": service_case["service_qps"],
+            "service_p50_latency_s": service_case["service_p50_latency_s"],
+            "service_p99_latency_s": service_case["service_p99_latency_s"],
         },
     }
     say("done")

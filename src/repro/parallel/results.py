@@ -39,11 +39,14 @@ from repro.observability import (
 #:    the per-query admission/memory outcome fields.
 #: 4: causal span trees and their compact summaries cross the boundary
 #:    (``spans`` / ``span_summary``; None when spans were disabled).
-RESULT_SCHEMA_VERSION = 4
+#: 5: submission/tenant identity joined both payload shapes
+#:    (``submission_id`` / ``tenant``; None/"" outside `repro serve`).
+RESULT_SCHEMA_VERSION = 5
 
 #: scalar ExecutionResult fields copied verbatim, in schema order.
 _SCALAR_FIELDS = (
     "strategy", "response_time", "result_tuples", "time_to_first_tuple",
+    "submission_id", "tenant",
     "planning_phases", "context_switches", "batches_processed", "stall_time",
     "degradations", "memory_splits", "timeouts", "rate_change_events",
     "cpu_busy_time", "cpu_utilization", "disk_busy_time", "disk_ios",

@@ -35,6 +35,9 @@ TREND_METRICS: Dict[str, bool] = {
     "kernel_events_per_sec": True,
     "parallel_speedup": True,
     "warm_cache_fraction": False,
+    "service_qps": True,
+    "service_p50_latency_s": False,
+    "service_p99_latency_s": False,
 }
 
 #: metrics that only compare like-for-like: they depend on the sweep
@@ -43,7 +46,10 @@ TREND_METRICS: Dict[str, bool] = {
 #: reported but never gated.  The pure rate metrics stay gated — a
 #: batches/sec collapse is a regression at any sweep size.
 CONFIG_SENSITIVE_METRICS = frozenset(
-    {"parallel_speedup", "warm_cache_fraction"})
+    {"parallel_speedup", "warm_cache_fraction",
+     # Service figures scale with the arrival schedule (submission
+     # count, rate): only like-for-like runs are gate-worthy.
+     "service_qps", "service_p50_latency_s", "service_p99_latency_s"})
 
 _BENCH_GLOB = "BENCH_PR*.json"
 _PR_NUMBER = re.compile(r"BENCH_PR(\d+)\.json$")
@@ -188,6 +194,6 @@ def format_trend(paths: List[Path]) -> str:
             trend = "  n/a"
         lines.append(metric.ljust(width) + cells + trend)
     lines.append("")
-    lines.append("(higher is better except warm_cache_fraction; "
-                 "absolute rates are host-relative)")
+    lines.append("(higher is better except warm_cache_fraction and the "
+                 "service latencies; absolute rates are host-relative)")
     return "\n".join(lines)

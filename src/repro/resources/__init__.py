@@ -25,6 +25,12 @@ from repro.resources.admission import (
     AdmissionTicket,
 )
 from repro.resources.broker import MemoryBroker, MemoryLease
+from repro.resources.tenants import (
+    QuotaExceeded,
+    TenantAccount,
+    TenantRegistry,
+    TenantSpec,
+)
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -32,4 +38,8 @@ __all__ = [
     "AdmissionTicket",
     "MemoryBroker",
     "MemoryLease",
+    "QuotaExceeded",
+    "TenantAccount",
+    "TenantRegistry",
+    "TenantSpec",
 ]

@@ -49,6 +49,8 @@ class AdmissionTicket:
     priority: float
     submitted_at: float
     seq: int
+    #: owning tenant ("" for single-tenant front-ends).
+    tenant: str = field(default="")
     #: True once a lease was granted; :attr:`lease` is then set.
     granted: bool = field(default=False)
     lease: Optional[MemoryLease] = field(default=None)
@@ -102,7 +104,7 @@ class AdmissionController:
         return len(self.queue)
 
     def request(self, name: str, min_bytes: int, max_bytes: int,
-                priority: float = 0.0) -> AdmissionTicket:
+                priority: float = 0.0, tenant: str = "") -> AdmissionTicket:
         """Ask for a lease; returns a ticket that is either granted
         immediately or queued (``yield ticket.event`` to wait)."""
         if min_bytes <= 0 or max_bytes < min_bytes:
@@ -116,7 +118,8 @@ class AdmissionController:
                 f"the global memory pool {pool}; it could never be admitted")
         ticket = AdmissionTicket(name=name, min_bytes=min_bytes,
                                  max_bytes=max_bytes, priority=priority,
-                                 submitted_at=self.sim.now, seq=self._seq)
+                                 submitted_at=self.sim.now, seq=self._seq,
+                                 tenant=tenant)
         self._seq += 1
         self.queue.append(ticket)
         if self.policy == "priority":
@@ -153,7 +156,8 @@ class AdmissionController:
             granted = min(ticket.max_bytes, max(ticket.min_bytes, spare))
         ticket.lease = self.broker.lease(ticket.name, granted,
                                          min_bytes=ticket.min_bytes,
-                                         max_bytes=ticket.max_bytes)
+                                         max_bytes=ticket.max_bytes,
+                                         tenant=ticket.tenant)
         ticket.granted = True
         ticket.admitted_at = self.sim.now
         self._audit(DECISION_ADMIT, ticket, granted_bytes=granted,
@@ -169,6 +173,8 @@ class AdmissionController:
                **fields: object) -> None:
         if self.telemetry is None:
             return
+        if ticket.tenant:
+            fields["tenant"] = ticket.tenant
         self.telemetry.audit.record(
             kind, ticket.name, self.sim.now,
             min_bytes=ticket.min_bytes, max_bytes=ticket.max_bytes,

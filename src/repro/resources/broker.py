@@ -72,7 +72,8 @@ class MemoryLease:
                  broker: Optional["MemoryBroker"] = None,
                  name: str = "query",
                  min_bytes: Optional[int] = None,
-                 max_bytes: Optional[int] = None) -> None:
+                 max_bytes: Optional[int] = None,
+                 tenant: str = "") -> None:
         if total_bytes <= 0:
             raise SimulationError(f"memory budget must be positive, got {total_bytes}")
         self.total_bytes = total_bytes
@@ -81,6 +82,8 @@ class MemoryLease:
         self._allocations: dict[str, int] = {}
         self.broker = broker
         self.name = name
+        #: owning tenant ("" outside the multi-tenant service).
+        self.tenant = tenant
         self.min_bytes = total_bytes if min_bytes is None else min_bytes
         self.max_bytes = total_bytes if max_bytes is None else max_bytes
         if not self.min_bytes <= total_bytes <= self.max_bytes:
@@ -282,14 +285,16 @@ class MemoryBroker:
     # -- lease lifecycle ----------------------------------------------------
     def lease(self, name: str, num_bytes: int, *,
               min_bytes: Optional[int] = None,
-              max_bytes: Optional[int] = None) -> MemoryLease:
+              max_bytes: Optional[int] = None,
+              tenant: str = "") -> MemoryLease:
         """Carve a new lease out of the pool."""
         spare = self.spare_bytes()
         if spare is not None and num_bytes > spare:
             raise SimulationError(
                 f"lease of {num_bytes} for {name!r} exceeds spare pool {spare}")
         lease = MemoryLease(num_bytes, broker=self, name=name,
-                            min_bytes=min_bytes, max_bytes=max_bytes)
+                            min_bytes=min_bytes, max_bytes=max_bytes,
+                            tenant=tenant)
         self.leases.append(lease)
         self._publish()
         return lease

@@ -1,0 +1,42 @@
+"""The always-on multi-tenant query service (``repro serve``).
+
+Promotes the wall-clock backend into a long-running daemon: one
+persistent :class:`~repro.exec.aio.AsyncioKernel` plus one machine-level
+:class:`~repro.core.runtime.World` (shared CPU/link/buffer, a governed
+:class:`~repro.resources.broker.MemoryBroker`, an
+:class:`~repro.resources.admission.AdmissionController`, shared
+telemetry), serving an unbounded stream of query submissions over HTTP:
+
+* :class:`QueryService` — kernel lifetime, submission lifecycle, tenant
+  accounting, graceful drain (:mod:`repro.service.service`);
+* :class:`ServiceServer` — the HTTP surface: JSON submit, SSE progress,
+  Prometheus metrics (:mod:`repro.service.http`);
+* :class:`LatencyWindow` — sliding p50/p99 + throughput aggregation
+  (:mod:`repro.service.stats`);
+* :func:`run_loadtest` — the sustained-arrival load harness behind
+  ``scripts/service_loadtest.py`` and the ``service_loadtest`` bench
+  case (:mod:`repro.service.loadtest`).
+"""
+
+from repro.service.service import (
+    SERVICE_SNAPSHOT_VERSION,
+    QueryService,
+    ServiceDraining,
+    SubmissionRecord,
+    SubmissionRequest,
+)
+from repro.service.http import ServiceServer
+from repro.service.stats import LatencyWindow, service_prometheus_text
+from repro.service.loadtest import run_loadtest
+
+__all__ = [
+    "SERVICE_SNAPSHOT_VERSION",
+    "LatencyWindow",
+    "QueryService",
+    "ServiceDraining",
+    "ServiceServer",
+    "SubmissionRecord",
+    "SubmissionRequest",
+    "run_loadtest",
+    "service_prometheus_text",
+]

@@ -1,0 +1,253 @@
+"""The service's HTTP surface (JSON in, SSE progress out).
+
+The same dependency-free :mod:`http.server` machinery as the per-run
+:class:`~repro.observability.server.ObservabilityServer`, extended from
+a read-only scrape target into the daemon's front door:
+
+* ``POST /submit``       — JSON submission body, answers ``202`` with the
+  submission id; ``400`` malformed, ``429`` tenant over quota, ``503``
+  once drain started;
+* ``POST /drain``        — begin graceful drain, answers ``202``;
+* ``GET /healthz``       — liveness + drain state;
+* ``GET /metrics``       — Prometheus exposition of the latest service
+  snapshot (:func:`~repro.service.stats.service_prometheus_text`);
+* ``GET /stream``        — Server-Sent Events, one service snapshot per
+  publish tick, through the same bounded drop-oldest subscriptions as
+  the live run's stream (``repro top --connect`` and ``repro watch``
+  attach here);
+* ``GET /submissions``   — the latest snapshot's active + recent lists;
+* ``GET /submissions/I`` — one submission's record, fetched on the
+  service loop so it is never a torn read.
+
+HTTP handler threads never touch kernel state directly: submissions and
+record lookups cross into the asyncio loop
+(:meth:`~repro.service.service.QueryService.submit_threadsafe`), reads
+come from the :class:`~repro.observability.live.MetricsPublisher`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.observability.server import stream_publisher
+from repro.resources import QuotaExceeded
+from repro.service.service import QueryService, ServiceDraining, SubmissionRequest
+from repro.service.stats import service_prometheus_text
+
+#: largest accepted request body (a submission is a small JSON object).
+_MAX_BODY_BYTES = 64 * 1024
+
+#: how long a handler thread waits for the service loop.
+_LOOP_TIMEOUT_S = 10.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; ``self.server`` is the :class:`_Server` below."""
+
+    server: "_Server"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ----------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # the daemon's stdout belongs to the operator
+
+    def _send(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        self._send(status, "application/json",
+                   (json.dumps(payload, sort_keys=True) + "\n").encode())
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ConfigurationError(
+                f"request body too large ({length} bytes)")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            return json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"bad JSON body: {exc}") from exc
+
+    # -- endpoints ---------------------------------------------------------
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._metrics()
+        elif path == "/healthz":
+            self._healthz()
+        elif path == "/stream":
+            self._stream()
+        elif path == "/submissions":
+            self._submissions()
+        elif path.startswith("/submissions/"):
+            self._submission(path[len("/submissions/"):])
+        else:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"unknown endpoint; try /healthz, /metrics, /stream,"
+                       b" /submissions\n")
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/submit":
+            self._submit()
+        elif path == "/drain":
+            self._drain()
+        else:
+            self._send(404, "text/plain; charset=utf-8",
+                       b"unknown endpoint; try /submit, /drain\n")
+
+    def _metrics(self) -> None:
+        snapshot, _seq = self.server.service.publisher.latest()
+        body = service_prometheus_text(snapshot).encode("utf-8")
+        self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+
+    def _healthz(self) -> None:
+        service = self.server.service
+        snapshot, seq = service.publisher.latest()
+        self._send_json(200, {
+            "status": "draining" if service.draining else "ok",
+            "serving": not service.draining,
+            "draining": service.draining,
+            "snapshots": seq,
+            "now": snapshot["now"] if snapshot is not None else None,
+            "active": snapshot["active"] if snapshot is not None else 0,
+        })
+
+    def _stream(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.end_headers()
+        try:
+            stream_publisher(self.wfile, self.server.service.publisher,
+                             self.server.stopping)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+        finally:
+            self.close_connection = True
+
+    def _submissions(self) -> None:
+        snapshot, _seq = self.server.service.publisher.latest()
+        if snapshot is None:
+            self._send_json(200, {"queries": [], "recent": []})
+            return
+        self._send_json(200, {"queries": snapshot["queries"],
+                              "recent": snapshot["recent"]})
+
+    def _submission(self, submission_id: str) -> None:
+        service = self.server.service
+
+        def _lookup() -> Optional[Dict[str, Any]]:
+            record = service.record_for(submission_id)
+            return (record.to_dict(service.kernel.wall_now)
+                    if record is not None else None)
+
+        found = self.server.on_loop(_lookup)
+        if found is None:
+            self._send_json(404, {"error": f"no submission {submission_id!r}"
+                                           " (finished ones age out)"})
+        else:
+            self._send_json(200, found)
+
+    def _submit(self) -> None:
+        service = self.server.service
+        try:
+            request = SubmissionRequest.from_json(self._read_json())
+            record = service.submit_threadsafe(request,
+                                               timeout=_LOOP_TIMEOUT_S)
+        except ConfigurationError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except QuotaExceeded as exc:
+            self._send_json(429, {"error": str(exc),
+                                  "tenant": exc.tenant})
+        except ServiceDraining as exc:
+            self._send_json(503, {"error": str(exc)})
+        else:
+            self._send_json(202, {"id": record.id,
+                                  "tenant": record.request.tenant,
+                                  "state": record.state,
+                                  "submitted_at": record.submitted_at})
+
+    def _drain(self) -> None:
+        self.server.service.drain_threadsafe()
+        self._send_json(202, {"status": "draining"})
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: QueryService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self.stopping = threading.Event()
+
+    def on_loop(self, fn: Any) -> Any:
+        """Run ``fn`` on the service loop and return its result."""
+        import concurrent.futures
+
+        future: "concurrent.futures.Future[Any]" = concurrent.futures.Future()
+
+        def _call() -> None:
+            try:
+                future.set_result(fn())
+            except BaseException as exc:
+                future.set_exception(exc)
+
+        assert self.service._loop is not None, "service not started"
+        self.service._loop.call_soon_threadsafe(_call)
+        return future.result(timeout=_LOOP_TIMEOUT_S)
+
+
+class ServiceServer:
+    """Owns the HTTP server thread fronting one :class:`QueryService`."""
+
+    def __init__(self, service: QueryService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self._server = _Server((host, port), service)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved even when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServiceServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._server.serve_forever,
+                                        name="service-http", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and join the server thread (idempotent)."""
+        if self._thread is None:
+            return
+        self._server.stopping.set()
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join()
+        self._thread = None
+
+    def __repr__(self) -> str:
+        state = "serving" if self._thread is not None else "stopped"
+        return f"ServiceServer({self.url}, {state})"

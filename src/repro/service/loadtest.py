@@ -1,0 +1,144 @@
+"""Sustained-arrival load testing for the always-on service.
+
+:func:`run_loadtest` drives one in-process :class:`~repro.service.
+service.QueryService` with an *open-loop* arrival process: submissions
+arrive on a fixed schedule (``rate`` per second) regardless of how fast
+the service completes them, which is what exposes queueing behavior —
+a closed loop would politely wait and never build a backlog.
+
+The pool is sized to ``concurrency`` simultaneous leases, so excess
+submissions queue in the admission controller as cheap tickets (no
+query-view world exists until admission), per-tenant priorities decide
+who runs first, and completion latency includes the queue wait.  The
+report (p50/p95/p99/mean/max latency, throughput, admission waits,
+per-tenant accounting) feeds ``scripts/service_loadtest.py``, the
+``service_loadtest`` bench case, and ``BENCH_PR7.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.config import SimulationParameters
+from repro.resources import TenantSpec
+from repro.service.service import (
+    QueryService,
+    SubmissionRecord,
+    SubmissionRequest,
+)
+from repro.service.stats import percentile
+
+#: default tenant mix: a high-priority interactive tenant, a default
+#: batch tenant, and a capped background tenant — enough to exercise
+#: priority admission and the concurrency quota in one run.
+DEFAULT_TENANTS = (
+    TenantSpec("gold", priority=2.0),
+    TenantSpec("silver", priority=1.0),
+    TenantSpec("bronze", priority=0.0, max_active=4096),
+)
+
+
+async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
+                       scale: float = 0.0005, wait_us: float = 50.0,
+                       jitter: float = 1.0, strategy: str = "DSE",
+                       concurrency: int = 64, seed: int = 1,
+                       tenants: Sequence[TenantSpec] = DEFAULT_TENANTS,
+                       admission: str = "priority",
+                       params: Optional[SimulationParameters] = None,
+                       on_progress: Optional[Callable[[int, int], None]]
+                       = None) -> Dict[str, Any]:
+    """Run one sustained-arrival load test; returns the JSON-safe report.
+
+    ``on_progress(submitted, completed)`` is invoked at roughly every
+    5% of the arrival schedule (and once at the end of submission).
+    """
+    if submissions < 1:
+        raise ConfigurationError(
+            f"submissions must be >= 1, got {submissions}")
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be positive, got {rate}")
+    if concurrency < 1:
+        raise ConfigurationError(
+            f"concurrency must be >= 1, got {concurrency}")
+    if params is None:
+        params = SimulationParameters(telemetry_enabled=True)
+    pool = concurrency * params.query_memory_bytes
+    service = QueryService(
+        params=params, seed=seed, global_memory_bytes=pool,
+        admission=admission, tenants=list(tenants),
+        latency_window=submissions,
+        # History only feeds the HTTP view; keep it tiny so a 10k run
+        # does not hold 10k finished records inside the service.
+        history=64)
+    await service.start()
+
+    loop = asyncio.get_running_loop()
+    names = [spec.name for spec in tenants]
+    records: List[SubmissionRecord] = []
+    stride = max(1, submissions // 20)
+    started = loop.time()
+    wall_started = time.time()
+    for index in range(submissions):
+        due = started + index / rate
+        delay = due - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            # Behind schedule: still yield, or the arrival loop starves
+            # the kernel and nothing completes until arrivals stop.
+            await asyncio.sleep(0)
+        request = SubmissionRequest(
+            tenant=names[index % len(names)], strategy=strategy,
+            scale=scale, seed=seed + index, wait_us=wait_us, jitter=jitter)
+        records.append(service.submit(request))
+        if on_progress is not None and (index + 1) % stride == 0:
+            on_progress(index + 1, service.completed)
+
+    await service.stop()
+    wall = time.time() - wall_started
+    if on_progress is not None:
+        on_progress(submissions, service.completed)
+
+    latencies = sorted(record.latency(record.finished_at or 0.0)
+                       for record in records if record.finished)
+    waits = sorted(record.admission_wait for record in records
+                   if record.finished)
+    failed = [record for record in records
+              if record.state == "failed"]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} submissions failed; first: "
+            f"{failed[0].id}: {failed[0].error}")
+    return {
+        "config": {
+            "submissions": submissions, "rate": rate, "scale": scale,
+            "wait_us": wait_us, "jitter": jitter, "strategy": strategy,
+            "concurrency": concurrency, "seed": seed,
+            "admission": admission,
+            "tenants": [spec.name for spec in tenants],
+        },
+        "submitted": service.submitted,
+        "completed": service.completed,
+        "failed": service.failed,
+        "rejected": service.rejected,
+        "wall_s": wall,
+        "service_qps": service.completed / wall if wall > 0 else 0.0,
+        "latency": {
+            "p50_s": percentile(latencies, 0.50),
+            "p95_s": percentile(latencies, 0.95),
+            "p99_s": percentile(latencies, 0.99),
+            "mean_s": (sum(latencies) / len(latencies)
+                       if latencies else 0.0),
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+        "admission": {
+            "queued": sum(1 for wait in waits if wait > 0),
+            "mean_wait_s": sum(waits) / len(waits) if waits else 0.0,
+            "p99_wait_s": percentile(waits, 0.99),
+            "max_wait_s": waits[-1] if waits else 0.0,
+        },
+        "tenants": service.tenants.snapshot(),
+    }

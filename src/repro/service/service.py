@@ -1,0 +1,682 @@
+"""The always-on query service: one kernel, an unbounded query stream.
+
+:class:`QueryService` is the multi-query engine promoted to a daemon.
+Where :class:`repro.core.multiquery.MultiQueryEngine` runs a *batch* of
+submissions to completion on a fresh simulator, the service keeps one
+:class:`~repro.exec.aio.AsyncioKernel` and one machine-level
+:class:`~repro.core.runtime.World` alive indefinitely and attaches a
+stream of :class:`~repro.exec.live.QueryRun` instances to them — many in
+flight at once, each on its own query-view world, all sharing the
+machine's CPU/link/buffer, its governed
+:class:`~repro.resources.broker.MemoryBroker`, its
+:class:`~repro.resources.admission.AdmissionController` and one
+telemetry plane.
+
+The submission lifecycle::
+
+    submit()  -- tenant quota gate (429), drain gate (503)
+      -> launcher process: admission ticket (may queue)
+      -> lease granted: query-view World + QueryRun on the shared kernel
+      -> completion callback: latency window, tenant accounting,
+         bounded history, drain bookkeeping
+
+Aggregation stays bounded no matter how many submissions flow through:
+the machine audit log is a ring (:class:`DecisionAuditLog` with a
+capacity), latencies live in a :class:`~repro.service.stats.
+LatencyWindow`, finished submissions are pruned to a recent-history
+ring, and query-view worlds skip per-query gauge registration
+(``attach_memory_metrics=False``).
+
+Graceful drain (SIGTERM): :meth:`drain` stops admitting (new submissions
+get :class:`ServiceDraining`, HTTP 503), in-flight submissions run to
+completion, then the kernel's shutdown event fires and :meth:`stop`
+flushes the flight recorder and span log to disk.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.config import SimulationParameters
+from repro.core.strategies import make_policy
+from repro.exec.aio import AsyncioKernel
+from repro.exec.core import Process, SimEvent
+from repro.exec.live import BatchSource, QueryRun, jittered_batches
+from repro.experiments.workloads import Figure5Workload, figure5_workload
+from repro.observability import (
+    SPAN_ADMISSION_WAIT,
+    STALL_ADMISSION_WAIT,
+    DecisionAuditLog,
+    MetricsPublisher,
+)
+from repro.observability.flight import ENTRY_DECISION, ENTRY_STALL, FlightRecorder
+from repro.resources import (
+    ADMISSION_POLICIES,
+    AdmissionController,
+    MemoryBroker,
+    TenantAccount,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.service.stats import LatencyWindow
+
+#: service snapshot layout version (part of the SSE/JSON payload).
+SERVICE_SNAPSHOT_VERSION = 1
+
+#: machine audit-log ring size (decisions, across all submissions).
+DEFAULT_AUDIT_CAPACITY = 4096
+
+#: finished submissions kept queryable over HTTP.
+DEFAULT_HISTORY = 256
+
+#: seconds between service snapshot publishes.
+DEFAULT_PUBLISH_INTERVAL_S = 1.0
+
+#: submission states, in lifecycle order.
+STATE_QUEUED = "queued"
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_FAILED = "failed"
+
+
+class ServiceDraining(Exception):
+    """The service is draining and refuses new submissions (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class SubmissionRequest:
+    """One query submission as it arrives over the wire.
+
+    The service runs the Figure 5 workload shape (that is the engine's
+    experiment plan); a submission picks its strategy, scale, seed and
+    source-delay profile — enough to make every submission's runtime
+    behavior distinct while the plan stays validated once per scale.
+    """
+
+    tenant: str = "default"
+    strategy: str = "DSE"
+    scale: float = 0.02
+    seed: int = 0
+    #: mean per-tuple source wait, microseconds (the live delay model).
+    wait_us: float = 200.0
+    jitter: float = 1.0
+    #: per-relation wait multipliers, e.g. ``{"A": 10.0}``.
+    slow: Mapping[str, float] = field(default_factory=dict)
+    #: admission priority override (None: the tenant's priority).
+    priority: Optional[float] = None
+    memory_bytes: Optional[int] = None
+    min_memory_bytes: Optional[int] = None
+    max_memory_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigurationError("submission needs a tenant")
+        try:
+            make_policy(self.strategy)  # validates the name
+        except ValueError as exc:  # -> HTTP 400, not a server error
+            raise ConfigurationError(str(exc)) from None
+        if self.scale <= 0:
+            raise ConfigurationError(
+                f"scale must be positive, got {self.scale}")
+        if self.wait_us < 0:
+            raise ConfigurationError(
+                f"wait_us must be >= 0, got {self.wait_us}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+        for relation, factor in self.slow.items():
+            if factor < 0:
+                raise ConfigurationError(
+                    f"slow factor for {relation!r} must be >= 0, "
+                    f"got {factor}")
+        for label, value in (("memory_bytes", self.memory_bytes),
+                             ("min_memory_bytes", self.min_memory_bytes),
+                             ("max_memory_bytes", self.max_memory_bytes)):
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{label} must be positive, got {value}")
+        if (self.min_memory_bytes is not None
+                and self.max_memory_bytes is not None
+                and self.min_memory_bytes > self.max_memory_bytes):
+            raise ConfigurationError(
+                f"min_memory_bytes {self.min_memory_bytes} exceeds "
+                f"max_memory_bytes {self.max_memory_bytes}")
+
+    @classmethod
+    def from_json(cls, data: Any) -> "SubmissionRequest":
+        """Build a request from a decoded JSON body (strict keys)."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"submission body must be a JSON object, got {type(data).__name__}")
+        known = {
+            "tenant": str, "strategy": str, "scale": (int, float),
+            "seed": int, "wait_us": (int, float), "jitter": (int, float),
+            "slow": dict, "priority": (int, float), "memory_bytes": int,
+            "min_memory_bytes": int, "max_memory_bytes": int,
+        }
+        unknown = set(data) - set(known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown submission field(s): {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            expected = known[key]
+            if value is None:
+                continue
+            if not isinstance(value, expected) or isinstance(value, bool):
+                raise ConfigurationError(
+                    f"submission field {key!r} has bad type "
+                    f"{type(value).__name__}")
+            kwargs[key] = value
+        if "slow" in kwargs:
+            slow: Dict[str, float] = {}
+            for relation, factor in kwargs["slow"].items():
+                if not isinstance(relation, str) \
+                        or not isinstance(factor, (int, float)) \
+                        or isinstance(factor, bool):
+                    raise ConfigurationError(
+                        f"slow must map relation names to factors, "
+                        f"got {relation!r}: {factor!r}")
+                slow[relation] = float(factor)
+            kwargs["slow"] = slow
+        return cls(**kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant, "strategy": self.strategy,
+            "scale": self.scale, "seed": self.seed,
+            "wait_us": self.wait_us, "jitter": self.jitter,
+            "slow": dict(self.slow), "priority": self.priority,
+            "memory_bytes": self.memory_bytes,
+            "min_memory_bytes": self.min_memory_bytes,
+            "max_memory_bytes": self.max_memory_bytes,
+        }
+
+    def resolved_budgets(self, params: SimulationParameters
+                         ) -> tuple[int, int, int]:
+        """``(initial, min, max)`` lease bytes with defaults applied."""
+        initial = (self.memory_bytes if self.memory_bytes is not None
+                   else params.query_memory_bytes)
+        min_bytes = (self.min_memory_bytes
+                     if self.min_memory_bytes is not None else initial)
+        max_bytes = (self.max_memory_bytes
+                     if self.max_memory_bytes is not None else initial)
+        initial = min(max(initial, min_bytes), max_bytes)
+        return initial, min_bytes, max_bytes
+
+
+@dataclass
+class SubmissionRecord:
+    """One submission's lifecycle inside the service."""
+
+    id: str
+    request: SubmissionRequest
+    state: str = STATE_QUEUED
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    admission_wait: float = 0.0
+    error: Optional[str] = None
+    #: JSON-safe result summary, set on success.
+    outcome: Optional[Dict[str, Any]] = None
+    #: set once the submission reached a terminal state (loop thread).
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    # internal bookkeeping, not serialized:
+    account: Optional[TenantAccount] = None
+    declared_max_bytes: int = 0
+    run: Optional[QueryRun] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in (STATE_DONE, STATE_FAILED)
+
+    def latency(self, now: float) -> float:
+        """Submit-to-now (or submit-to-finish) seconds, queue included."""
+        end = self.finished_at if self.finished_at is not None else now
+        return end - self.submitted_at
+
+    def to_dict(self, now: float) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.request.tenant,
+            "strategy": self.request.strategy,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "admission_wait": self.admission_wait,
+            "latency_s": self.latency(now),
+            "error": self.error,
+            "outcome": self.outcome,
+        }
+
+
+class QueryService:
+    """The long-running multi-tenant engine behind ``repro serve``.
+
+    Single-threaded core: every mutation happens on the asyncio loop
+    that drives the kernel (HTTP threads enter through
+    :meth:`submit_threadsafe` / :meth:`drain_threadsafe`).  Construction
+    is cheap and loop-free; :meth:`start` must run inside the loop.
+    """
+
+    def __init__(self, params: Optional[SimulationParameters] = None,
+                 seed: int = 0,
+                 global_memory_bytes: Optional[int] = None,
+                 admission: str = "priority",
+                 tenants: Optional[List[TenantSpec]] = None,
+                 strict_tenants: bool = False,
+                 audit_capacity: int = DEFAULT_AUDIT_CAPACITY,
+                 history: int = DEFAULT_HISTORY,
+                 latency_window: Optional[int] = None,
+                 publish_interval_s: float = DEFAULT_PUBLISH_INTERVAL_S,
+                 flight_dump: Optional[Union[str, Path]] = None,
+                 flight_capacity: int = 2048,
+                 span_dump: Optional[Union[str, Path]] = None) -> None:
+        from repro.core.runtime import World
+
+        if admission not in ADMISSION_POLICIES + ("none",):
+            raise ConfigurationError(
+                f"unknown admission policy {admission!r}; expected one of "
+                f"{ADMISSION_POLICIES + ('none',)}")
+        if global_memory_bytes is not None and global_memory_bytes <= 0:
+            raise ConfigurationError(
+                f"global_memory_bytes must be positive, "
+                f"got {global_memory_bytes}")
+        self.params = (params if params is not None
+                       else SimulationParameters(telemetry_enabled=True))
+        self.seed = seed
+        self.global_memory_bytes = global_memory_bytes
+        self.admission = admission
+        self.publish_interval_s = publish_interval_s
+        self.flight_dump = (Path(flight_dump)
+                            if flight_dump is not None else None)
+        self.span_dump = Path(span_dump) if span_dump is not None else None
+
+        self.kernel = AsyncioKernel()
+        self.machine = World(self.params, seed=seed, kernel=self.kernel)
+        # Bounded aggregation over the unbounded stream: the machine's
+        # audit log becomes a ring *before* anything hooks into it.
+        self.machine.telemetry.audit = DecisionAuditLog(
+            capacity=audit_capacity)
+        self.recorder: Optional[FlightRecorder] = None
+        if self.flight_dump is not None:
+            self.recorder = self._attach_flight(flight_capacity)
+        if self.span_dump is not None \
+                and self.machine.telemetry.spans is None:
+            from repro.observability.spans import SpanRecorder
+            self.machine.telemetry.spans = SpanRecorder(self.kernel)
+
+        self.governed = (global_memory_bytes is not None
+                         and admission != "none")
+        self.controller: Optional[AdmissionController] = None
+        if self.governed:
+            assert global_memory_bytes is not None
+            self.machine.broker = MemoryBroker(
+                global_memory_bytes, sim=self.kernel,
+                telemetry=self.machine.telemetry, name="service")
+            self.controller = AdmissionController(
+                self.machine.broker, self.kernel,
+                telemetry=self.machine.telemetry, policy=admission)
+
+        self.tenants = TenantRegistry(tenants, strict=strict_tenants)
+        self.latency = LatencyWindow(
+            latency_window if latency_window is not None else 4096)
+        self.publisher = MetricsPublisher()
+
+        #: all known submissions by id (running + bounded recent history).
+        self.records: Dict[str, SubmissionRecord] = {}
+        self._recent: List[str] = []
+        self._history = max(1, history)
+        self._runs: Dict[str, QueryRun] = {}
+        self._workloads: Dict[float, Figure5Workload] = {}
+        self._sequence = 0
+        self._batches_done = 0
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        #: refused submissions: tenant quota + drain-time refusals.
+        self.rejected = 0
+        self.draining = False
+        self._started = False
+        self._stopped = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[SimEvent] = None
+        self._run_task: Optional["asyncio.Task[None]"] = None
+        self._publish_task: Optional["asyncio.Task[None]"] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def _attach_flight(self, capacity: int) -> FlightRecorder:
+        recorder = FlightRecorder(capacity=capacity)
+        telemetry = self.machine.telemetry
+        telemetry.flight = recorder
+        telemetry.audit.on_record = lambda record: recorder.record(
+            ENTRY_DECISION, record.time, name=record.kind,
+            subject=record.subject)
+        telemetry.stalls.on_record = lambda interval: recorder.record(
+            ENTRY_STALL, interval.ended, cause=interval.cause,
+            duration=interval.duration)
+        return recorder
+
+    async def start(self) -> None:
+        """Bring the kernel up; returns once the service accepts work."""
+        if self._started:
+            raise SimulationError("QueryService started twice")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = self.kernel.event(name="service-shutdown")
+        self._run_task = asyncio.ensure_future(
+            self.kernel.run(until_event=self._shutdown))
+        self._publish_task = asyncio.ensure_future(self._publish_loop())
+        self.publisher.publish(self.snapshot())
+
+    async def _publish_loop(self) -> None:
+        try:
+            while not self._stopped:
+                await asyncio.sleep(self.publish_interval_s)
+                self.publisher.publish(self.snapshot())
+        except asyncio.CancelledError:
+            pass
+
+    def drain(self) -> None:
+        """Stop admitting; the kernel shuts down once in-flight work ends."""
+        if self.draining:
+            return
+        self.draining = True
+        if self.active == 0 and self._shutdown is not None \
+                and not self._shutdown.triggered:
+            self._shutdown.succeed()
+
+    def drain_threadsafe(self) -> None:
+        assert self._loop is not None, "service not started"
+        self._loop.call_soon_threadsafe(self.drain)
+
+    async def wait_drained(self) -> None:
+        """Block until the kernel shut down (a drain ran to completion)."""
+        if self._run_task is not None:
+            await self._run_task
+
+    async def stop(self) -> None:
+        """Drain, wait for in-flight work, then flush everything to disk."""
+        self.drain()
+        if self._run_task is not None:
+            await self._run_task
+        self._stopped = True
+        if self._publish_task is not None:
+            self._publish_task.cancel()
+            try:
+                await self._publish_task
+            except asyncio.CancelledError:
+                pass
+        # Final frame first, so /stream clients see the drained state
+        # before the `event: end` marker.
+        self.publisher.publish(self.snapshot())
+        self.publisher.close()
+        if self.recorder is not None and self.flight_dump is not None:
+            self.recorder.latest_snapshot = self.snapshot()
+            self.recorder.dump(self.flight_dump, reason="drain")
+        if self.span_dump is not None \
+                and self.machine.telemetry.spans is not None:
+            self.machine.telemetry.spans.write_json(self.span_dump)
+
+    # -- submission ----------------------------------------------------------
+    @property
+    def active(self) -> int:
+        """Submissions currently queued or running."""
+        return self.submitted - self.completed - self.failed
+
+    def _workload(self, scale: float) -> Figure5Workload:
+        workload = self._workloads.get(scale)
+        if workload is None:
+            workload = figure5_workload(scale=scale)
+            self._workloads[scale] = workload
+        return workload
+
+    def _sources(self, workload: Figure5Workload,
+                 request: SubmissionRequest,
+                 sequence: int) -> Dict[str, Callable[[], BatchSource]]:
+        base_wait = request.wait_us * 1e-6
+
+        def factory(relation: str) -> Callable[[], BatchSource]:
+            cardinality = workload.catalog.relation(relation).cardinality
+
+            def make() -> BatchSource:
+                # Seeded per (service, submission, relation): every
+                # submission sees fresh-but-reproducible delays.
+                rng = np.random.default_rng(
+                    [self.seed, request.seed, sequence,
+                     zlib.crc32(relation.encode())])
+                return jittered_batches(
+                    cardinality, self.params.tuples_per_message,
+                    base_wait * request.slow.get(relation, 1.0), rng,
+                    jitter=request.jitter)
+            return make
+
+        return {relation: factory(relation)
+                for relation in workload.relation_names}
+
+    def submit(self, request: SubmissionRequest) -> SubmissionRecord:
+        """Accept one submission (loop thread only).
+
+        Raises :class:`ServiceDraining` once drain started and
+        :class:`~repro.resources.tenants.QuotaExceeded` when the tenant
+        is over quota — the HTTP layer maps these to 503 / 429.
+        """
+        if not self._started or self._stopped:
+            raise SimulationError("service is not running")
+        if self.draining:
+            self.rejected += 1
+            raise ServiceDraining("service is draining; try another mediator")
+        workload = self._workload(request.scale)
+        unknown = set(request.slow) - set(workload.relation_names)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown relation(s) in slow map: {sorted(unknown)}")
+        initial, min_bytes, max_bytes = request.resolved_budgets(self.params)
+        pool = self.global_memory_bytes
+        if self.governed and pool is not None and min_bytes > pool:
+            self.rejected += 1
+            raise ConfigurationError(
+                f"minimum working set {min_bytes} exceeds the global "
+                f"memory pool {pool}; it could never be admitted")
+        try:
+            account = self.tenants.begin(request.tenant, max_bytes)
+        except Exception:
+            self.rejected += 1
+            raise
+        self._sequence += 1
+        record = SubmissionRecord(
+            id=f"s-{self._sequence:06d}", request=request,
+            # wall_now, not now: submit runs on the loop *between* kernel
+            # dispatches, where the dispatch clock still shows the last
+            # event — any idle gap would be billed to this submission.
+            submitted_at=self.kernel.wall_now, account=account,
+            declared_max_bytes=max_bytes)
+        self.records[record.id] = record
+        self.submitted += 1
+        process = self.kernel.process(
+            self._launch(record, workload, initial, min_bytes, max_bytes),
+            name=f"query:{record.id}")
+        process.defused = True
+        process.add_callback(
+            lambda _event: self._finish(record, process))
+        return record
+
+    def submit_threadsafe(self, request: SubmissionRequest,
+                          timeout: float = 10.0) -> SubmissionRecord:
+        """Submit from a foreign thread (the HTTP handler pool)."""
+        assert self._loop is not None, "service not started"
+        future: "concurrent.futures.Future[SubmissionRecord]" = \
+            concurrent.futures.Future()
+
+        def _on_loop() -> None:
+            try:
+                future.set_result(self.submit(request))
+            except BaseException as exc:  # delivered to the caller
+                future.set_exception(exc)
+
+        self._loop.call_soon_threadsafe(_on_loop)
+        return future.result(timeout=timeout)
+
+    def _launch(self, record: SubmissionRecord, workload: Figure5Workload,
+                initial: int, min_bytes: int, max_bytes: int
+                ) -> Generator[SimEvent, Any, Any]:
+        from repro.core.runtime import World
+
+        machine = self.machine
+        request = record.request
+        submitted = self.kernel.now
+        priority = self.tenants.priority_for(request.tenant,
+                                             request.priority)
+        wait_span = None
+        spans = machine.telemetry.spans
+        if self.controller is not None:
+            ticket = self.controller.request(
+                record.id, min_bytes, max_bytes, priority=priority,
+                tenant=request.tenant)
+            if not ticket.granted:
+                assert ticket.event is not None
+                yield ticket.event
+            lease = ticket.lease
+            assert lease is not None
+            record.admission_wait = ticket.waited
+            if record.admission_wait > 0:
+                machine.telemetry.stalls.record(
+                    STALL_ADMISSION_WAIT, submitted, self.kernel.now)
+                if spans is not None:
+                    wait_span = spans.add(
+                        SPAN_ADMISSION_WAIT, record.id, submitted,
+                        self.kernel.now, min_bytes=min_bytes)
+        else:
+            lease = machine.broker.lease(record.id, initial,
+                                         min_bytes=min_bytes,
+                                         max_bytes=max_bytes,
+                                         tenant=request.tenant)
+        record.state = STATE_RUNNING
+        record.started_at = self.kernel.now
+        # Query-view world: shares the machine, skips per-query gauges
+        # (the registry must not grow with the submission stream).
+        world = World(self.params, share_machine=machine, lease=lease,
+                      query_name=record.id, attach_memory_metrics=False)
+        query = QueryRun(self.kernel, world, workload.qep,
+                         make_policy(request.strategy),
+                         self._sources(workload, request, self._sequence),
+                         name=record.id)
+        record.run = query
+        self._runs[record.id] = query
+        try:
+            main = query.start()
+            if wait_span is not None and spans is not None \
+                    and query.runtime.query_span is not None:
+                spans.set_cause(query.runtime.query_span, wait_span)
+            yield main  # joins; an engine failure re-raises here
+            result = query.result()
+            result.submission_id = record.id
+            result.tenant = request.tenant
+            return result
+        finally:
+            query.detach()
+            machine.broker.release(lease)
+
+    def _finish(self, record: SubmissionRecord, process: Process) -> None:
+        """Completion callback (kernel thread): close out one submission."""
+        now = self.kernel.now
+        record.finished_at = now
+        run = self._runs.pop(record.id, None)
+        if run is not None and run.processor is not None:
+            self._batches_done += run.processor.batches_processed
+        ok = process.failure is None
+        if ok:
+            record.state = STATE_DONE
+            result = process.value
+            self.completed += 1
+            record.outcome = {
+                "response_time": result.response_time,
+                "result_tuples": result.result_tuples,
+                "time_to_first_tuple": result.time_to_first_tuple,
+                "batches_processed": result.batches_processed,
+                "stall_time": result.stall_time,
+            }
+        else:
+            record.state = STATE_FAILED
+            record.error = repr(process.failure)
+            self.failed += 1
+        latency = record.latency(now)
+        self.latency.observe(latency, now)
+        if record.account is not None:
+            self.tenants.finish(record.account, record.declared_max_bytes,
+                                ok=ok, waited_s=record.admission_wait,
+                                latency_s=latency)
+        self._remember(record)
+        record.done.set()
+        if self.draining and self.active == 0 \
+                and self._shutdown is not None \
+                and not self._shutdown.triggered:
+            self._shutdown.succeed()
+
+    def _remember(self, record: SubmissionRecord) -> None:
+        """Keep the newest N finished submissions queryable, prune the rest."""
+        self._recent.append(record.id)
+        while len(self._recent) > self._history:
+            evicted = self._recent.pop(0)
+            self.records.pop(evicted, None)
+
+    # -- views ---------------------------------------------------------------
+    def record_for(self, submission_id: str) -> Optional[SubmissionRecord]:
+        return self.records.get(submission_id)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe view of the whole service (``kind: service``)."""
+        now = self.kernel.wall_now
+        broker = self.machine.broker
+        stalls = dict(sorted(
+            self.machine.telemetry.stalls.by_cause().items()))
+        batches = self._batches_done + sum(
+            run.processor.batches_processed for run in self._runs.values()
+            if run.processor is not None)
+        active_records = sorted(
+            (record for record in self.records.values()
+             if not record.finished), key=lambda r: r.id)
+        recent = [self.records[rid] for rid in reversed(self._recent)
+                  if rid in self.records]
+        return {
+            "version": SERVICE_SNAPSHOT_VERSION,
+            "kind": "service",
+            "now": now,
+            "draining": self.draining,
+            "submitted": self.submitted,
+            "active": self.active,
+            "admission_queued": (self.controller.queue_depth
+                                 if self.controller is not None else 0),
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "batches": batches,
+            "decisions": self.machine.telemetry.audit.appended,
+            "stream_dropped": self.publisher.dropped_total,
+            "latency": self.latency.summary(now),
+            "pool": {
+                "total": broker.total_bytes or 0,
+                "leased": broker.leased_bytes,
+                "spare": broker.spare_bytes() or 0,
+                "active_leases": len(broker.leases),
+            },
+            "stalls": stalls,
+            "tenants": self.tenants.snapshot(),
+            "queries": [record.to_dict(now) for record in active_records],
+            "recent": [record.to_dict(now) for record in recent[:32]],
+        }
+
+    def __repr__(self) -> str:
+        state = ("draining" if self.draining
+                 else "serving" if self._started else "new")
+        return (f"QueryService({state}, {self.active} active, "
+                f"{self.completed} completed)")

@@ -196,10 +196,12 @@ def test_cmd_bench_writes_report(capsys, tmp_path):
 
     target = tmp_path / "bench.json"
     assert main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
-                 "--best-of", "1", "--jobs", "2", "--out",
-                 str(target)]) == 0
+                 "--best-of", "1", "--jobs", "2",
+                 "--service-submissions", "40", "--service-rate", "400",
+                 "--out", str(target)]) == 0
     out = capsys.readouterr().out
     assert "parallel sweep" in out and "warm cache" in out
+    assert "service" in out
 
     report = json.loads(target.read_text())
     assert report["suite"] == "repro-parallel-bench"
@@ -208,7 +210,10 @@ def test_cmd_bench_writes_report(capsys, tmp_path):
     names = [case["name"] for case in report["cases"]]
     assert names == ["dqp_batch_loop", "kernel_dispatch",
                      "fig6_sweep_jobs1", "fig6_sweep_jobsN",
-                     "fig6_sweep_warm_cache"]
+                     "fig6_sweep_warm_cache", "service_loadtest"]
+    assert report["derived"]["service_qps"] > 0
+    assert report["derived"]["service_p99_latency_s"] >= \
+        report["derived"]["service_p50_latency_s"] > 0
     speedup = report["derived"]["parallel_speedup"]
     if report["host"]["cpu_count"] > 1:
         assert speedup > 0
@@ -225,8 +230,10 @@ def test_cmd_bench_assert_speedup_can_fail(capsys, tmp_path):
     # An impossible bar: guarantees the gate path is exercised -- except
     # on a single-core host, where the gate is explicitly skipped.
     code = main(["bench", "--scale", "0.02", "--retrieval-times", "0.1",
-                 "--best-of", "1", "--jobs", "1", "--out",
-                 str(tmp_path / "b.json"), "--assert-speedup", "1000"])
+                 "--best-of", "1", "--jobs", "1",
+                 "--service-submissions", "40", "--service-rate", "400",
+                 "--out", str(tmp_path / "b.json"),
+                 "--assert-speedup", "1000"])
     if os.cpu_count() and os.cpu_count() > 1:
         assert code == 1
     else:
@@ -327,7 +334,7 @@ def test_cmd_top_once_with_nothing_listening_exits_2(capsys):
 
 def test_bench_default_out_is_this_prs_report():
     args = build_parser().parse_args(["bench"])
-    assert args.out == "BENCH_PR6.json"
+    assert args.out == "BENCH_PR7.json"
     assert args.max_regression == "10%"
 
 
@@ -356,7 +363,8 @@ def test_cmd_bench_compare_gates_an_injected_regression(capsys, tmp_path):
     import json as _json
 
     argv = ["bench", "--scale", "0.02", "--retrieval-times", "0.1",
-            "--best-of", "1", "--jobs", "2"]
+            "--best-of", "1", "--jobs", "2",
+            "--service-submissions", "40", "--service-rate", "400"]
 
     # A baseline far slower than any real run: the gate passes.
     modest = {"suite": "repro-parallel-bench", "derived": {

@@ -73,6 +73,56 @@ def test_publisher_close_wakes_waiters_without_a_snapshot():
     assert publisher.closed
 
 
+def test_subscription_is_bounded_and_drops_oldest():
+    publisher = MetricsPublisher()
+    subscription = publisher.subscribe(capacity=3)
+    for index in range(5):
+        publisher.publish({"now": float(index)})
+    # Capacity 3: frames 0 and 1 were dropped, 2..4 remain in order.
+    assert subscription.dropped == 2
+    assert publisher.dropped_total == 2
+    got = [subscription.pop(timeout=0.1)[0]["now"] for _ in range(3)]
+    assert got == [2.0, 3.0, 4.0]
+
+
+def test_late_subscriber_gets_the_latest_frame_pre_queued():
+    publisher = MetricsPublisher()
+    publisher.publish({"now": 7.0})
+    subscription = publisher.subscribe()
+    snapshot, seq = subscription.pop(timeout=0.1)
+    assert snapshot["now"] == 7.0 and seq == 1
+    assert not subscription.finished
+
+
+def test_subscription_finished_after_close_and_drain():
+    publisher = MetricsPublisher()
+    subscription = publisher.subscribe(capacity=2)
+    publisher.publish({"now": 1.0})
+    publisher.close()
+    assert not subscription.finished  # one frame still queued
+    snapshot, _seq = subscription.pop(timeout=0.1)
+    assert snapshot is not None
+    assert subscription.finished
+    snapshot, _seq = subscription.pop(timeout=0.01)
+    assert snapshot is None
+
+
+def test_closed_subscription_detaches_from_the_publisher():
+    publisher = MetricsPublisher()
+    subscription = publisher.subscribe(capacity=1)
+    subscription.close()
+    publisher.publish({"now": 1.0})
+    assert subscription.dropped == 0
+    assert publisher.dropped_total == 0
+    assert subscription.finished
+
+
+def test_subscription_capacity_must_be_positive():
+    publisher = MetricsPublisher()
+    with pytest.raises(ValueError):
+        publisher.subscribe(capacity=0)
+
+
 # --------------------------------------------------------------------------
 # Exposition text
 # --------------------------------------------------------------------------
@@ -153,6 +203,9 @@ def test_render_top_layout():
 def test_parse_endpoint():
     assert _parse_endpoint("127.0.0.1:9100") == ("127.0.0.1", 9100)
     assert _parse_endpoint(":9100") == ("127.0.0.1", 9100)
+    # The full-URL form printed by `repro serve` works too.
+    assert _parse_endpoint("http://10.0.0.5:9131") == ("10.0.0.5", 9131)
+    assert _parse_endpoint("http://10.0.0.5:9131/stream") == ("10.0.0.5", 9131)
     with pytest.raises(ConfigurationError):
         _parse_endpoint("no-port")
 

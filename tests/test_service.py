@@ -1,0 +1,319 @@
+"""The always-on multi-tenant query service (`repro serve`).
+
+Pins the service core: strict submission validation, the bounded
+latency window, one real multi-tenant service session on the wall-clock
+kernel (submissions complete, tenants account, snapshots stay JSON-safe
+and bounded, drain refuses new work and flushes the flight recorder),
+and the fleet view `repro top` renders from a service snapshot.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.config import SimulationParameters
+from repro.observability.flight import load_flight_dump
+from repro.observability.top import render_service_top, render_top
+from repro.resources import QuotaExceeded, TenantSpec
+from repro.service import (
+    SERVICE_SNAPSHOT_VERSION,
+    LatencyWindow,
+    QueryService,
+    ServiceDraining,
+    SubmissionRequest,
+    service_prometheus_text,
+)
+from repro.service.stats import percentile
+
+#: small-and-fast submission shape used by every live test here.
+FAST = dict(scale=0.0005, wait_us=20.0, memory_bytes=1 << 20)
+
+
+# --------------------------------------------------------------------------
+# SubmissionRequest validation
+# --------------------------------------------------------------------------
+
+def test_from_json_round_trips_a_full_body():
+    request = SubmissionRequest.from_json({
+        "tenant": "acme", "strategy": "MA", "scale": 0.01, "seed": 3,
+        "wait_us": 50, "jitter": 0.5, "slow": {"A": 10},
+        "priority": 1.5, "memory_bytes": 1 << 20})
+    assert request.tenant == "acme"
+    assert request.strategy == "MA"
+    assert request.slow == {"A": 10.0}
+    assert request.priority == 1.5
+    # to_dict -> from_json is stable.
+    assert SubmissionRequest.from_json(request.to_dict()) == request
+
+
+@pytest.mark.parametrize("body", [
+    [],                                       # not an object
+    {"bogus": 1},                             # unknown field
+    {"seed": "7"},                            # wrong type
+    {"seed": True},                           # bool is not an int here
+    {"scale": -1.0},
+    {"strategy": "NOPE"},
+    {"jitter": 2.0},
+    {"tenant": ""},
+    {"slow": {"A": "x"}},
+    {"memory_bytes": 0},
+    {"min_memory_bytes": 2048, "max_memory_bytes": 1024},
+])
+def test_from_json_rejects_bad_bodies(body):
+    with pytest.raises(ConfigurationError):
+        SubmissionRequest.from_json(body)
+
+
+def test_resolved_budgets_defaults_and_clamping():
+    params = SimulationParameters()
+    initial, lo, hi = SubmissionRequest().resolved_budgets(params)
+    assert initial == lo == hi == params.query_memory_bytes
+    initial, lo, hi = SubmissionRequest(
+        min_memory_bytes=10, max_memory_bytes=100).resolved_budgets(params)
+    assert (initial, lo, hi) == (100, 10, 100)  # default clamped into range
+
+
+# --------------------------------------------------------------------------
+# LatencyWindow
+# --------------------------------------------------------------------------
+
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile([], 0.5) == 0.0
+    assert percentile(values, 0.5) == 2.0
+    assert percentile(values, 0.99) == 4.0
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_latency_window_is_bounded_but_counts_everything():
+    window = LatencyWindow(capacity=4)
+    for index in range(10):
+        window.observe(float(index), at=float(index))
+    assert len(window) == 4
+    assert window.observed == 10
+    summary = window.summary()
+    assert summary["count"] == 4 and summary["observed"] == 10
+    # Only the newest four (6..9) remain in the ring.
+    assert summary["max_s"] == 9.0 and summary["p50_s"] == 7.0
+
+
+def test_latency_window_throughput_uses_the_recent_horizon():
+    window = LatencyWindow(capacity=100)
+    for at in (1.0, 2.0, 3.0):
+        window.observe(0.1, at=at)
+    # All three within the horizon: 3 completions over ~29s of lookback.
+    assert window.throughput(now=4.0, horizon_s=30.0) == pytest.approx(1.0)
+    # Far in the future nothing is recent.
+    assert window.throughput(now=1000.0, horizon_s=30.0) == 0.0
+    assert "throughput_qps" in window.summary(now=4.0)
+
+
+def test_latency_window_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        LatencyWindow(capacity=0)
+
+
+# --------------------------------------------------------------------------
+# One real service session (wall-clock kernel, governed pool)
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def service_session(tmp_path_factory):
+    """Start, exercise, drain and stop one governed two-tenant service.
+
+    Collected into a dict so many tests can assert against a single
+    wall-clock session (the expensive part is the kernel lifetime).
+    """
+    tmp = tmp_path_factory.mktemp("service")
+    flight_path = tmp / "flight.json"
+    span_path = tmp / "spans.json"
+    out = {"flight_path": flight_path, "span_path": span_path}
+
+    async def scenario():
+        service = QueryService(
+            seed=11, global_memory_bytes=2 << 20,
+            tenants=[TenantSpec("gold", priority=2.0),
+                     TenantSpec("capped", priority=0.0, max_active=1)],
+            history=2, publish_interval_s=0.05,
+            flight_dump=flight_path, span_dump=span_path)
+        await service.start()
+
+        records = [service.submit(SubmissionRequest(
+            tenant="gold", seed=index, **FAST)) for index in range(3)]
+        records.append(service.submit(SubmissionRequest(
+            tenant="walkin", **FAST)))  # auto-registered tenant
+
+        # The capped tenant admits one submission; the second is refused
+        # while the first is still in flight.
+        capped = service.submit(SubmissionRequest(tenant="capped", **FAST))
+        with pytest.raises(QuotaExceeded):
+            service.submit(SubmissionRequest(tenant="capped", seed=1,
+                                             **FAST))
+        records.append(capped)
+
+        await asyncio.gather(*(r.done.wait() for r in records))
+        out["mid_snapshot"] = service.snapshot()
+        out["records"] = records
+        out["record_ids"] = [r.id for r in records]
+        out["kept_ids"] = sorted(service.records)
+
+        # Drain with one submission still in flight: it must finish,
+        # new work is refused, and stop() flushes the recorders.
+        straggler = service.submit(SubmissionRequest(
+            tenant="gold", seed=99, **FAST))
+        service.drain()
+        with pytest.raises(ServiceDraining):
+            service.submit(SubmissionRequest(tenant="gold", **FAST))
+        await service.stop()
+        out["straggler"] = straggler
+        out["final_snapshot"] = service.snapshot()
+        out["service"] = service
+
+    asyncio.run(scenario())
+    return out
+
+
+def test_submissions_complete_with_outcomes(service_session):
+    for record in service_session["records"]:
+        assert record.state == "done", record.error
+        assert record.outcome["result_tuples"] > 0
+        assert record.finished_at >= record.submitted_at
+        assert record.latency(0.0) > 0
+
+
+def test_snapshot_shape_and_counters(service_session):
+    snapshot = service_session["mid_snapshot"]
+    assert snapshot["version"] == SERVICE_SNAPSHOT_VERSION
+    assert snapshot["kind"] == "service"
+    assert snapshot["submitted"] == 5
+    assert snapshot["completed"] == 5
+    assert snapshot["failed"] == 0
+    assert snapshot["rejected"] == 1  # the quota refusal
+    assert snapshot["batches"] > 0
+    assert snapshot["pool"]["total"] == 2 << 20
+    assert snapshot["latency"]["count"] == 5
+    json.dumps(snapshot)  # JSON-safe end to end
+
+
+def test_tenant_accounting_in_snapshot(service_session):
+    tenants = {t["name"]: t for t in
+               service_session["mid_snapshot"]["tenants"]}
+    assert tenants["gold"]["completed"] == 3
+    assert tenants["gold"]["priority"] == 2.0
+    assert tenants["walkin"]["completed"] == 1  # auto-registered
+    assert tenants["capped"]["completed"] == 1
+    assert tenants["capped"]["rejected"] == 1
+
+
+def test_finished_history_is_pruned_to_the_ring(service_session):
+    # history=2: only the two newest finished submissions stay queryable.
+    assert len(service_session["kept_ids"]) == 2
+    assert set(service_session["kept_ids"]) \
+        <= set(service_session["record_ids"])
+
+
+def test_drain_finishes_stragglers_and_refuses_new_work(service_session):
+    straggler = service_session["straggler"]
+    assert straggler.state == "done", straggler.error
+    final = service_session["final_snapshot"]
+    assert final["draining"] is True
+    assert final["active"] == 0
+    assert final["rejected"] == 2  # quota refusal + drain refusal
+
+
+def test_stop_flushes_flight_recorder_and_spans(service_session):
+    dump = load_flight_dump(service_session["flight_path"])
+    assert dump["reason"] == "drain"
+    assert dump["entries"], "machine flight recorder captured nothing"
+    assert dump["snapshot"]["kind"] == "service"
+    spans = json.loads(service_session["span_path"].read_text())
+    assert spans["spans"], "span recorder captured nothing"
+
+
+def test_submitted_at_uses_the_wall_clock_not_the_dispatch_clock(
+        service_session):
+    # The straggler was submitted after a gather over earlier queries;
+    # its timestamp must be at (or after) the moment the earlier work
+    # finished — a stale dispatch-clock stamp would predate it.
+    straggler = service_session["straggler"]
+    earlier = max(r.finished_at for r in service_session["records"])
+    assert straggler.submitted_at >= earlier - 1e-6
+
+
+def test_service_prometheus_text_renders_the_real_snapshot(service_session):
+    text = service_prometheus_text(service_session["final_snapshot"])
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line:
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    assert samples["repro_service_up"] == 1.0
+    assert samples["repro_service_draining"] == 1.0
+    assert samples["repro_service_completed_total"] == 6.0
+    assert samples['repro_service_tenant_completed_total{tenant="gold"}'] \
+        == 4.0
+    assert 'repro_service_latency_seconds{quantile="0.99"}' in samples
+    assert service_prometheus_text(None).startswith(
+        "# HELP repro_service_up")
+
+
+def test_render_service_top_fleet_view(service_session):
+    lines = render_top(service_session["final_snapshot"], width=100)
+    assert lines == render_service_top(service_session["final_snapshot"],
+                                       width=100)
+    assert "DRAINING" in lines[0]
+    assert any(line.startswith("TENANT") for line in lines)
+    assert any(line.startswith("gold") for line in lines)
+    assert any(line.startswith("QUERY") for line in lines)
+    assert all(len(line) <= 100 for line in lines)
+
+
+# --------------------------------------------------------------------------
+# Construction-time guards
+# --------------------------------------------------------------------------
+
+def test_strict_tenants_refuses_walk_ins():
+    async def scenario():
+        service = QueryService(tenants=[TenantSpec("known")],
+                               strict_tenants=True)
+        await service.start()
+        try:
+            with pytest.raises(QuotaExceeded):
+                service.submit(SubmissionRequest(tenant="nobody", **FAST))
+            assert service.rejected == 1
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_submission_larger_than_the_pool_is_refused_up_front():
+    async def scenario():
+        service = QueryService(global_memory_bytes=1 << 20)
+        await service.start()
+        try:
+            with pytest.raises(ConfigurationError):
+                service.submit(SubmissionRequest(
+                    tenant="big", memory_bytes=2 << 20))
+            assert service.rejected == 1
+        finally:
+            await service.stop()
+
+    asyncio.run(scenario())
+
+
+def test_submit_before_start_is_an_error():
+    from repro.common.errors import SimulationError
+
+    service = QueryService()
+    with pytest.raises(SimulationError):
+        service.submit(SubmissionRequest(**FAST))
+
+
+def test_bad_admission_policy_is_rejected():
+    with pytest.raises(ConfigurationError):
+        QueryService(global_memory_bytes=1 << 20, admission="bogus")

@@ -1,0 +1,268 @@
+"""The daemon's HTTP front door and the graceful SIGTERM drain.
+
+Two layers:
+
+* an in-process :class:`~repro.service.http.ServiceServer` exercised
+  over real sockets — submit (202/400/429/503), healthz, metrics,
+  submissions, the SSE stream;
+* a subprocess ``repro serve`` sent a real SIGTERM mid-flight — the
+  acceptance shape for graceful drain: in-flight submissions finish,
+  new ones get 503, the flight recorder and span log land on disk, and
+  the daemon exits 0.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resources import TenantSpec
+from repro.service import QueryService, ServiceServer, SubmissionRequest
+
+FAST = dict(scale=0.0005, wait_us=20.0, memory_bytes=1 << 20)
+
+
+def _request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        conn.request(method, path, payload,
+                     {"Content-Type": "application/json"}
+                     if payload else {})
+        response = conn.getresponse()
+        raw = response.read().decode("utf-8")
+        try:
+            return response.status, json.loads(raw)
+        except json.JSONDecodeError:
+            return response.status, raw
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def http_session():
+    """One served service session; every HTTP interaction collected."""
+    out = {}
+
+    async def scenario():
+        service = QueryService(
+            seed=3, global_memory_bytes=4 << 20,
+            tenants=[TenantSpec("vip", priority=1.0),
+                     TenantSpec("capped", memory_limit_bytes=1024)],
+            publish_interval_s=0.05)
+        await service.start()
+        server = ServiceServer(service).start()
+        loop = asyncio.get_running_loop()
+
+        def client_side():
+            port = server.port
+            out["submit"] = _request(port, "POST", "/submit",
+                                     dict(FAST, tenant="vip"))
+            out["bad_json"] = _request(port, "POST", "/submit", "nonsense")
+            out["bad_field"] = _request(port, "POST", "/submit",
+                                        {"bogus": 1})
+            out["quota"] = _request(port, "POST", "/submit",
+                                    dict(FAST, tenant="capped"))
+            out["not_found"] = _request(port, "GET", "/submissions/s-999999")
+            out["unknown"] = _request(port, "GET", "/nope")
+            submission_id = out["submit"][1]["id"]
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                status, record = _request(port, "GET",
+                                          f"/submissions/{submission_id}")
+                assert status == 200
+                if record["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.05)
+            out["record"] = record
+            # Let a publish tick fold the completion into the snapshot.
+            time.sleep(0.15)
+            out["healthz"] = _request(port, "GET", "/healthz")
+            out["metrics"] = _request(port, "GET", "/metrics")
+            out["submissions"] = _request(port, "GET", "/submissions")
+            _request(port, "POST", "/drain")
+            out["post_drain_submit"] = _request(port, "POST", "/submit",
+                                                dict(FAST, tenant="vip"))
+
+        def read_stream():
+            # Runs concurrently with stop(): the end marker only arrives
+            # once the publisher closes during the service's shutdown.
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=10)
+            conn.request("GET", "/stream",
+                         headers={"Accept": "text/event-stream"})
+            response = conn.getresponse()
+            assert response.status == 200
+            frames, saw_end = [], False
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith("data:"):
+                    frames.append(json.loads(line.split(":", 1)[1]))
+                elif line.startswith("event:") and "end" in line:
+                    saw_end = True
+                    break
+            conn.close()
+            out["frames"], out["saw_end"] = frames, saw_end
+
+        stream_task = None
+        try:
+            await loop.run_in_executor(None, client_side)
+            stream_task = loop.run_in_executor(None, read_stream)
+            await service.wait_drained()
+            await service.stop()
+            await stream_task
+            stream_task = None
+        finally:
+            if stream_task is not None:
+                await service.stop()
+                await stream_task
+            server.stop()
+
+    asyncio.run(scenario())
+    return out
+
+
+def test_submit_is_accepted_with_an_id(http_session):
+    status, body = http_session["submit"]
+    assert status == 202
+    assert re.fullmatch(r"s-\d{6}", body["id"])
+    assert body["tenant"] == "vip"
+
+
+def test_submission_record_is_queryable_until_done(http_session):
+    record = http_session["record"]
+    assert record["state"] == "done", record
+    assert record["outcome"]["result_tuples"] > 0
+    assert record["latency_s"] > 0
+
+
+def test_malformed_bodies_get_400(http_session):
+    assert http_session["bad_json"][0] == 400
+    assert http_session["bad_field"][0] == 400
+    assert "unknown submission field" in http_session["bad_field"][1]["error"]
+
+
+def test_quota_exhaustion_gets_429_with_the_tenant(http_session):
+    status, body = http_session["quota"]
+    assert status == 429
+    assert body["tenant"] == "capped"
+
+
+def test_unknown_paths_and_ids_get_404(http_session):
+    assert http_session["not_found"][0] == 404
+    assert http_session["unknown"][0] == 404
+
+
+def test_healthz_and_metrics_reflect_the_session(http_session):
+    status, health = http_session["healthz"]
+    assert status == 200 and health["status"] == "ok"
+    assert health["snapshots"] >= 1
+    status, text = http_session["metrics"]
+    assert status == 200
+    assert "repro_service_up 1.0" in text
+    assert 'repro_service_tenant_completed_total{tenant="vip"} 1.0' in text
+
+
+def test_submissions_listing_has_the_finished_record(http_session):
+    status, listing = http_session["submissions"]
+    assert status == 200
+    submission_id = http_session["submit"][1]["id"]
+    assert submission_id in [r["id"] for r in listing["recent"]]
+
+
+def test_submit_during_drain_gets_503(http_session):
+    status, body = http_session["post_drain_submit"]
+    assert status == 503
+    assert "draining" in body["error"]
+
+
+def test_stream_delivers_service_frames_then_ends(http_session):
+    assert http_session["frames"], "SSE stream delivered no frames"
+    frame = http_session["frames"][0]
+    assert frame["kind"] == "service"
+    assert {"version", "latency", "tenants", "pool"} <= set(frame)
+    assert http_session["saw_end"], "stream never sent the end marker"
+
+
+# --------------------------------------------------------------------------
+# Graceful SIGTERM drain, end to end (a real `repro serve` subprocess)
+# --------------------------------------------------------------------------
+
+@pytest.mark.skipif(os.name == "nt", reason="POSIX signals")
+def test_sigterm_drains_in_flight_work_and_flushes_recorders(tmp_path):
+    flight = tmp_path / "flight.json"
+    spans = tmp_path / "spans.json"
+    repo = Path(__file__).resolve().parents[1]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--global-memory", "64M", "--tenant", "gold:2",
+         "--publish-interval", "0.1",
+         "--flight-dump", str(flight), "--span-dump", str(spans)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=repo)
+    try:
+        url = None
+        for line in daemon.stdout:
+            match = re.search(r"serving on http://\S+:(\d+)", line)
+            if match:
+                url, port = match.group(0), int(match.group(1))
+                break
+        assert url is not None, "daemon never printed its address"
+
+        # One slow-ish submission that will still be in flight at SIGTERM.
+        status, body = _request(port, "POST", "/submit", {
+            "tenant": "gold", "scale": 0.002, "wait_us": 2000.0,
+            "memory_bytes": 1 << 20})
+        assert status == 202, body
+
+        daemon.send_signal(signal.SIGTERM)
+        # The daemon keeps serving while draining: the in-flight query
+        # finishes, but new submissions are refused with 503.  Wait for
+        # the signal handler to land before probing.
+        deadline = time.monotonic() + 10.0
+        draining = False
+        while time.monotonic() < deadline and not draining:
+            try:
+                status, health = _request(port, "GET", "/healthz")
+                draining = status == 200 and health["draining"]
+            except OSError:
+                pass
+            if not draining:
+                time.sleep(0.05)
+        assert draining, "daemon never reported draining after SIGTERM"
+        refused = _request(port, "POST", "/submit",
+                           dict(FAST, tenant="gold"))
+        assert refused[0] == 503, refused
+
+        stdout, _ = daemon.communicate(timeout=60.0)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.communicate()
+
+    assert daemon.returncode == 0, stdout
+    assert "SIGTERM: draining" in stdout
+    summary = re.search(r"drained: (\d+) completed, (\d+) failed, "
+                        r"(\d+) rejected", stdout)
+    assert summary is not None, stdout
+    completed, failed, rejected = map(int, summary.groups())
+    assert completed == 1, stdout     # the in-flight query finished
+    assert failed == 0, stdout
+    assert rejected >= 1, stdout      # the 503'd submission
+
+    dump = json.loads(flight.read_text())
+    assert dump["reason"] == "drain"
+    assert dump["snapshot"]["draining"] is True
+    span_export = json.loads(spans.read_text())
+    assert span_export["spans"], "span log flushed empty"
