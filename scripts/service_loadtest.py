@@ -47,6 +47,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--admission", default="priority",
                         choices=["fifo", "priority", "none"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--archive-dir", metavar="DIR", default=None,
+                        help="write the durable telemetry archive under DIR "
+                             "during the run (measures the archive's cost "
+                             "under load; query it with `repro history`)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full JSON report to PATH")
     args = parser.parse_args(argv[1:])
@@ -64,7 +68,7 @@ def main(argv: list[str]) -> int:
             scale=args.scale, wait_us=args.wait_us, jitter=args.jitter,
             strategy=args.strategy, concurrency=args.concurrency,
             seed=args.seed, admission=args.admission,
-            on_progress=progress))
+            archive_dir=args.archive_dir, on_progress=progress))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -83,6 +87,11 @@ def main(argv: list[str]) -> int:
         print(f"  {tenant['name']:<10} done {tenant['completed']:>6}  "
               f"wait {1e3 * tenant['mean_wait_s']:>7.1f}ms  "
               f"latency {1e3 * tenant['mean_latency_s']:>7.1f}ms")
+    archive = report.get("archive")
+    if archive is not None:
+        print(f"archive   {archive['records_written']} records written  "
+              f"{archive['segments_sealed']} sealed  "
+              f"{archive['dropped_total']} dropped")
     if args.json is not None:
         Path(args.json).write_text(
             json.dumps(report, indent=2, sort_keys=True) + "\n")

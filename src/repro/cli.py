@@ -270,6 +270,69 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--span-dump", metavar="PATH", default=None,
                        help="record the machine-wide causal span tree and "
                             "write it to PATH at drain")
+    serve.add_argument("--archive-dir", metavar="DIR", default=None,
+                       help="write the durable telemetry archive (segmented "
+                            "JSONL: outcomes, snapshots, decisions, span "
+                            "summaries, SLO alerts) under DIR; query it "
+                            "offline with `repro history`")
+    serve.add_argument("--archive-segment", default="4M", metavar="SIZE",
+                       help="rotate archive segments at this size "
+                            "(default 4M; suffixes K/M/G)")
+    serve.add_argument("--archive-retention", default="256M", metavar="SIZE",
+                       help="delete the oldest sealed segments once the "
+                            "archive exceeds this many bytes (default 256M)")
+    serve.add_argument("--archive-retention-age", type=float,
+                       default=7 * 24 * 3600.0, metavar="SECONDS",
+                       help="delete sealed segments older than this "
+                            "(default 7 days)")
+    serve.add_argument("--slo", action="append", dest="slos", default=None,
+                       metavar="TENANT:METRIC<=SECONDS@PERCENT%",
+                       help="declare a per-tenant latency objective, "
+                            "repeatable (e.g. gold:p99<=30s@99.5%%; tenant "
+                            "'*' covers all traffic). Burn-rate alerts "
+                            "surface on /slo, the SSE stream and the "
+                            "archive")
+    serve.add_argument("--slo-fast-window", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="fast burn-rate window (default 300s @ burn "
+                            "14.4)")
+    serve.add_argument("--slo-slow-window", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="slow burn-rate window (default 3600s @ burn "
+                            "6.0)")
+
+    history = sub.add_parser(
+        "history", help="query a service telemetry archive offline "
+                        "(written by `repro serve --archive-dir`)")
+    history.add_argument("archive_dir", metavar="DIR",
+                         help="the archive directory to read")
+    history.add_argument("--since", type=float, default=None,
+                         metavar="EPOCH",
+                         help="ignore records before this epoch time "
+                              "(values <= 0 are relative to now: "
+                              "--since -3600 = the last hour)")
+    history.add_argument("--until", type=float, default=None,
+                         metavar="EPOCH",
+                         help="ignore records after this epoch time "
+                              "(<= 0 relative to now)")
+    history.add_argument("--tenant", default=None,
+                         help="only this tenant's outcomes")
+    history.add_argument("--slo", action="append", dest="slos", default=None,
+                         metavar="SPEC",
+                         help="objectives for --slo-report (same grammar "
+                              "as `repro serve --slo`)")
+    history.add_argument("--slo-report", action="store_true",
+                         help="print per-objective compliance over the "
+                              "selected range (needs --slo)")
+    history.add_argument("--alerts", action="store_true",
+                         help="also list archived SLO alert transitions")
+    history.add_argument("--diff", nargs=2, metavar=("WINDOW_A", "WINDOW_B"),
+                         default=None,
+                         help="compare two time windows START..END "
+                              "(epoch or <=0-relative seconds, e.g. "
+                              "--diff -7200..-3600 -3600..0)")
+    history.add_argument("--json", action="store_true",
+                         help="print the report as JSON instead of text")
 
     submit = sub.add_parser(
         "submit", help="POST query submissions to a serving daemon")
@@ -462,6 +525,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "anatomy": _cmd_anatomy,
         "live": _cmd_live,
         "serve": _cmd_serve,
+        "history": _cmd_history,
         "submit": _cmd_submit,
         "watch": _cmd_watch,
         "top": _cmd_top,
@@ -905,7 +969,11 @@ def _cmd_top(args: argparse.Namespace) -> int:
             print("\n".join(render_top(snapshot)))
             return 0
         if args.once:
-            snapshot = next(iter(stream_snapshots(args.connect)), None)
+            # Alert frames can interleave with snapshots; --once wants
+            # the first renderable snapshot, not an alert.
+            snapshot = next(
+                (frame for frame in stream_snapshots(args.connect)
+                 if frame.get("kind") != "alert"), None)
             print("\n".join(render_top(snapshot)))
             return 0
         return run_top(args.connect, interval=args.interval)
@@ -921,17 +989,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.common.errors import ConfigurationError
     from repro.resources import TenantSpec
     from repro.service import QueryService, ServiceServer
+    from repro.service.slo import parse_slo_specs
 
     try:
         tenants = [TenantSpec.parse(text) for text in (args.tenants or [])]
         pool = (_parse_size(args.global_memory, "--global-memory")
                 if args.global_memory is not None else None)
+        archive_options = None
+        if args.archive_dir is not None:
+            segment = _parse_size(args.archive_segment, "--archive-segment")
+            retention = _parse_size(args.archive_retention,
+                                    "--archive-retention")
+            if segment is None or retention is None:
+                raise SystemExit("--archive-segment/--archive-retention "
+                                 "must be finite sizes")
+            archive_options = {
+                "max_segment_bytes": segment,
+                "retention_bytes": retention,
+                "retention_age_s": args.archive_retention_age,
+            }
+        slos = parse_slo_specs(args.slos) if args.slos else None
+        slo_options = {"fast_window_s": args.slo_fast_window,
+                       "slow_window_s": args.slo_slow_window}
         service = QueryService(
             seed=args.seed, global_memory_bytes=pool,
             admission=args.admission, tenants=tenants,
             strict_tenants=args.strict_tenants,
             publish_interval_s=args.publish_interval,
-            flight_dump=args.flight_dump, span_dump=args.span_dump)
+            flight_dump=args.flight_dump, span_dump=args.span_dump,
+            archive_dir=args.archive_dir, archive_options=archive_options,
+            slos=slos, slo_options=slo_options if slos else None)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
 
@@ -950,7 +1037,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(sig, _on_signal, sig.name)
         print(f"serving on {server.url}", flush=True)
         print(f"  endpoints: POST /submit /drain | GET /metrics /healthz "
-              f"/stream /submissions", flush=True)
+              f"/slo /stream /submissions", flush=True)
+        if service.archive is not None:
+            print(f"  archiving telemetry under "
+                  f"{service.archive.directory} "
+                  f"(query with `repro history`)", flush=True)
         try:
             await service.wait_drained()
         finally:
@@ -1069,11 +1160,23 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     import json as json_mod
 
     from repro.common.errors import ConfigurationError
-    from repro.observability.top import stream_snapshots
+    from repro.observability.top import stream_snapshots_reconnect
+
+    def _notice(delay: float, attempt: int) -> None:
+        print(f"stream dropped; reconnecting in {delay:.1f}s "
+              f"(attempt {attempt})", file=sys.stderr, flush=True)
 
     frames = 0
     try:
-        for snapshot in stream_snapshots(args.connect):
+        for snapshot in stream_snapshots_reconnect(args.connect,
+                                                   on_reconnect=_notice):
+            if snapshot.get("kind") == "alert":
+                # Alerts go to stderr so `watch | jq` pipelines over the
+                # snapshot stream stay clean; the JSON line still has
+                # everything (objective, window, burn rate, state).
+                print(f"ALERT {json_mod.dumps(snapshot, sort_keys=True)}",
+                      file=sys.stderr, flush=True)
+                continue
             print(json_mod.dumps(snapshot, sort_keys=True), flush=True)
             frames += 1
             if args.frames and frames >= args.frames:
@@ -1084,6 +1187,108 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.common.errors import ConfigurationError
+    from repro.service.history import (
+        diff_windows,
+        load_alerts,
+        load_outcomes,
+        resolve_time,
+        slo_report,
+        summarize_outcomes,
+    )
+    from repro.service.slo import parse_slo_specs
+
+    try:
+        if args.diff is not None:
+            diff = diff_windows(args.archive_dir, args.diff[0],
+                                args.diff[1], tenant=args.tenant)
+            if args.json:
+                print(json_mod.dumps(diff, indent=2, sort_keys=True))
+            else:
+                _print_history_diff(diff)
+            return 0
+
+        since = resolve_time(args.since)
+        until = resolve_time(args.until)
+        records, reader = load_outcomes(args.archive_dir, since=since,
+                                        until=until, tenant=args.tenant)
+        if reader.skipped_lines or reader.skipped_segments:
+            print(f"warning: skipped {reader.skipped_lines} corrupt "
+                  f"line(s) and {reader.skipped_segments} unreadable "
+                  f"segment(s)", file=sys.stderr)
+        summary = summarize_outcomes(records)
+        report: "dict[str, Any]" = {
+            "archive": args.archive_dir,
+            "segments_read": reader.segments_read,
+            "skipped_lines": reader.skipped_lines,
+            "skipped_segments": reader.skipped_segments,
+            "summary": summary,
+        }
+        if args.slo_report:
+            if not args.slos:
+                print("error: --slo-report needs at least one --slo "
+                      "objective", file=sys.stderr)
+                return 2
+            report["slo"] = slo_report(records, parse_slo_specs(args.slos))
+        if args.alerts:
+            report["alerts"] = load_alerts(args.archive_dir, since=since,
+                                           until=until)
+        if args.json:
+            print(json_mod.dumps(report, indent=2, sort_keys=True))
+        else:
+            _print_history_text(report)
+        return 0
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _print_history_text(report: "dict[str, Any]") -> None:
+    summary = report["summary"]
+    latency = summary["latency"]
+    print(f"archive {report['archive']}: {summary['outcomes']} outcomes "
+          f"({summary['completed']} ok, {summary['failed']} failed) "
+          f"over {summary['span_s']:.1f}s "
+          f"[{report['segments_read']} segment(s)]")
+    print(f"  latency p50={latency['p50_s'] * 1e3:.1f}ms "
+          f"p95={latency['p95_s'] * 1e3:.1f}ms "
+          f"p99={latency['p99_s'] * 1e3:.1f}ms "
+          f"max={latency['max_s'] * 1e3:.1f}ms  "
+          f"throughput={summary['throughput_qps']:.1f} q/s")
+    for name, tenant in summary["tenants"].items():
+        print(f"  tenant {name:<12} {tenant['completed']:>6} done  "
+              f"p50={tenant['p50_s'] * 1e3:.1f}ms "
+              f"p99={tenant['p99_s'] * 1e3:.1f}ms")
+    for objective in report.get("slo", []):
+        status = "MET" if objective["met"] else "MISSED"
+        print(f"  slo {objective['objective']:<28} {status}  "
+              f"compliance={objective['compliance'] * 100:.3f}% "
+              f"({objective['bad']}/{objective['events']} bad, "
+              f"budget spent {objective['budget_spent'] * 100:.0f}%)")
+    for alert in report.get("alerts", []):
+        print(f"  alert t={alert['t']:.3f} {alert['state']:<9} "
+              f"{alert['objective']} [{alert['window']}] "
+              f"burn={alert['burn_rate']:.1f}")
+
+
+def _print_history_diff(report: "dict[str, Any]") -> None:
+    for label in ("window_a", "window_b"):
+        window = report[label]
+        summary = window["summary"]
+        print(f"{label}: [{window['since']:.3f} .. {window['until']:.3f}] "
+              f"{summary['outcomes']} outcomes, "
+              f"{summary['throughput_qps']:.1f} q/s")
+    print(f"{'METRIC':<16} {'A':>12} {'B':>12} {'DELTA':>12} {'RATIO':>8}")
+    for metric, delta in report["deltas"].items():
+        ratio = (f"{delta['ratio']:.3f}" if delta["ratio"] is not None
+                 else "-")
+        print(f"{metric:<16} {delta['a']:>12.4f} {delta['b']:>12.4f} "
+              f"{delta['delta']:>+12.4f} {ratio:>8}")
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:

@@ -172,6 +172,25 @@ class MetricsPublisher:
             self._cond.notify_all()
             return self._seq
 
+    def publish_event(self, frame: Dict[str, Any]) -> int:
+        """Fan an out-of-band frame (e.g. an SLO alert) to subscribers.
+
+        Unlike :meth:`publish` the frame does **not** replace the
+        latest snapshot — ``/metrics`` scrapes and late subscribers
+        must keep seeing a ``kind: service`` frame, not an alert.
+        """
+        with self._cond:
+            self._seq += 1
+            frame = dict(frame, seq=self._seq)
+            for subscription in self._subscriptions:
+                if len(subscription._frames) >= subscription.capacity:
+                    subscription._frames.popleft()
+                    subscription.dropped += 1
+                    self.dropped_total += 1
+                subscription._frames.append((frame, self._seq))
+            self._cond.notify_all()
+            return self._seq
+
     def subscribe(self, capacity: int = DEFAULT_SUBSCRIPTION_CAPACITY
                   ) -> SnapshotSubscription:
         """Register a bounded per-client frame queue.

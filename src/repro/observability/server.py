@@ -30,10 +30,16 @@ from repro.observability.live import MetricsPublisher, live_prometheus_text
 _STREAM_POLL_S = 0.25
 
 
-def write_sse_event(wfile: BinaryIO, snapshot: Any, seq: int) -> None:
-    """Write one Server-Sent-Events frame (``id`` + JSON ``data``)."""
+def write_sse_event(wfile: BinaryIO, snapshot: Any, seq: int,
+                    event: Optional[str] = None) -> None:
+    """Write one Server-Sent-Events frame (``id`` + JSON ``data``).
+
+    ``event`` names the frame (``event: alert``); unnamed frames are the
+    default ``message`` events every existing client already consumes.
+    """
     payload = json.dumps(snapshot, sort_keys=True)
-    wfile.write(f"id: {seq}\ndata: {payload}\n\n".encode("utf-8"))
+    name = f"event: {event}\n" if event else ""
+    wfile.write(f"{name}id: {seq}\ndata: {payload}\n\n".encode("utf-8"))
     wfile.flush()
 
 
@@ -53,7 +59,13 @@ def stream_publisher(wfile: BinaryIO, publisher: MetricsPublisher,
         while not stopping.is_set():
             snapshot, seq = subscription.pop(poll_s)
             if snapshot is not None:
-                write_sse_event(wfile, snapshot, seq)
+                # Alert frames (publish_event) travel as named SSE
+                # events so EventSource-style clients can listen
+                # separately; snapshots stay default `message` events.
+                kind = (snapshot.get("kind")
+                        if isinstance(snapshot, dict) else None)
+                write_sse_event(wfile, snapshot, seq,
+                                event="alert" if kind == "alert" else None)
             elif subscription.finished:
                 break
         wfile.write(b"event: end\ndata: {}\n\n")

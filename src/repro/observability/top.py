@@ -25,9 +25,16 @@ from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
+
+#: reconnect backoff: first retry delay, cap, and consecutive-failure
+#: budget before `repro watch` / `repro top` give up for real.
+RECONNECT_BACKOFF_S = 0.5
+RECONNECT_MAX_BACKOFF_S = 8.0
+RECONNECT_MAX_FAILURES = 6
 
 #: glyphs for the memory bar; ASCII so any terminal renders it.
 _BAR_FILL = "#"
@@ -145,14 +152,16 @@ def render_service_top(snapshot: Dict[str, Any],
     lines.append("")
 
     lines.append(f"{'TENANT':<14} {'PRI':>5} {'FLIGHT':>7} {'DONE':>8} "
-                 f"{'FAIL':>5} {'REJ':>5} {'WAIT':>9} {'LATENCY':>9}"[:width])
+                 f"{'FAIL':>5} {'REJ':>5} {'WAIT':>9} {'LATENCY':>9} "
+                 f"{'SLO':>7}"[:width])
     for tenant in snapshot["tenants"]:
         lines.append(
             f"{tenant['name']:<14.14} {tenant['priority']:>5.1f} "
             f"{tenant['in_flight']:>7} {_fmt_count(tenant['completed']):>8} "
             f"{tenant['failed']:>5} {tenant['rejected']:>5} "
             f"{tenant['mean_wait_s'] * 1e3:>7.1f}ms "
-            f"{tenant['mean_latency_s'] * 1e3:>7.1f}ms"[:width])
+            f"{tenant['mean_latency_s'] * 1e3:>7.1f}ms "
+            f"{_tenant_slo_status(snapshot, tenant['name']):>7}"[:width])
     lines.append("")
 
     lines.append(f"{'QUERY':<12} {'TENANT':<12} {'STRAT':<7} "
@@ -165,6 +174,22 @@ def render_service_top(snapshot: Dict[str, Any],
             f"{record['admission_wait'] * 1e3:>7.1f}ms "
             f"{record['latency_s'] * 1e3:>7.1f}ms"[:width])
     return lines
+
+
+def _tenant_slo_status(snapshot: Dict[str, Any], name: str) -> str:
+    """The SLO column cell: FIRING, worst compliance %, or ``-``.
+
+    Objectives declared for ``*`` cover every tenant; a tenant with no
+    covering objective shows ``-``.
+    """
+    objectives = [o for o in (snapshot.get("slo") or [])
+                  if o.get("tenant") in (name, "*")]
+    if not objectives:
+        return "-"
+    if any(o.get("alerting") for o in objectives):
+        return "FIRING"
+    worst = min(float(o.get("compliance", 1.0)) for o in objectives)
+    return f"{worst * 100:.2f}%"
 
 
 def _parse_endpoint(endpoint: str) -> Tuple[str, int]:
@@ -180,13 +205,31 @@ def _parse_endpoint(endpoint: str) -> Tuple[str, int]:
     return (host or "127.0.0.1", int(port))
 
 
-def stream_snapshots(endpoint: str,
-                     timeout: float = 10.0) -> Iterator[Dict[str, Any]]:
+class StreamStatus:
+    """Out-of-band status of one :func:`stream_snapshots` pass.
+
+    A server that finishes sends ``event: end`` before closing; a server
+    that died (restart, SIGKILL) just drops the TCP stream.  The
+    generator return value can't distinguish the two, so callers that
+    want to reconnect pass a status object and check :attr:`ended`.
+    """
+
+    def __init__(self) -> None:
+        #: the server sent the explicit ``event: end`` marker.
+        self.ended = False
+        #: frames yielded during this connection.
+        self.frames = 0
+
+
+def stream_snapshots(endpoint: str, timeout: float = 10.0,
+                     status: Optional[StreamStatus] = None
+                     ) -> Iterator[Dict[str, Any]]:
     """Yield snapshot dicts from a live run's SSE ``/stream`` endpoint.
 
     Ends cleanly when the run finishes (the server sends ``event: end``
     and closes).  Raises :class:`ConfigurationError` when nothing is
-    listening at ``endpoint``.
+    listening at ``endpoint``.  SLO alert frames arrive interleaved with
+    snapshots (``kind: alert``); callers filter on ``kind``.
     """
     host, port = _parse_endpoint(endpoint)
     conn = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -201,7 +244,11 @@ def stream_snapshots(endpoint: str,
             line = raw.decode("utf-8", errors="replace").rstrip("\n\r")
             if line.startswith("event:") and line.split(":", 1)[1].strip() == "end":
                 ended = True
+                if status is not None:
+                    status.ended = True
             elif line.startswith("data:") and not ended:
+                if status is not None:
+                    status.frames += 1
                 yield json.loads(line.split(":", 1)[1].strip())
             elif ended and not line:
                 return
@@ -211,6 +258,54 @@ def stream_snapshots(endpoint: str,
             f"(is `repro live --serve` or `repro serve` running?)")
     finally:
         conn.close()
+
+
+def stream_snapshots_reconnect(
+        endpoint: str, timeout: float = 10.0,
+        backoff_s: float = RECONNECT_BACKOFF_S,
+        max_backoff_s: float = RECONNECT_MAX_BACKOFF_S,
+        max_failures: int = RECONNECT_MAX_FAILURES,
+        on_reconnect: Optional[Callable[[float, int], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        _stream: Callable[..., Iterator[Dict[str, Any]]] = stream_snapshots,
+        ) -> Iterator[Dict[str, Any]]:
+    """:func:`stream_snapshots` with capped-exponential-backoff reconnect.
+
+    A dropped connection (service restart, network blip) re-attaches
+    instead of killing the dashboard: the delay starts at ``backoff_s``
+    and doubles up to ``max_backoff_s``; any successfully received frame
+    resets it.  Only a server-sent ``event: end`` ends the stream
+    cleanly; ``max_failures`` *consecutive* dead connections re-raise
+    the last error.  ``on_reconnect(delay, attempt)`` is called before
+    each sleep (the CLI prints a notice there); ``sleep`` and
+    ``_stream`` are injectable so tests run without a clock or socket.
+    """
+    delay = backoff_s
+    failures = 0
+    while True:
+        status = StreamStatus()
+        error: Optional[ConfigurationError] = None
+        try:
+            for snapshot in _stream(endpoint, timeout, status):
+                if status.frames == 1:
+                    failures = 0
+                    delay = backoff_s
+                yield snapshot
+        except ConfigurationError as exc:
+            error = exc
+        if status.ended:
+            return
+        failures += 1
+        if failures > max_failures:
+            if error is not None:
+                raise error
+            raise ConfigurationError(
+                f"stream from {endpoint} dropped {failures} times in a "
+                f"row; giving up")
+        if on_reconnect is not None:
+            on_reconnect(delay, failures)
+        sleep(delay)
+        delay = min(delay * 2, max_backoff_s)
 
 
 def replay_snapshot(dump_path: str) -> Optional[Dict[str, Any]]:
@@ -229,10 +324,24 @@ def run_top(endpoint: str, interval: float = 0.5) -> int:
         curses.curs_set(0)
         screen.nodelay(True)
         screen.timeout(int(interval * 1000))
-        for snapshot in stream_snapshots(endpoint):
+        last_alert: Optional[Dict[str, Any]] = None
+        for snapshot in stream_snapshots_reconnect(endpoint):
+            if snapshot.get("kind") == "alert":
+                # Alerts arrive between snapshots; remember the newest
+                # and show it with the next redraw instead of tearing
+                # the layout apart mid-frame.
+                last_alert = snapshot
+                continue
             height, width = screen.getmaxyx()
             screen.erase()
-            for row, line in enumerate(render_top(snapshot, width - 1)):
+            lines = render_top(snapshot, width - 1)
+            if last_alert is not None:
+                lines.append(
+                    f"alert  {last_alert.get('state', '?')} "
+                    f"{last_alert.get('objective', '?')} "
+                    f"[{last_alert.get('window', '?')}] "
+                    f"burn={last_alert.get('burn_rate', 0.0):.1f}"[:width - 1])
+            for row, line in enumerate(lines):
                 if row >= height - 1:
                     break
                 screen.addstr(row, 0, line)

@@ -14,7 +14,10 @@ Four cases, each reported as wall-clock seconds plus a rate:
   populated run cache (``derived.warm_cache_fraction`` is warm/serial);
 * ``service_loadtest`` — the always-on service under sustained open-loop
   arrival (:func:`repro.service.loadtest.run_loadtest`):
-  ``derived.service_qps`` plus p50/p99 completion latency.
+  ``derived.service_qps`` plus p50/p99 completion latency;
+* ``service_loadtest_archive`` — the same service run with the durable
+  telemetry archive enabled; ``derived.service_archive_qps_ratio``
+  (archive-on / archive-off) measures the writer's hot-path cost.
 
 :func:`run_bench_suite` returns a JSON-ready dict with a stable schema
 (``schema_version`` guards consumers); :func:`write_bench_json` writes it
@@ -105,22 +108,33 @@ def _kernel_case(best_of: int, processes: int = 20,
             "events_per_sec": events / best_wall if best_wall else 0.0}
 
 
-def _service_case(submissions: int, rate: float,
-                  seed: int) -> dict[str, Any]:
-    """The always-on service under sustained arrival (wall-clock)."""
+def _service_case(submissions: int, rate: float, seed: int,
+                  archive_dir: "str | None" = None) -> dict[str, Any]:
+    """The always-on service under sustained arrival (wall-clock).
+
+    With ``archive_dir`` the run also writes the durable telemetry
+    archive — the same workload with and without it is the archive's
+    hot-path overhead measurement (acceptance: qps regresses <= 5%).
+    """
     import asyncio
 
     from repro.service.loadtest import run_loadtest
 
     report = asyncio.run(run_loadtest(submissions=submissions, rate=rate,
-                                      seed=seed))
-    return {"name": "service_loadtest", "wall_s": report["wall_s"],
+                                      seed=seed, archive_dir=archive_dir))
+    name = ("service_loadtest_archive" if archive_dir is not None
+            else "service_loadtest")
+    case = {"name": name, "wall_s": report["wall_s"],
             "submissions": report["submitted"],
             "completed": report["completed"],
             "admission_queued": report["admission"]["queued"],
             "service_qps": report["service_qps"],
             "service_p50_latency_s": report["latency"]["p50_s"],
             "service_p99_latency_s": report["latency"]["p99_s"]}
+    if report.get("archive") is not None:
+        case["archive_records"] = report["archive"]["records_written"]
+        case["archive_dropped"] = report["archive"]["dropped_total"]
+    return case
 
 
 def _sweep_specs(scale: float, retrieval_times: list[float],
@@ -184,6 +198,12 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
     service_case = _service_case(service_submissions, service_rate, seed)
     cases.append(service_case)
 
+    say("service_loadtest_archive")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-archive-") as tmp:
+        archive_case = _service_case(service_submissions, service_rate,
+                                     seed, archive_dir=tmp)
+    cases.append(archive_case)
+
     host = host_info()
     report = {
         "suite": SUITE,
@@ -210,6 +230,11 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
             "service_qps": service_case["service_qps"],
             "service_p50_latency_s": service_case["service_p50_latency_s"],
             "service_p99_latency_s": service_case["service_p99_latency_s"],
+            # Archive-on vs archive-off throughput on the same host and
+            # workload: ~1.0 when the writer stays off the hot path.
+            "service_archive_qps_ratio": (
+                archive_case["service_qps"] / service_case["service_qps"]
+                if service_case["service_qps"] else None),
         },
     }
     say("done")

@@ -15,7 +15,14 @@ telemetry), serving an unbounded stream of query submissions over HTTP:
   (:mod:`repro.service.stats`);
 * :func:`run_loadtest` — the sustained-arrival load harness behind
   ``scripts/service_loadtest.py`` and the ``service_loadtest`` bench
-  case (:mod:`repro.service.loadtest`).
+  case (:mod:`repro.service.loadtest`);
+* :class:`SLOSpec` / :class:`SLOTracker` — per-tenant latency
+  objectives with multi-window burn-rate alerting
+  (:mod:`repro.service.slo`);
+* :func:`load_outcomes` / :func:`summarize_outcomes` /
+  :func:`slo_report` / :func:`diff_windows` — offline queries over the
+  durable telemetry archive behind ``repro history``
+  (:mod:`repro.service.history`).
 """
 
 from repro.service.service import (
@@ -28,15 +35,31 @@ from repro.service.service import (
 from repro.service.http import ServiceServer
 from repro.service.stats import LatencyWindow, service_prometheus_text
 from repro.service.loadtest import run_loadtest
+from repro.service.slo import SLOSpec, SLOTracker, parse_slo_specs
+from repro.service.history import (
+    diff_windows,
+    load_alerts,
+    load_outcomes,
+    slo_report,
+    summarize_outcomes,
+)
 
 __all__ = [
     "SERVICE_SNAPSHOT_VERSION",
     "LatencyWindow",
     "QueryService",
+    "SLOSpec",
+    "SLOTracker",
     "ServiceDraining",
     "ServiceServer",
     "SubmissionRecord",
     "SubmissionRequest",
+    "diff_windows",
+    "load_alerts",
+    "load_outcomes",
+    "parse_slo_specs",
     "run_loadtest",
     "service_prometheus_text",
+    "slo_report",
+    "summarize_outcomes",
 ]

@@ -1,0 +1,210 @@
+"""Offline queries over the durable telemetry archive (``repro history``).
+
+The live service answers "what is happening now"; this module answers
+"what happened" from the on-disk archive alone — no running service
+required.  It loads ``outcome`` records (one per completed submission)
+through the corruption-tolerant :class:`~repro.observability.archive.
+ArchiveReader`, then recomputes latency percentiles, per-tenant
+breakdowns, SLO compliance (:func:`slo_report`) and window-vs-window
+regressions (:func:`diff_windows`) from the raw events — unlike the live
+``LatencyWindow`` ring these are exact over the whole selected range,
+not a bounded approximation.
+
+Time arguments follow the CLI convention: values ``> 0`` are epoch
+seconds, values ``<= 0`` are relative to *now* (``--since -3600`` means
+"the last hour").
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.observability.archive import (
+    ArchiveReader,
+    RECORD_ALERT,
+    RECORD_OUTCOME,
+)
+from repro.service.slo import SLOSpec
+from repro.service.stats import percentile
+
+
+def resolve_time(value: Optional[float],
+                 now: Optional[float] = None) -> Optional[float]:
+    """CLI time argument → epoch seconds (``<= 0`` is relative to now)."""
+    if value is None:
+        return None
+    if value > 0:
+        return value
+    base = time.time() if now is None else now
+    return base + value
+
+
+def load_outcomes(directory: str, *, since: Optional[float] = None,
+                  until: Optional[float] = None,
+                  tenant: Optional[str] = None
+                  ) -> Tuple[List[Dict[str, Any]], ArchiveReader]:
+    """Outcome records in ``[since, until]``, oldest first, plus reader.
+
+    The reader carries the corruption counters (``skipped_lines``,
+    ``skipped_segments``) callers surface as warnings.
+    """
+    reader = ArchiveReader(directory, kinds=(RECORD_OUTCOME,),
+                           since=since, until=until, tenant=tenant)
+    records = sorted(reader, key=lambda record: record.get("t", 0.0))
+    return records, reader
+
+
+def load_alerts(directory: str, *, since: Optional[float] = None,
+                until: Optional[float] = None
+                ) -> List[Dict[str, Any]]:
+    """SLO alert transition records in ``[since, until]``, oldest first."""
+    reader = ArchiveReader(directory, kinds=(RECORD_ALERT,),
+                           since=since, until=until)
+    return sorted(reader, key=lambda record: record.get("t", 0.0))
+
+
+def summarize_outcomes(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Exact latency/wait statistics recomputed from raw outcomes."""
+    finished = [record for record in records if record.get("ok", True)]
+    failed = len(records) - len(finished)
+    latencies = sorted(float(record.get("latency_s", 0.0))
+                       for record in finished)
+    waits = sorted(float(record.get("wait_s", 0.0)) for record in finished)
+    per_tenant: Dict[str, List[float]] = {}
+    for record in finished:
+        per_tenant.setdefault(str(record.get("tenant") or "-"), []).append(
+            float(record.get("latency_s", 0.0)))
+    tenants = {}
+    for name in sorted(per_tenant):
+        values = sorted(per_tenant[name])
+        tenants[name] = {
+            "completed": len(values),
+            "p50_s": percentile(values, 0.50),
+            "p99_s": percentile(values, 0.99),
+            "mean_s": sum(values) / len(values) if values else 0.0,
+        }
+    span = ((records[-1]["t"] - records[0]["t"])
+            if len(records) >= 2 else 0.0)
+    return {
+        "outcomes": len(records),
+        "completed": len(finished),
+        "failed": failed,
+        "span_s": span,
+        "throughput_qps": (len(finished) / span if span > 0 else 0.0),
+        "latency": {
+            "p50_s": percentile(latencies, 0.50),
+            "p95_s": percentile(latencies, 0.95),
+            "p99_s": percentile(latencies, 0.99),
+            "mean_s": (sum(latencies) / len(latencies)
+                       if latencies else 0.0),
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+        "admission_wait": {
+            "mean_s": sum(waits) / len(waits) if waits else 0.0,
+            "p99_s": percentile(waits, 0.99),
+            "max_s": waits[-1] if waits else 0.0,
+        },
+        "tenants": tenants,
+    }
+
+
+def slo_report(records: Sequence[Dict[str, Any]],
+               specs: Sequence[SLOSpec]) -> List[Dict[str, Any]]:
+    """Offline compliance per objective over the selected outcomes."""
+    if not specs:
+        raise ConfigurationError(
+            "slo_report needs at least one objective (pass --slo)")
+    report = []
+    for spec in specs:
+        events = 0
+        bad = 0
+        for record in records:
+            if not record.get("ok", True):
+                continue
+            if not spec.matches(record.get("tenant")):
+                continue
+            events += 1
+            if not spec.good(float(record.get("latency_s", 0.0))):
+                bad += 1
+        compliance = 1.0 - bad / events if events else 1.0
+        report.append({
+            "objective": spec.name,
+            "tenant": spec.tenant,
+            "target": spec.target,
+            "events": events,
+            "bad": bad,
+            "compliance": compliance,
+            "met": compliance >= spec.target,
+            # Fraction of the error budget consumed over the range
+            # (1.0 = spent exactly; > 1.0 = objective missed).
+            "budget_spent": ((bad / events) / spec.error_budget
+                             if events else 0.0),
+        })
+    return report
+
+
+def parse_window(text: str, now: Optional[float] = None
+                 ) -> Tuple[float, float]:
+    """``START..END`` (epoch or <=0-relative seconds) → ``(since, until)``."""
+    parts = text.split("..")
+    if len(parts) != 2:
+        raise ConfigurationError(
+            f"bad window {text!r}; expected START..END epoch seconds "
+            f"(values <= 0 are relative to now, e.g. -7200..-3600)")
+    try:
+        raw_since, raw_until = float(parts[0]), float(parts[1])
+    except ValueError as exc:
+        raise ConfigurationError(f"bad window {text!r}: {exc}") from exc
+    base = time.time() if now is None else now
+    since = resolve_time(raw_since, base)
+    until = resolve_time(raw_until, base)
+    assert since is not None and until is not None
+    if since >= until:
+        raise ConfigurationError(
+            f"bad window {text!r}: start {since:.3f} is not before "
+            f"end {until:.3f}")
+    return since, until
+
+
+def diff_windows(directory: str, window_a: str, window_b: str, *,
+                 tenant: Optional[str] = None,
+                 now: Optional[float] = None) -> Dict[str, Any]:
+    """Compare two time windows of the archive (B relative to A).
+
+    The deltas answer the regression question directly: positive
+    ``p99_s`` delta means window B is slower than window A.
+    """
+    since_a, until_a = parse_window(window_a, now)
+    since_b, until_b = parse_window(window_b, now)
+    records_a, _ = load_outcomes(directory, since=since_a, until=until_a,
+                                 tenant=tenant)
+    records_b, _ = load_outcomes(directory, since=since_b, until=until_b,
+                                 tenant=tenant)
+    summary_a = summarize_outcomes(records_a)
+    summary_b = summarize_outcomes(records_b)
+    deltas = {}
+    for key in ("p50_s", "p95_s", "p99_s", "mean_s", "max_s"):
+        before = summary_a["latency"][key]
+        after = summary_b["latency"][key]
+        deltas[key] = {
+            "a": before,
+            "b": after,
+            "delta": after - before,
+            "ratio": (after / before) if before > 0 else None,
+        }
+    deltas["throughput_qps"] = {
+        "a": summary_a["throughput_qps"],
+        "b": summary_b["throughput_qps"],
+        "delta": summary_b["throughput_qps"] - summary_a["throughput_qps"],
+        "ratio": (summary_b["throughput_qps"] / summary_a["throughput_qps"]
+                  if summary_a["throughput_qps"] > 0 else None),
+    }
+    return {
+        "window_a": {"since": since_a, "until": until_a,
+                     "summary": summary_a},
+        "window_b": {"since": since_b, "until": until_b,
+                     "summary": summary_b},
+        "deltas": deltas,
+    }

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -84,6 +85,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._metrics()
         elif path == "/healthz":
             self._healthz()
+        elif path == "/slo":
+            self._slo()
         elif path == "/stream":
             self._stream()
         elif path == "/submissions":
@@ -92,8 +95,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._submission(path[len("/submissions/"):])
         else:
             self._send(404, "text/plain; charset=utf-8",
-                       b"unknown endpoint; try /healthz, /metrics, /stream,"
-                       b" /submissions\n")
+                       b"unknown endpoint; try /healthz, /metrics, /slo,"
+                       b" /stream, /submissions\n")
 
     def do_POST(self) -> None:
         path = self.path.split("?", 1)[0]
@@ -113,14 +116,40 @@ class _Handler(BaseHTTPRequestHandler):
     def _healthz(self) -> None:
         service = self.server.service
         snapshot, seq = service.publisher.latest()
+        # archive.health() stats the segment files — fine here on the
+        # HTTP thread, never on the kernel loop.
+        archive = (service.archive.health()
+                   if service.archive is not None else None)
         self._send_json(200, {
             "status": "draining" if service.draining else "ok",
             "serving": not service.draining,
             "draining": service.draining,
+            "state": "draining" if service.draining else "serving",
+            "uptime_s": (time.time() - service.started_wall
+                         if service.started_wall is not None else 0.0),
             "snapshots": seq,
             "now": snapshot["now"] if snapshot is not None else None,
             "active": snapshot["active"] if snapshot is not None else 0,
+            "alerts": service.alerts_total,
+            "archive": archive,
         })
+
+    def _slo(self) -> None:
+        """Current status of every declared objective (may be empty)."""
+        service = self.server.service
+        if service.slo is None:
+            self._send_json(200, {"objectives": [], "alerts": 0})
+            return
+        tracker = service.slo
+
+        def _status() -> Any:
+            return tracker.status(service.kernel.wall_now)
+
+        # Status reads the tracker's event rings, which mutate on the
+        # service loop — cross over for a tear-free view.
+        objectives = self.server.on_loop(_status)
+        self._send_json(200, {"objectives": objectives,
+                              "alerts": service.alerts_total})
 
     def _stream(self) -> None:
         self.send_response(200)

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.common.errors import ConfigurationError
 from repro.config import SimulationParameters
@@ -48,6 +49,7 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
                        tenants: Sequence[TenantSpec] = DEFAULT_TENANTS,
                        admission: str = "priority",
                        params: Optional[SimulationParameters] = None,
+                       archive_dir: Optional[Union[str, Path]] = None,
                        on_progress: Optional[Callable[[int, int], None]]
                        = None) -> Dict[str, Any]:
     """Run one sustained-arrival load test; returns the JSON-safe report.
@@ -72,7 +74,11 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
         latency_window=submissions,
         # History only feeds the HTTP view; keep it tiny so a 10k run
         # does not hold 10k finished records inside the service.
-        history=64)
+        history=64,
+        # Archiving (when enabled) measures the cost of the durable
+        # telemetry plane under load — the writer must stay off the
+        # kernel hot path for service_qps to hold.
+        archive_dir=archive_dir)
     await service.start()
 
     loop = asyncio.get_running_loop()
@@ -141,4 +147,6 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
             "max_wait_s": waits[-1] if waits else 0.0,
         },
         "tenants": service.tenants.snapshot(),
+        "archive": (service.archive.stats()
+                    if service.archive is not None else None),
     }

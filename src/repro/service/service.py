@@ -37,10 +37,21 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, Generator, List, Mapping, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 import numpy as np
 
@@ -57,6 +68,15 @@ from repro.observability import (
     DecisionAuditLog,
     MetricsPublisher,
 )
+from repro.observability.archive import (
+    RECORD_ALERT,
+    RECORD_DECISION,
+    RECORD_OUTCOME,
+    RECORD_SNAPSHOT,
+    RECORD_SPAN,
+    TelemetryArchive,
+)
+from repro.observability.audit import DecisionRecord
 from repro.observability.flight import ENTRY_DECISION, ENTRY_STALL, FlightRecorder
 from repro.resources import (
     ADMISSION_POLICIES,
@@ -66,10 +86,16 @@ from repro.resources import (
     TenantRegistry,
     TenantSpec,
 )
+from repro.service.slo import SLOSpec, SLOTracker
 from repro.service.stats import LatencyWindow
 
 #: service snapshot layout version (part of the SSE/JSON payload).
 SERVICE_SNAPSHOT_VERSION = 1
+
+#: seconds between full-snapshot records written to the archive (the
+#: per-second publish tick would bloat the log ~10x for no added
+#: insight; outcomes carry the per-submission record anyway).
+DEFAULT_SNAPSHOT_ARCHIVE_INTERVAL_S = 10.0
 
 #: machine audit-log ring size (decisions, across all submissions).
 DEFAULT_AUDIT_CAPACITY = 4096
@@ -280,7 +306,13 @@ class QueryService:
                  publish_interval_s: float = DEFAULT_PUBLISH_INTERVAL_S,
                  flight_dump: Optional[Union[str, Path]] = None,
                  flight_capacity: int = 2048,
-                 span_dump: Optional[Union[str, Path]] = None) -> None:
+                 span_dump: Optional[Union[str, Path]] = None,
+                 archive_dir: Optional[Union[str, Path]] = None,
+                 archive_options: Optional[Dict[str, Any]] = None,
+                 snapshot_archive_interval_s: float =
+                 DEFAULT_SNAPSHOT_ARCHIVE_INTERVAL_S,
+                 slos: Optional[Sequence[SLOSpec]] = None,
+                 slo_options: Optional[Dict[str, Any]] = None) -> None:
         from repro.core.runtime import World
 
         if admission not in ADMISSION_POLICIES + ("none",):
@@ -307,6 +339,10 @@ class QueryService:
         # audit log becomes a ring *before* anything hooks into it.
         self.machine.telemetry.audit = DecisionAuditLog(
             capacity=audit_capacity)
+        # The audit ring exposes ONE on_record callable; the flight
+        # recorder and the archive both want it, so they register as
+        # observers behind a single dispatcher.
+        self._audit_observers: List[Callable[[DecisionRecord], None]] = []
         self.recorder: Optional[FlightRecorder] = None
         if self.flight_dump is not None:
             self.recorder = self._attach_flight(flight_capacity)
@@ -314,6 +350,21 @@ class QueryService:
                 and self.machine.telemetry.spans is None:
             from repro.observability.spans import SpanRecorder
             self.machine.telemetry.spans = SpanRecorder(self.kernel)
+
+        self.archive: Optional[TelemetryArchive] = None
+        if archive_dir is not None:
+            self.archive = TelemetryArchive(archive_dir,
+                                            **(archive_options or {}))
+            self._audit_observers.append(self._archive_decision)
+        self.snapshot_archive_interval_s = snapshot_archive_interval_s
+        self._last_snapshot_archived = float("-inf")
+        self.slo: Optional[SLOTracker] = None
+        if slos:
+            self.slo = SLOTracker(slos, **(slo_options or {}))
+        #: SLO alert transitions seen (firing + resolved).
+        self.alerts_total = 0
+        if self._audit_observers:
+            self.machine.telemetry.audit.on_record = self._dispatch_audit
 
         self.governed = (global_memory_bytes is not None
                          and admission != "none")
@@ -348,6 +399,8 @@ class QueryService:
         self.draining = False
         self._started = False
         self._stopped = False
+        #: epoch time :meth:`start` ran (``/healthz`` uptime base).
+        self.started_wall: Optional[float] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[SimEvent] = None
         self._run_task: Optional["asyncio.Task[None]"] = None
@@ -358,19 +411,32 @@ class QueryService:
         recorder = FlightRecorder(capacity=capacity)
         telemetry = self.machine.telemetry
         telemetry.flight = recorder
-        telemetry.audit.on_record = lambda record: recorder.record(
-            ENTRY_DECISION, record.time, name=record.kind,
-            subject=record.subject)
+        self._audit_observers.append(
+            lambda record: recorder.record(
+                ENTRY_DECISION, record.time, name=record.kind,
+                subject=record.subject))
         telemetry.stalls.on_record = lambda interval: recorder.record(
             ENTRY_STALL, interval.ended, cause=interval.cause,
             duration=interval.duration)
         return recorder
+
+    def _dispatch_audit(self, record: DecisionRecord) -> None:
+        for observer in self._audit_observers:
+            observer(record)
+
+    def _archive_decision(self, record: DecisionRecord) -> None:
+        assert self.archive is not None
+        self.archive.append({
+            "kind": RECORD_DECISION, "t": time.time(), "at": record.time,
+            "name": record.kind, "subject": record.subject,
+        })
 
     async def start(self) -> None:
         """Bring the kernel up; returns once the service accepts work."""
         if self._started:
             raise SimulationError("QueryService started twice")
         self._started = True
+        self.started_wall = time.time()
         self._loop = asyncio.get_running_loop()
         self._shutdown = self.kernel.event(name="service-shutdown")
         self._run_task = asyncio.ensure_future(
@@ -382,9 +448,46 @@ class QueryService:
         try:
             while not self._stopped:
                 await asyncio.sleep(self.publish_interval_s)
+                self._evaluate_slo()
                 self.publisher.publish(self.snapshot())
+                self._archive_snapshot()
         except asyncio.CancelledError:
             pass
+
+    def _evaluate_slo(self) -> None:
+        """One burn-rate evaluation tick: archive + broadcast transitions."""
+        if self.slo is None:
+            return
+        now = self.kernel.wall_now
+        for transition in self.slo.evaluate(now):
+            self.alerts_total += 1
+            event = dict(transition)
+            event["kind"] = RECORD_ALERT
+            event["at"] = now
+            if self.archive is not None:
+                self.archive.append(dict(event, t=time.time()))
+            # publish_event reaches /stream subscribers as an `alert`
+            # SSE event without replacing the latest snapshot frame.
+            self.publisher.publish_event(
+                dict(event, version=SERVICE_SNAPSHOT_VERSION))
+
+    def _archive_snapshot(self, force: bool = False) -> None:
+        """Write a (throttled, slimmed) snapshot record to the archive."""
+        if self.archive is None:
+            return
+        now = self.kernel.wall_now
+        if not force and (now - self._last_snapshot_archived
+                          < self.snapshot_archive_interval_s):
+            return
+        self._last_snapshot_archived = now
+        snap = self.snapshot()
+        # Per-submission detail lives in outcome records; the snapshot
+        # record keeps the aggregates only.
+        snap.pop("queries", None)
+        snap.pop("recent", None)
+        snap["kind"] = RECORD_SNAPSHOT
+        snap["t"] = time.time()
+        self.archive.append(snap)
 
     def drain(self) -> None:
         """Stop admitting; the kernel shuts down once in-flight work ends."""
@@ -416,10 +519,14 @@ class QueryService:
                 await self._publish_task
             except asyncio.CancelledError:
                 pass
+        self._evaluate_slo()
         # Final frame first, so /stream clients see the drained state
         # before the `event: end` marker.
         self.publisher.publish(self.snapshot())
         self.publisher.close()
+        if self.archive is not None:
+            self._archive_snapshot(force=True)
+            self.archive.close()
         if self.recorder is not None and self.flight_dump is not None:
             self.recorder.latest_snapshot = self.snapshot()
             self.recorder.dump(self.flight_dump, reason="drain")
@@ -611,6 +718,11 @@ class QueryService:
             self.failed += 1
         latency = record.latency(now)
         self.latency.observe(latency, now)
+        if self.slo is not None:
+            self.slo.observe(record.request.tenant, latency, now)
+        if self.archive is not None:
+            self.archive.append(self._outcome_record(record, ok, latency))
+            self._archive_span_summary(record)
         if record.account is not None:
             self.tenants.finish(record.account, record.declared_max_bytes,
                                 ok=ok, waited_s=record.admission_wait,
@@ -621,6 +733,64 @@ class QueryService:
                 and self._shutdown is not None \
                 and not self._shutdown.triggered:
             self._shutdown.succeed()
+
+    def _outcome_record(self, record: SubmissionRecord, ok: bool,
+                        latency: float) -> Dict[str, Any]:
+        """The per-submission archive record (kind ``outcome``)."""
+        peak: Optional[int] = None
+        run = record.run
+        if run is not None:
+            lease = getattr(run.world, "memory", None)
+            peak = getattr(lease, "peak_bytes", None)
+        out: Dict[str, Any] = {
+            "kind": RECORD_OUTCOME,
+            # Epoch time, not the service clock: history spans restarts.
+            "t": time.time(),
+            "at": record.finished_at,
+            "id": record.id,
+            "tenant": record.request.tenant,
+            "strategy": record.request.strategy,
+            "priority": self.tenants.priority_for(
+                record.request.tenant, record.request.priority),
+            "ok": ok,
+            "latency_s": latency,
+            "wait_s": record.admission_wait,
+            "memory_peak_bytes": peak,
+        }
+        if record.error is not None:
+            out["error"] = record.error
+        if record.outcome is not None:
+            out["response_time"] = record.outcome["response_time"]
+            out["result_tuples"] = record.outcome["result_tuples"]
+            out["stall_time"] = record.outcome["stall_time"]
+        return out
+
+    def _archive_span_summary(self, record: SubmissionRecord) -> None:
+        """Archive the submission's span subtree as one summary record."""
+        spans = self.machine.telemetry.spans
+        run = record.run
+        if spans is None or run is None:
+            return
+        root = run.runtime.query_span
+        if root is None:
+            return
+        from repro.observability.explain import span_summary
+
+        # Spans are appended parent-before-child, so one forward pass
+        # collects the whole subtree of the query span.
+        ids = {root}
+        selected = []
+        for span in spans.spans:
+            if span.span_id == root or span.parent_id in ids:
+                ids.add(span.span_id)
+                selected.append(span)
+        assert self.archive is not None
+        self.archive.append({
+            "kind": RECORD_SPAN, "t": time.time(),
+            "at": record.finished_at, "id": record.id,
+            "tenant": record.request.tenant,
+            "summary": span_summary(selected),
+        })
 
     def _remember(self, record: SubmissionRecord) -> None:
         """Keep the newest N finished submissions queryable, prune the rest."""
@@ -670,6 +840,12 @@ class QueryService:
                 "active_leases": len(broker.leases),
             },
             "stalls": stalls,
+            "uptime_s": (time.time() - self.started_wall
+                         if self.started_wall is not None else 0.0),
+            "alerts": self.alerts_total,
+            "slo": (self.slo.status(now) if self.slo is not None else None),
+            "archive": (self.archive.stats()
+                        if self.archive is not None else None),
             "tenants": self.tenants.snapshot(),
             "queries": [record.to_dict(now) for record in active_records],
             "recent": [record.to_dict(now) for record in recent[:32]],

@@ -25,11 +25,17 @@ THROUGHPUT_HORIZON_S = 30.0
 
 
 def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted list (0.0 if empty)."""
-    if not sorted_values:
-        return 0.0
+    """Nearest-rank percentile of an already-sorted list (0.0 if empty).
+
+    The fraction is validated *before* the empty-list shortcut: a bad
+    fraction is a caller bug and must raise even when the window happens
+    to be empty, while an empty window with a valid fraction is the
+    normal quiet-service case and yields 0.0.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"percentile fraction out of range: {fraction}")
+    if not sorted_values:
+        return 0.0
     rank = max(1, int(round(fraction * len(sorted_values) + 0.5)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
@@ -159,6 +165,36 @@ def service_prometheus_text(snapshot: Optional[Dict[str, Any]]) -> str:
          "Machine idle time by attributed cause.",
          [(f'{{cause="{_esc(cause)}"}}', seconds)
           for cause, seconds in sorted(snapshot["stalls"].items())])
+
+    slo = snapshot.get("slo")
+    if slo:
+        emit("repro_service_slo_compliance", "gauge",
+             "Fraction of events meeting each objective since start.",
+             [(f'{{objective="{_esc(o["objective"])}"}}', o["compliance"])
+              for o in slo])
+        emit("repro_service_slo_alerting", "gauge",
+             "1 while any burn-rate window of the objective is firing.",
+             [(f'{{objective="{_esc(o["objective"])}"}}',
+               1.0 if o["alerting"] else 0.0) for o in slo])
+        emit("repro_service_slo_burn_rate", "gauge",
+             "Error-budget burn rate per objective and window.",
+             [(f'{{objective="{_esc(o["objective"])}",window="{label}"}}',
+               window["burn_rate"])
+              for o in slo for label, window in sorted(o["windows"].items())])
+    archive = snapshot.get("archive")
+    if archive is not None:
+        emit("repro_service_archive_records_total", "counter",
+             "Telemetry records written to the archive.",
+             [("", archive["records_written"])])
+        emit("repro_service_archive_dropped_total", "counter",
+             "Records shed because the archive queue was full.",
+             [("", archive["dropped_total"])])
+        emit("repro_service_archive_queue_depth", "gauge",
+             "Records waiting for the archive writer thread.",
+             [("", archive["queued"])])
+        emit("repro_service_archive_segments_sealed_total", "counter",
+             "Segments rotated and gzip-sealed so far.",
+             [("", archive["segments_sealed"])])
 
     tenants = snapshot["tenants"]
     for field, kind, help_text in (

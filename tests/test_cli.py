@@ -210,8 +210,10 @@ def test_cmd_bench_writes_report(capsys, tmp_path):
     names = [case["name"] for case in report["cases"]]
     assert names == ["dqp_batch_loop", "kernel_dispatch",
                      "fig6_sweep_jobs1", "fig6_sweep_jobsN",
-                     "fig6_sweep_warm_cache", "service_loadtest"]
+                     "fig6_sweep_warm_cache", "service_loadtest",
+                     "service_loadtest_archive"]
     assert report["derived"]["service_qps"] > 0
+    assert report["derived"]["service_archive_qps_ratio"] > 0
     assert report["derived"]["service_p99_latency_s"] >= \
         report["derived"]["service_p50_latency_s"] > 0
     speedup = report["derived"]["parallel_speedup"]
@@ -489,3 +491,48 @@ def test_cmd_run_spans_out_rejects_dphj():
     with pytest.raises(SystemExit, match="DQP engine"):
         main(["run", "--scale", "0.02", "--strategy", "DPHJ",
               "--spans-out", "nope.json"])
+
+
+# --------------------------------------------------------------------------
+# repro history (offline archive queries)
+# --------------------------------------------------------------------------
+
+def _write_history_archive(directory, times):
+    from repro.observability.archive import SegmentedLog
+
+    log = SegmentedLog(directory)
+    for t in times:
+        log.write({"kind": "outcome", "t": t, "tenant": "gold",
+                   "latency_s": 0.01, "wait_s": 0.0, "ok": True})
+    log.close()
+
+
+def test_cmd_history_missing_archive_exits_2(capsys, tmp_path):
+    assert main(["history", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cmd_history_slo_report_needs_an_objective(capsys, tmp_path):
+    _write_history_archive(tmp_path / "arch", [1.0])
+    assert main(["history", str(tmp_path / "arch"), "--slo-report"]) == 2
+    assert "--slo" in capsys.readouterr().err
+
+
+def test_cmd_history_renders_summary_slo_and_alerts(capsys, tmp_path):
+    _write_history_archive(tmp_path / "arch", [float(i) for i in range(5)])
+    assert main(["history", str(tmp_path / "arch"), "--slo-report",
+                 "--slo", "gold:p99<=1s@99%", "--alerts"]) == 0
+    out = capsys.readouterr().out
+    assert "5 outcomes (5 ok, 0 failed)" in out
+    assert "tenant gold" in out
+    assert "slo gold:p99<=1s@99%" in out and "MET" in out
+
+
+def test_cmd_history_diff_windows(capsys, tmp_path):
+    _write_history_archive(tmp_path / "arch",
+                           [1.0, 2.0, 11.0, 12.0])
+    assert main(["history", str(tmp_path / "arch"),
+                 "--diff", "0.5..9", "10..13"]) == 0
+    out = capsys.readouterr().out
+    assert "window_a" in out and "window_b" in out
+    assert "p99_s" in out and "throughput_qps" in out

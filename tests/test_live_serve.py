@@ -123,6 +123,50 @@ def test_subscription_capacity_must_be_positive():
         publisher.subscribe(capacity=0)
 
 
+def test_stalled_subscriber_sheds_without_affecting_publisher_or_peers():
+    """A slow SSE client only loses *its own* frames (satellite: the
+    drop-oldest path under a stalled subscriber, timing-free)."""
+    publisher = MetricsPublisher()
+    stalled = publisher.subscribe(capacity=3)    # never pops
+    healthy = publisher.subscribe(capacity=3)    # keeps up
+    seqs = []
+    for index in range(10):
+        seqs.append(publisher.publish({"now": float(index)}))
+        snapshot, _seq = healthy.pop(timeout=0.1)
+        assert snapshot["now"] == float(index)
+    # publish() returned synchronously every time with increasing seq --
+    # the stalled peer exerted no backpressure.
+    assert seqs == list(range(1, 11))
+    assert healthy.dropped == 0
+    assert stalled.dropped == 7          # capacity 3 of 10 frames kept
+    assert publisher.dropped_total == 7  # global shed counter
+    latest, seq = publisher.latest()
+    assert seq == 10 and latest["now"] == 9.0
+    # The stalled queue holds exactly the newest three, in order.
+    kept = [stalled.pop(timeout=0.1)[0]["now"] for _ in range(3)]
+    assert kept == [7.0, 8.0, 9.0]
+
+
+def test_publish_event_fans_out_without_replacing_the_snapshot():
+    """Alert frames reach subscribers but never become ``latest()`` —
+    /metrics and late subscribers must keep seeing a *service* snapshot,
+    not the last alert."""
+    publisher = MetricsPublisher()
+    publisher.publish({"kind": "service", "now": 1.0})
+    subscription = publisher.subscribe()
+    subscription.pop(timeout=0.1)  # drain the pre-queued snapshot
+    seq = publisher.publish_event({"kind": "alert", "state": "firing"})
+    assert seq == 2
+    frame, frame_seq = subscription.pop(timeout=0.1)
+    assert frame["kind"] == "alert" and frame_seq == 2
+    latest, latest_seq = publisher.latest()
+    assert latest["kind"] == "service"  # unchanged by the event
+    assert latest_seq == 2              # but the sequence did advance
+    late = publisher.subscribe()
+    pre_queued, _seq = late.pop(timeout=0.1)
+    assert pre_queued["kind"] == "service"
+
+
 # --------------------------------------------------------------------------
 # Exposition text
 # --------------------------------------------------------------------------
@@ -198,6 +242,114 @@ def test_render_top_layout():
     assert table[0].startswith("pB")  # sorted by throughput, descending
     assert any(line.startswith("SOURCE") for line in lines)
     assert all(len(line) <= 100 for line in lines)
+
+
+def test_write_sse_event_names_alert_frames():
+    import io
+
+    from repro.observability.server import write_sse_event
+
+    buffer = io.BytesIO()
+    write_sse_event(buffer, {"kind": "alert", "state": "firing"}, 7,
+                    event="alert")
+    text = buffer.getvalue().decode("utf-8")
+    assert text.startswith("event: alert\n")
+    assert "id: 7\n" in text
+    assert json.loads(text.split("data: ", 1)[1].strip())["state"] \
+        == "firing"
+    # Unnamed frames stay default `message` events.
+    buffer = io.BytesIO()
+    write_sse_event(buffer, {"kind": "service"}, 8)
+    assert not buffer.getvalue().startswith(b"event:")
+
+
+# --------------------------------------------------------------------------
+# Auto-reconnect (satellite: watch/top survive a dropped stream)
+# --------------------------------------------------------------------------
+
+def _scripted_stream(script):
+    """A stream_snapshots stand-in driven by a per-connection script.
+
+    Each entry: {"frames": [...], "end": bool}; omitting "end" makes the
+    connection die with ConfigurationError after its frames (a dropped
+    TCP stream).  The last entry repeats forever.
+    """
+    calls = {"count": 0}
+
+    def stream(endpoint, timeout, status):
+        behavior = script[min(calls["count"], len(script) - 1)]
+        calls["count"] += 1
+        for frame in behavior.get("frames", ()):
+            status.frames += 1
+            yield frame
+        if behavior.get("end"):
+            status.ended = True
+            return
+        raise ConfigurationError("stream dropped")
+
+    stream.calls = calls
+    return stream
+
+
+def test_reconnect_resumes_after_a_dropped_stream():
+    from repro.observability.top import stream_snapshots_reconnect
+
+    sleeps, notices = [], []
+    stream = _scripted_stream([
+        {"frames": [{"now": 1.0}, {"now": 2.0}]},           # drops
+        {"frames": [{"now": 3.0}], "end": True},            # clean end
+    ])
+    frames = list(stream_snapshots_reconnect(
+        "127.0.0.1:1", on_reconnect=lambda d, n: notices.append((d, n)),
+        sleep=sleeps.append, _stream=stream))
+    assert [f["now"] for f in frames] == [1.0, 2.0, 3.0]
+    assert stream.calls["count"] == 2
+    assert sleeps == [0.5]            # one backoff between connections
+    assert notices == [(0.5, 1)]      # the CLI notice hook fired once
+
+
+def test_reconnect_gives_up_after_max_consecutive_failures():
+    from repro.observability.top import stream_snapshots_reconnect
+
+    sleeps = []
+    stream = _scripted_stream([{}])   # every connection dies frameless
+    with pytest.raises(ConfigurationError):
+        list(stream_snapshots_reconnect(
+            "127.0.0.1:1", max_failures=2, sleep=sleeps.append,
+            _stream=stream))
+    # Attempts: fail, sleep, fail, sleep, fail -> give up (3 connections).
+    assert stream.calls["count"] == 3
+    assert sleeps == [0.5, 1.0]
+
+
+def test_reconnect_backoff_doubles_caps_and_resets_on_a_frame():
+    from repro.observability.top import stream_snapshots_reconnect
+
+    sleeps = []
+    stream = _scripted_stream([
+        {}, {}, {}, {}, {}, {},                      # six dead connections
+        {"frames": [{"now": 1.0}]},                  # one frame -> reset
+        {},                                          # dies again
+        {"frames": [{"now": 2.0}], "end": True},
+    ])
+    frames = list(stream_snapshots_reconnect(
+        "127.0.0.1:1", max_failures=10, sleep=sleeps.append,
+        _stream=stream))
+    assert [f["now"] for f in frames] == [1.0, 2.0]
+    # 0.5 doubles to the 8s cap, then the received frame resets it.
+    assert sleeps == [0.5, 1.0, 2.0, 4.0, 8.0, 8.0,  # dead streak
+                      0.5, 1.0]  # post-frame drop restarts at 0.5
+
+
+def test_reconnect_stops_cleanly_on_server_end_without_sleeping():
+    from repro.observability.top import stream_snapshots_reconnect
+
+    sleeps = []
+    stream = _scripted_stream([{"frames": [{"now": 1.0}], "end": True}])
+    frames = list(stream_snapshots_reconnect(
+        "127.0.0.1:1", sleep=sleeps.append, _stream=stream))
+    assert [f["now"] for f in frames] == [1.0]
+    assert sleeps == []               # no reconnect machinery engaged
 
 
 def test_parse_endpoint():

@@ -88,6 +88,29 @@ def test_percentile_nearest_rank():
         percentile(values, 1.5)
 
 
+def test_percentile_empty_and_single_element_pins():
+    # The quiet-service case: an empty ring yields 0.0 for any valid
+    # fraction instead of raising.
+    for fraction in (0.0, 0.5, 0.99, 1.0):
+        assert percentile([], fraction) == 0.0
+    # ...but a bad fraction is a caller bug even when the list is empty.
+    with pytest.raises(ValueError):
+        percentile([], 1.5)
+    with pytest.raises(ValueError):
+        percentile([], -0.1)
+    # A one-element list answers that element for every fraction.
+    for fraction in (0.0, 0.5, 0.99, 1.0):
+        assert percentile([7.0], fraction) == 7.0
+
+
+def test_latency_window_summary_is_all_zero_when_empty():
+    summary = LatencyWindow().summary(now=10.0)
+    assert summary["count"] == 0
+    for key in ("p50_s", "p95_s", "p99_s", "mean_s", "max_s",
+                "throughput_qps"):
+        assert summary[key] == 0.0, key
+
+
 def test_latency_window_is_bounded_but_counts_everything():
     window = LatencyWindow(capacity=4)
     for index in range(10):
@@ -317,3 +340,74 @@ def test_submit_before_start_is_an_error():
 def test_bad_admission_policy_is_rejected():
     with pytest.raises(ConfigurationError):
         QueryService(global_memory_bytes=1 << 20, admission="bogus")
+
+
+# --------------------------------------------------------------------------
+# Durable archive + SLO plane wired into a live session
+# --------------------------------------------------------------------------
+
+def test_service_archives_outcomes_and_tracks_slos(tmp_path):
+    from repro.observability.archive import read_archive
+    from repro.service.slo import parse_slo_specs
+
+    archive_dir = tmp_path / "archive"
+    out = {}
+
+    async def scenario():
+        service = QueryService(
+            seed=7, global_memory_bytes=2 << 20,
+            tenants=[TenantSpec("gold", priority=2.0)],
+            publish_interval_s=0.05, archive_dir=archive_dir,
+            span_dump=tmp_path / "spans.json",  # span records ride along
+            slos=parse_slo_specs(["gold:p99<=30s@99.5%",
+                                  "*:p99<=30s@99%"]))
+        await service.start()
+        records = [service.submit(SubmissionRequest(
+            tenant="gold", seed=index, **FAST)) for index in range(3)]
+        await asyncio.gather(*(r.done.wait() for r in records))
+        out["mid_snapshot"] = service.snapshot()
+        service.drain()
+        await service.stop()
+        out["service"] = service
+
+    asyncio.run(scenario())
+    snapshot = out["mid_snapshot"]
+
+    # The live snapshot carries the new planes (all JSON-safe).
+    assert snapshot["uptime_s"] >= 0.0
+    assert snapshot["alerts"] == 0  # nothing breached a 30s threshold
+    assert snapshot["archive"]["dropped_total"] == 0
+    objectives = {o["objective"]: o for o in snapshot["slo"]}
+    assert set(objectives) == {"gold:p99<=30s@99.5%", "*:p99<=30s@99%"}
+    for status in objectives.values():
+        assert status["events"] == 3
+        assert status["bad"] == 0
+        assert status["compliance"] == 1.0
+        assert status["alerting"] is False
+    json.dumps(snapshot)
+
+    # Every completed submission became a durable outcome record, and
+    # stop() flushed the queue so nothing is lost.
+    outcomes, reader = read_archive(archive_dir, kinds=("outcome",))
+    assert reader.skipped_lines == 0
+    assert len(outcomes) == 3
+    for record in outcomes:
+        assert record["tenant"] == "gold"
+        assert record["ok"] is True
+        assert record["latency_s"] > 0.0
+        assert record["strategy"] == "DSE"
+    # Per-query span summaries and scheduler decisions ride along, and
+    # the final drain snapshot is archived too.
+    spans, _ = read_archive(archive_dir, kinds=("span",))
+    assert len(spans) == 3
+    decisions, _ = read_archive(archive_dir, kinds=("decision",))
+    assert decisions
+    snapshots, _ = read_archive(archive_dir, kinds=("snapshot",))
+    assert snapshots
+
+    # The Prometheus rendering gains the slo/archive families.
+    text = service_prometheus_text(snapshot)
+    assert "repro_service_slo_compliance" in text
+    assert "repro_service_slo_burn_rate" in text
+    assert "repro_service_archive_records_total" in text
+    assert "repro_service_archive_dropped_total 0.0" in text

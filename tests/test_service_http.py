@@ -48,16 +48,21 @@ def _request(port, method, path, body=None):
 
 
 @pytest.fixture(scope="module")
-def http_session():
+def http_session(tmp_path_factory):
     """One served service session; every HTTP interaction collected."""
     out = {}
+    archive_dir = tmp_path_factory.mktemp("http-archive")
+    out["archive_dir"] = archive_dir
 
     async def scenario():
+        from repro.service import parse_slo_specs
+
         service = QueryService(
             seed=3, global_memory_bytes=4 << 20,
             tenants=[TenantSpec("vip", priority=1.0),
                      TenantSpec("capped", memory_limit_bytes=1024)],
-            publish_interval_s=0.05)
+            publish_interval_s=0.05, archive_dir=archive_dir,
+            slos=parse_slo_specs(["vip:p99<=60s@99%"]))
         await service.start()
         server = ServiceServer(service).start()
         loop = asyncio.get_running_loop()
@@ -86,6 +91,7 @@ def http_session():
             # Let a publish tick fold the completion into the snapshot.
             time.sleep(0.15)
             out["healthz"] = _request(port, "GET", "/healthz")
+            out["slo"] = _request(port, "GET", "/slo")
             out["metrics"] = _request(port, "GET", "/metrics")
             out["submissions"] = _request(port, "GET", "/submissions")
             _request(port, "POST", "/drain")
@@ -171,6 +177,43 @@ def test_healthz_and_metrics_reflect_the_session(http_session):
     assert 'repro_service_tenant_completed_total{tenant="vip"} 1.0' in text
 
 
+def test_healthz_reports_uptime_drain_state_and_archive(http_session):
+    _status, health = http_session["healthz"]
+    assert health["uptime_s"] >= 0.0
+    assert health["state"] == "serving"
+    assert health["draining"] is False
+    assert health["alerts"] == 0
+    archive = health["archive"]
+    assert archive["directory"] == str(http_session["archive_dir"])
+    assert archive["segments"] >= 1          # the active segment exists
+    assert archive["dropped_total"] == 0
+    assert archive["records_written"] >= 1   # the finished submission
+    assert archive["last_write_age_s"] is not None
+
+
+def test_slo_endpoint_reports_the_declared_objective(http_session):
+    status, body = http_session["slo"]
+    assert status == 200
+    assert body["alerts"] == 0
+    objectives = {o["objective"]: o for o in body["objectives"]}
+    assert set(objectives) == {"vip:p99<=60s@99%"}
+    status = objectives["vip:p99<=60s@99%"]
+    assert status["events"] >= 1             # the completed submission
+    assert status["bad"] == 0
+    assert status["alerting"] is False
+    assert set(status["windows"]) == {"fast", "slow"}
+
+
+def test_archive_replays_the_session_outcomes(http_session):
+    from repro.service import load_outcomes
+
+    records, reader = load_outcomes(http_session["archive_dir"])
+    assert reader.skipped_lines == 0
+    finished_id = http_session["record"]["id"]
+    assert finished_id in [r["id"] for r in records]
+    assert all(r["tenant"] == "vip" for r in records)
+
+
 def test_submissions_listing_has_the_finished_record(http_session):
     status, listing = http_session["submissions"]
     assert status == 200
@@ -197,9 +240,11 @@ def test_stream_delivers_service_frames_then_ends(http_session):
 # --------------------------------------------------------------------------
 
 @pytest.mark.skipif(os.name == "nt", reason="POSIX signals")
-def test_sigterm_drains_in_flight_work_and_flushes_recorders(tmp_path):
+def test_sigterm_drains_in_flight_work_and_flushes_recorders(
+        tmp_path, capsys):
     flight = tmp_path / "flight.json"
     spans = tmp_path / "spans.json"
+    archive_dir = tmp_path / "archive"
     repo = Path(__file__).resolve().parents[1]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(repo / "src") + (
@@ -208,6 +253,8 @@ def test_sigterm_drains_in_flight_work_and_flushes_recorders(tmp_path):
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--global-memory", "64M", "--tenant", "gold:2",
          "--publish-interval", "0.1",
+         "--archive-dir", str(archive_dir),
+         "--slo", "gold:p99<=60s@99%",
          "--flight-dump", str(flight), "--span-dump", str(spans)],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=repo)
@@ -266,3 +313,18 @@ def test_sigterm_drains_in_flight_work_and_flushes_recorders(tmp_path):
     assert dump["snapshot"]["draining"] is True
     span_export = json.loads(spans.read_text())
     assert span_export["spans"], "span log flushed empty"
+
+    # The SIGTERM drain flushed the durable archive: `repro history`
+    # replays the completed outcome (with its SLO report) offline, from
+    # the files alone -- the daemon is gone.
+    from repro.cli import main
+
+    assert main(["history", str(archive_dir), "--json", "--slo-report",
+                 "--slo", "gold:p99<=60s@99%"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["skipped_lines"] == 0
+    assert report["summary"]["completed"] == 1
+    assert report["summary"]["tenants"]["gold"]["completed"] == 1
+    (slo,) = report["slo"]
+    assert slo["objective"] == "gold:p99<=60s@99%"
+    assert slo["met"] is True
