@@ -5,7 +5,7 @@ Usage:
     PYTHONPATH=src python scripts/service_loadtest.py \
         [--submissions N] [--rate QPS] [--concurrency N] [--scale S] \
         [--strategy NAME] [--admission fifo|priority|none] [--seed N] \
-        [--json PATH]
+        [--workers N] [--json PATH]
 
 Wraps :func:`repro.service.loadtest.run_loadtest`: one in-process
 :class:`~repro.service.service.QueryService` with the default
@@ -14,7 +14,7 @@ gold/silver/bronze tenant mix, submissions arriving on a fixed schedule
 falls behind), the pool sized to ``concurrency`` simultaneous leases so
 the backlog queues in the admission controller.  Prints a human summary
 and optionally writes the full JSON report (the shape consumed by the
-``service_loadtest`` bench case behind ``BENCH_PR7.json``).
+``service_loadtest`` bench cases behind ``BENCH_PR10.json``).
 """
 
 from __future__ import annotations
@@ -47,6 +47,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--admission", default="priority",
                         choices=["fifo", "priority", "none"])
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes in the execution plane "
+                             "(default 1 = in-process backend; >1 runs "
+                             "the sharded work-stealing pool)")
     parser.add_argument("--archive-dir", metavar="DIR", default=None,
                         help="write the durable telemetry archive under DIR "
                              "during the run (measures the archive's cost "
@@ -68,7 +72,8 @@ def main(argv: list[str]) -> int:
             scale=args.scale, wait_us=args.wait_us, jitter=args.jitter,
             strategy=args.strategy, concurrency=args.concurrency,
             seed=args.seed, admission=args.admission,
-            archive_dir=args.archive_dir, on_progress=progress))
+            archive_dir=args.archive_dir, workers=args.workers,
+            on_progress=progress))
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -87,6 +92,13 @@ def main(argv: list[str]) -> int:
         print(f"  {tenant['name']:<10} done {tenant['completed']:>6}  "
               f"wait {1e3 * tenant['mean_wait_s']:>7.1f}ms  "
               f"latency {1e3 * tenant['mean_latency_s']:>7.1f}ms")
+    workers = report.get("workers")
+    if workers:
+        for row in workers:
+            print(f"  worker {row['id']}  done {row['completed']:>6}  "
+                  f"failed {row['failed']:>3}  steals {row['steals']:>4}  "
+                  f"restarts {row['restarts']}")
+        print(f"steals    {report['steals']} total across the fleet")
     archive = report.get("archive")
     if archive is not None:
         print(f"archive   {archive['records_written']} records written  "

@@ -29,7 +29,7 @@ writing any code:
   sweeps mediator-wide memory pools (with ``--admission`` picking the
   queueing policy) to expose the throughput-vs-response-time tradeoff of
   resource governance;
-* ``bench`` — the canonical performance suite; writes ``BENCH_PR6.json``
+* ``bench`` — the canonical performance suite; writes ``BENCH_PR10.json``
   and gates regressions against a committed baseline via ``--compare``;
 * ``explain`` — record one run's causal span tree and print the
   attributed critical path (``--vs STRATEGY`` diffs two runs,
@@ -261,6 +261,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "--strict-tenants")
     serve.add_argument("--strict-tenants", action="store_true",
                        help="refuse submissions from undeclared tenants")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="execution-plane worker processes (default 1 = "
+                            "run queries in-process). N > 1 shards the "
+                            "machine memory pool into N static carve-outs "
+                            "and dispatches least-loaded-first with work "
+                            "stealing")
+    serve.add_argument("--worker-window", type=int, default=None,
+                       metavar="W",
+                       help="in-flight submissions per worker before "
+                            "backlog queues coordinator-side where it is "
+                            "stealable (default 4; needs --workers > 1)")
     serve.add_argument("--publish-interval", type=float, default=1.0,
                        help="seconds between /stream snapshot frames "
                             "(default 1)")
@@ -419,8 +430,8 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="run the canonical performance suite and write the "
                       "benchmark report JSON")
-    bench.add_argument("--out", default="BENCH_PR7.json",
-                       help="report path (default ./BENCH_PR7.json)")
+    bench.add_argument("--out", default="BENCH_PR10.json",
+                       help="report path (default ./BENCH_PR10.json)")
     bench.add_argument("--jobs", type=int, default=0,
                        help="worker processes for the parallel sweep case "
                             "(default 0 = one per core)")
@@ -440,9 +451,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--service-rate", type=float, default=200.0,
                        help="open-loop arrival rate of the service case "
                             "in submissions/s (default 200)")
+    bench.add_argument("--service-workers", type=int, default=2,
+                       help="worker processes of the "
+                            "service_loadtest_workers case (default 2; "
+                            "0 or 1 skips the case)")
     bench.add_argument("--assert-speedup", type=float, metavar="X",
                        help="exit non-zero unless the parallel sweep is at "
                             "least X times faster than serial (CI gate)")
+    bench.add_argument("--assert-worker-speedup", type=float, metavar="X",
+                       help="exit non-zero unless the multi-worker service "
+                            "qps is at least X times the single-kernel qps "
+                            "(skipped on hosts with < 4 cores)")
     bench.add_argument("--compare", metavar="BASELINE.json", default=None,
                        help="compare the fresh report against this committed "
                             "report and exit non-zero on regression")
@@ -1018,7 +1037,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             publish_interval_s=args.publish_interval,
             flight_dump=args.flight_dump, span_dump=args.span_dump,
             archive_dir=args.archive_dir, archive_options=archive_options,
-            slos=slos, slo_options=slo_options if slos else None)
+            slos=slos, slo_options=slo_options if slos else None,
+            workers=args.workers, worker_window=args.worker_window)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
 
@@ -1038,6 +1058,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"serving on {server.url}", flush=True)
         print(f"  endpoints: POST /submit /drain | GET /metrics /healthz "
               f"/slo /stream /submissions", flush=True)
+        if args.workers > 1:
+            print(f"  execution plane: {args.workers} worker processes "
+                  f"(work-stealing, window {service.backend.window})",
+                  flush=True)
         if service.archive is not None:
             print(f"  archiving telemetry under "
                   f"{service.archive.directory} "
@@ -1160,16 +1184,23 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     import json as json_mod
 
     from repro.common.errors import ConfigurationError
-    from repro.observability.top import stream_snapshots_reconnect
+    from repro.observability.top import (
+        stream_snapshots_reconnect,
+        worker_transitions,
+    )
 
     def _notice(delay: float, attempt: int) -> None:
         print(f"stream dropped; reconnecting in {delay:.1f}s "
               f"(attempt {attempt})", file=sys.stderr, flush=True)
 
     frames = 0
+    previous: "dict[str, Any] | None" = None
     try:
+        # fail_fast: a never-reachable endpoint is one crisp error (exit
+        # 2), not a 20-second silent retry ladder.
         for snapshot in stream_snapshots_reconnect(args.connect,
-                                                   on_reconnect=_notice):
+                                                   on_reconnect=_notice,
+                                                   fail_fast=True):
             if snapshot.get("kind") == "alert":
                 # Alerts go to stderr so `watch | jq` pipelines over the
                 # snapshot stream stay clean; the JSON line still has
@@ -1177,6 +1208,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 print(f"ALERT {json_mod.dumps(snapshot, sort_keys=True)}",
                       file=sys.stderr, flush=True)
                 continue
+            # Worker up/down transitions ride stderr for the same
+            # reason: the stdout stream stays pure snapshot JSON.
+            for notice in worker_transitions(previous, snapshot):
+                print(f"WORKER {notice}", file=sys.stderr, flush=True)
+            previous = snapshot
             print(json_mod.dumps(snapshot, sort_keys=True), flush=True)
             frames += 1
             if args.frames and frames >= args.frames:
@@ -1391,6 +1427,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         best_of=args.best_of,
         service_submissions=args.service_submissions,
         service_rate=args.service_rate,
+        service_workers=args.service_workers,
         progress=lambda step: print(f"[{step}]", flush=True))
     derived = report["derived"]
     print(f"dqp batch loop : {derived['dqp_batches_per_sec']:12,.0f} "
@@ -1410,6 +1447,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"service        : {derived['service_qps']:,.1f} q/s sustained "
           f"(p50 {1e3 * derived['service_p50_latency_s']:.1f}ms, "
           f"p99 {1e3 * derived['service_p99_latency_s']:.1f}ms)")
+    worker_speedup = derived.get("service_worker_speedup")
+    if worker_speedup is not None:
+        print(f"worker pool    : {worker_speedup:.2f}x service qps at "
+              f"--service-workers {report['config']['service_workers']}")
+    elif report["config"]["service_workers"] > 1:
+        print(f"worker pool    : n/a ({report['host']['cpu_count']}-core "
+              f"host; needs >= 4 cores for a meaningful ratio)")
     print("wrote", write_bench_json(report, args.out))
     if args.assert_speedup is not None:
         if speedup is None:
@@ -1418,6 +1462,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         elif speedup < args.assert_speedup:
             print(f"FAIL: parallel speedup {speedup:.2f}x "
                   f"< required {args.assert_speedup:g}x")
+            return 1
+    if args.assert_worker_speedup is not None:
+        if worker_speedup is None:
+            print("skipping --assert-worker-speedup: needs the "
+                  "multi-worker case and a >= 4-core host")
+        elif worker_speedup < args.assert_worker_speedup:
+            print(f"FAIL: worker-pool speedup {worker_speedup:.2f}x "
+                  f"< required {args.assert_worker_speedup:g}x")
             return 1
     if baseline is not None:
         comparisons = compare_reports(baseline, report, budget)

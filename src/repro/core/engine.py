@@ -70,6 +70,9 @@ class ExecutionResult:
     # one-shot front-ends).
     submission_id: Optional[str] = None
     tenant: Optional[str] = None
+    #: executing worker in a sharded `repro serve --workers N` fleet
+    #: (None when the query ran in the coordinator/front-end process).
+    worker_id: Optional[int] = None
     # Engine behaviour.
     planning_phases: int = 0
     context_switches: int = 0

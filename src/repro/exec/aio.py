@@ -49,6 +49,7 @@ class AsyncioKernel(KernelBase):
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._origin: Optional[float] = None
         self._wakeup: Optional[asyncio.Event] = None
+        self._stop_requested = False
 
     @property
     def now(self) -> float:  # type: ignore[override]
@@ -74,6 +75,27 @@ class AsyncioKernel(KernelBase):
         if self._loop is not None and self._origin is not None:
             return max(self._now, self._wall())
         return self._now
+
+    # -- shutdown ------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask a running :meth:`run` to return at the next dispatch
+        boundary (clean shutdown hook for daemon/worker hosts).
+
+        Already-due events that were popped keep their callbacks; nothing
+        in flight is interrupted — the loop simply stops picking up new
+        work and returns.  Idempotent; a no-op once ``run`` returned.
+        """
+        self._stop_requested = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def request_stop_threadsafe(self) -> None:
+        """Thread-safe :meth:`request_stop` (callable off the loop)."""
+        loop = self._loop
+        if loop is not None:
+            loop.call_soon_threadsafe(self.request_stop)
+        else:
+            self._stop_requested = True
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: SimEvent, delay: float, priority: int) -> None:
@@ -117,6 +139,8 @@ class AsyncioKernel(KernelBase):
         try:
             drained = 0
             while True:
+                if self._stop_requested:
+                    break
                 if until_event is not None and until_event.processed:
                     break
                 if until is not None and self._now >= until:
@@ -153,6 +177,7 @@ class AsyncioKernel(KernelBase):
             self._loop = None
             self._origin = None
             self._wakeup = None
+            self._stop_requested = False
         self._raise_unhandled_failures()
 
     def __repr__(self) -> str:

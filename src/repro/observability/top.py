@@ -151,6 +151,20 @@ def render_service_top(snapshot: Dict[str, Any],
     lines.append(f"stalls {stall_text}"[:width])
     lines.append("")
 
+    workers = snapshot.get("workers") or []
+    if workers:
+        up = sum(1 for row in workers if row["state"] == "up")
+        lines.append(f"{'WORKER':<8} {'STATE':<6} {'ACTIVE':>7} "
+                     f"{'QUEUED':>7} {'DONE':>8} {'STEALS':>7} "
+                     f"{'RESTARTS':>9}   fleet {up}/{len(workers)} up, "
+                     f"{snapshot.get('steals', 0)} steals"[:width])
+        for row in workers:
+            lines.append(
+                f"{row['id']:<8} {row['state']:<6} {row['active']:>7} "
+                f"{row['queued']:>7} {_fmt_count(row['completed']):>8} "
+                f"{row['steals']:>7} {row['restarts']:>9}"[:width])
+        lines.append("")
+
     lines.append(f"{'TENANT':<14} {'PRI':>5} {'FLIGHT':>7} {'DONE':>8} "
                  f"{'FAIL':>5} {'REJ':>5} {'WAIT':>9} {'LATENCY':>9} "
                  f"{'SLO':>7}"[:width])
@@ -174,6 +188,32 @@ def render_service_top(snapshot: Dict[str, Any],
             f"{record['admission_wait'] * 1e3:>7.1f}ms "
             f"{record['latency_s'] * 1e3:>7.1f}ms"[:width])
     return lines
+
+
+def worker_transitions(previous: Optional[Dict[str, Any]],
+                       current: Dict[str, Any]) -> List[str]:
+    """Fleet changes between two service snapshots, as notice lines.
+
+    Pure and deterministic (``repro watch`` prints these to stderr):
+    a worker whose state flipped yields ``worker N down``/``worker N
+    up``; a restart counter that advanced yields a respawn notice even
+    when the down/up flip happened between two publishes.
+    """
+    notices: List[str] = []
+    before = {row["id"]: row
+              for row in (previous or {}).get("workers") or []}
+    for row in current.get("workers") or []:
+        prior = before.get(row["id"])
+        if prior is None:
+            continue
+        restarted = row["restarts"] - prior["restarts"]
+        if restarted > 0:
+            notices.append(
+                f"worker {row['id']} died and was respawned "
+                f"(restarts {row['restarts']}, now {row['state']})")
+        elif row["state"] != prior["state"]:
+            notices.append(f"worker {row['id']} {row['state']}")
+    return notices
 
 
 def _tenant_slo_status(snapshot: Dict[str, Any], name: str) -> str:
@@ -267,6 +307,7 @@ def stream_snapshots_reconnect(
         max_failures: int = RECONNECT_MAX_FAILURES,
         on_reconnect: Optional[Callable[[float, int], None]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        fail_fast: bool = False,
         _stream: Callable[..., Iterator[Dict[str, Any]]] = stream_snapshots,
         ) -> Iterator[Dict[str, Any]]:
     """:func:`stream_snapshots` with capped-exponential-backoff reconnect.
@@ -276,18 +317,24 @@ def stream_snapshots_reconnect(
     and doubles up to ``max_backoff_s``; any successfully received frame
     resets it.  Only a server-sent ``event: end`` ends the stream
     cleanly; ``max_failures`` *consecutive* dead connections re-raise
-    the last error.  ``on_reconnect(delay, attempt)`` is called before
-    each sleep (the CLI prints a notice there); ``sleep`` and
-    ``_stream`` are injectable so tests run without a clock or socket.
+    the last error.  With ``fail_fast``, a connection that dies before
+    the stream *ever* produced a frame raises immediately — the CLI
+    uses this so a typo'd endpoint is one crisp error, not a silent
+    20-second retry loop (a server that was once up still reconnects).
+    ``on_reconnect(delay, attempt)`` is called before each sleep (the
+    CLI prints a notice there); ``sleep`` and ``_stream`` are
+    injectable so tests run without a clock or socket.
     """
     delay = backoff_s
     failures = 0
+    connected = False
     while True:
         status = StreamStatus()
         error: Optional[ConfigurationError] = None
         try:
             for snapshot in _stream(endpoint, timeout, status):
                 if status.frames == 1:
+                    connected = True
                     failures = 0
                     delay = backoff_s
                 yield snapshot
@@ -296,7 +343,7 @@ def stream_snapshots_reconnect(
         if status.ended:
             return
         failures += 1
-        if failures > max_failures:
+        if (fail_fast and not connected) or failures > max_failures:
             if error is not None:
                 raise error
             raise ConfigurationError(
@@ -325,7 +372,10 @@ def run_top(endpoint: str, interval: float = 0.5) -> int:
         screen.nodelay(True)
         screen.timeout(int(interval * 1000))
         last_alert: Optional[Dict[str, Any]] = None
-        for snapshot in stream_snapshots_reconnect(endpoint):
+        # fail_fast: a dashboard pointed at a dead endpoint should say
+        # so immediately, not spin through the whole backoff ladder.
+        for snapshot in stream_snapshots_reconnect(endpoint,
+                                                   fail_fast=True):
             if snapshot.get("kind") == "alert":
                 # Alerts arrive between snapshots; remember the newest
                 # and show it with the next redraw instead of tearing

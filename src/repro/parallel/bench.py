@@ -17,7 +17,12 @@ Four cases, each reported as wall-clock seconds plus a rate:
   ``derived.service_qps`` plus p50/p99 completion latency;
 * ``service_loadtest_archive`` — the same service run with the durable
   telemetry archive enabled; ``derived.service_archive_qps_ratio``
-  (archive-on / archive-off) measures the writer's hot-path cost.
+  (archive-on / archive-off) measures the writer's hot-path cost;
+* ``service_loadtest_workers`` — the same arrival stream executed on the
+  sharded work-stealing worker-process pool (``repro serve --workers N``);
+  ``derived.service_worker_speedup`` (multi-worker qps / single qps) is
+  the execution-plane scaling figure, null on hosts with < 4 cores
+  where worker processes just contend for the same CPUs.
 
 :func:`run_bench_suite` returns a JSON-ready dict with a stable schema
 (``schema_version`` guards consumers); :func:`write_bench_json` writes it
@@ -109,20 +114,25 @@ def _kernel_case(best_of: int, processes: int = 20,
 
 
 def _service_case(submissions: int, rate: float, seed: int,
-                  archive_dir: "str | None" = None) -> dict[str, Any]:
+                  archive_dir: "str | None" = None,
+                  workers: int = 1) -> dict[str, Any]:
     """The always-on service under sustained arrival (wall-clock).
 
     With ``archive_dir`` the run also writes the durable telemetry
     archive — the same workload with and without it is the archive's
     hot-path overhead measurement (acceptance: qps regresses <= 5%).
+    With ``workers > 1`` the submissions execute on the sharded
+    worker-process pool instead of the in-process kernel.
     """
     import asyncio
 
     from repro.service.loadtest import run_loadtest
 
     report = asyncio.run(run_loadtest(submissions=submissions, rate=rate,
-                                      seed=seed, archive_dir=archive_dir))
-    name = ("service_loadtest_archive" if archive_dir is not None
+                                      seed=seed, archive_dir=archive_dir,
+                                      workers=workers))
+    name = ("service_loadtest_workers" if workers > 1
+            else "service_loadtest_archive" if archive_dir is not None
             else "service_loadtest")
     case = {"name": name, "wall_s": report["wall_s"],
             "submissions": report["submitted"],
@@ -131,6 +141,11 @@ def _service_case(submissions: int, rate: float, seed: int,
             "service_qps": report["service_qps"],
             "service_p50_latency_s": report["latency"]["p50_s"],
             "service_p99_latency_s": report["latency"]["p99_s"]}
+    if workers > 1:
+        case["workers"] = workers
+        case["steals"] = report["steals"]
+        case["worker_completed"] = [row["completed"]
+                                    for row in report["workers"] or []]
     if report.get("archive") is not None:
         case["archive_records"] = report["archive"]["records_written"]
         case["archive_dropped"] = report["archive"]["dropped_total"]
@@ -160,6 +175,7 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                     repetitions: int = 1, seed: int = 1, best_of: int = 3,
                     service_submissions: int = 300,
                     service_rate: float = 200.0,
+                    service_workers: int = 2,
                     progress: Optional[ProgressFn] = None) -> dict[str, Any]:
     """Run every case and return the JSON-ready report dict."""
     say = progress if progress is not None else (lambda _msg: None)
@@ -204,6 +220,13 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                                      seed, archive_dir=tmp)
     cases.append(archive_case)
 
+    worker_case = None
+    if service_workers > 1:
+        say(f"service_loadtest_workers{service_workers}")
+        worker_case = _service_case(service_submissions, service_rate,
+                                    seed, workers=service_workers)
+        cases.append(worker_case)
+
     host = host_info()
     report = {
         "suite": SUITE,
@@ -214,7 +237,8 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
                    "repetitions": repetitions, "seed": seed,
                    "best_of": best_of,
                    "service_submissions": service_submissions,
-                   "service_rate": service_rate},
+                   "service_rate": service_rate,
+                   "service_workers": service_workers},
         "cases": cases,
         "derived": {
             # A single-core host cannot speed anything up by sharding;
@@ -235,6 +259,15 @@ def run_bench_suite(*, jobs: int = 0, scale: float = 0.2,
             "service_archive_qps_ratio": (
                 archive_case["service_qps"] / service_case["service_qps"]
                 if service_case["service_qps"] else None),
+            # Multi-worker qps over single-kernel qps on the same arrival
+            # schedule.  Worker processes need real cores to help; below
+            # 4 they mostly contend with the coordinator and each other,
+            # so (like parallel_speedup on 1 core) the figure is null
+            # rather than a misleading ratio near or below 1.
+            "service_worker_speedup": (
+                worker_case["service_qps"] / service_case["service_qps"]
+                if worker_case is not None and host["cpu_count"] >= 4
+                and service_case["service_qps"] else None),
         },
     }
     say("done")

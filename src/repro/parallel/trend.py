@@ -38,6 +38,7 @@ TREND_METRICS: Dict[str, bool] = {
     "service_qps": True,
     "service_p50_latency_s": False,
     "service_p99_latency_s": False,
+    "service_worker_speedup": True,
 }
 
 #: metrics that only compare like-for-like: they depend on the sweep
@@ -49,7 +50,8 @@ CONFIG_SENSITIVE_METRICS = frozenset(
     {"parallel_speedup", "warm_cache_fraction",
      # Service figures scale with the arrival schedule (submission
      # count, rate): only like-for-like runs are gate-worthy.
-     "service_qps", "service_p50_latency_s", "service_p99_latency_s"})
+     "service_qps", "service_p50_latency_s", "service_p99_latency_s",
+     "service_worker_speedup"})
 
 _BENCH_GLOB = "BENCH_PR*.json"
 _PR_NUMBER = re.compile(r"BENCH_PR(\d+)\.json$")

@@ -299,6 +299,35 @@ class MemoryBroker:
         self._publish()
         return lease
 
+    def carve_even(self, count: int, *, name_prefix: str = "worker",
+                   tenant: str = "") -> List[MemoryLease]:
+        """Split the spare pool into ``count`` equal *static* leases.
+
+        The carve-out primitive for sharded worker processes: each of the
+        ``count`` leases gets ``spare // count`` bytes with
+        ``min == max`` (a worker's budget is fixed for its lifetime; the
+        governance *inside* the shard is the worker's own broker, built
+        over its carve).  Remainder bytes from the integer division stay
+        in the pool.  On an unbounded broker there is nothing to split —
+        workers inherit unboundedness — so no leases are carved and an
+        empty list comes back.
+
+        Return a dead worker's lease with :meth:`release` and re-carve
+        its replacement with :meth:`lease` at the same size.
+        """
+        if count < 1:
+            raise SimulationError(f"cannot carve into {count} shares")
+        spare = self.spare_bytes()
+        if spare is None:
+            return []
+        share = spare // count
+        if share <= 0:
+            raise SimulationError(
+                f"pool spare {spare} cannot cover {count} worker "
+                f"carve-outs (needs >= {count} bytes)")
+        return [self.lease(f"{name_prefix}-{index}", share, tenant=tenant)
+                for index in range(count)]
+
     def expand_lease(self, lease: MemoryLease, delta_bytes: int) -> bool:
         """Demand pull: grow ``lease`` by ``delta_bytes`` if spare allows.
 

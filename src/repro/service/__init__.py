@@ -9,6 +9,11 @@ telemetry), serving an unbounded stream of query submissions over HTTP:
 
 * :class:`QueryService` — kernel lifetime, submission lifecycle, tenant
   accounting, graceful drain (:mod:`repro.service.service`);
+* :class:`ExecutionBackend` / :class:`InProcessBackend` — the execution
+  plane behind the control plane (:mod:`repro.service.backend`);
+* :class:`WorkerPoolBackend` / :class:`PoolScheduler` — the sharded
+  work-stealing worker-process pool behind ``repro serve --workers N``
+  (:mod:`repro.service.workers`);
 * :class:`ServiceServer` — the HTTP surface: JSON submit, SSE progress,
   Prometheus metrics (:mod:`repro.service.http`);
 * :class:`LatencyWindow` — sliding p50/p99 + throughput aggregation
@@ -32,6 +37,8 @@ from repro.service.service import (
     SubmissionRecord,
     SubmissionRequest,
 )
+from repro.service.backend import ExecutionBackend, InProcessBackend
+from repro.service.workers import PoolScheduler, WorkerDied, WorkerPoolBackend
 from repro.service.http import ServiceServer
 from repro.service.stats import LatencyWindow, service_prometheus_text
 from repro.service.loadtest import run_loadtest
@@ -46,8 +53,13 @@ from repro.service.history import (
 
 __all__ = [
     "SERVICE_SNAPSHOT_VERSION",
+    "ExecutionBackend",
+    "InProcessBackend",
     "LatencyWindow",
+    "PoolScheduler",
     "QueryService",
+    "WorkerDied",
+    "WorkerPoolBackend",
     "SLOSpec",
     "SLOTracker",
     "ServiceDraining",

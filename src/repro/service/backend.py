@@ -1,0 +1,203 @@
+"""The execution plane behind the service's control plane.
+
+PR 7 fused the two planes: :class:`~repro.service.service.QueryService`
+owned one :class:`~repro.exec.aio.AsyncioKernel` and ran every admitted
+submission on it directly.  This module splits them.  The *control
+plane* (tenant gating, admission, machine-level memory governance,
+bounded aggregation, SLOs, archive, drain) stays in ``QueryService``;
+*where the query actually executes* is behind the
+:class:`ExecutionBackend` protocol:
+
+* :class:`InProcessBackend` — today's behavior, verbatim: the admitted
+  submission becomes a :class:`~repro.exec.live.QueryRun` on the
+  service's own kernel, admission waits ride the coordinator's
+  :class:`~repro.resources.admission.AdmissionController`, telemetry is
+  recorded in place.  ``repro serve`` with ``--workers 1`` (the
+  default) routes here and is bit-identical to the pre-split service.
+* :class:`~repro.service.workers.WorkerPoolBackend` — the sharded
+  plane: N worker processes, each with its own long-lived kernel and a
+  :class:`~repro.resources.broker.MemoryLease` carved from the machine
+  broker, fed over a :mod:`multiprocessing` pipe wire protocol with
+  least-loaded dispatch and work stealing.
+
+The seam is the :meth:`ExecutionBackend.launch` generator: the control
+plane spawns it as a kernel process (so completion flows through the
+unchanged ``_finish`` path — latency window, tenant accounting, SLO
+observation, archive outcome records), and the backend decides what the
+generator *waits on*: an in-process engine join, or a result event
+triggered by a remote worker.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Protocol,
+)
+
+from repro.exec.core import SimEvent
+from repro.exec.live import QueryRun
+from repro.observability import SPAN_ADMISSION_WAIT, STALL_ADMISSION_WAIT
+
+if TYPE_CHECKING:
+    from repro.experiments.workloads import Figure5Workload
+    from repro.service.service import QueryService, SubmissionRecord
+
+#: backend names, as reported in service snapshots / ``/healthz``.
+BACKEND_IN_PROCESS = "in-process"
+BACKEND_WORKER_POOL = "worker-pool"
+
+
+class ExecutionBackend(Protocol):
+    """Where admitted submissions run; the control plane's only view.
+
+    One backend instance serves one :class:`QueryService` for its whole
+    lifetime.  All methods except :meth:`stop` run on the service's
+    asyncio loop; implementations must not block it.
+    """
+
+    #: stable backend identifier (snapshot / healthz field).
+    name: str
+
+    async def start(self, service: "QueryService") -> None:
+        """Bring the execution plane up (spawn workers, carve leases)."""
+
+    async def stop(self, service: "QueryService") -> None:
+        """Tear the execution plane down (drain ran; nothing in flight)."""
+
+    def launch(self, service: "QueryService", record: "SubmissionRecord",
+               workload: "Figure5Workload", initial: int, min_bytes: int,
+               max_bytes: int) -> Generator[SimEvent, Any, Any]:
+        """The kernel-process generator executing one submission.
+
+        Must return the submission's ExecutionResult (or raise); the
+        control plane's completion callback reads it off the process.
+        """
+
+    def admission_limit_bytes(self,
+                              service: "QueryService") -> Optional[int]:
+        """Largest minimum working set any submission could ever admit.
+
+        None when unbounded.  The in-process backend answers the global
+        pool; a sharded backend answers one worker's carve-out — a query
+        whose minimum exceeds it could never run anywhere and is
+        refused up front.
+        """
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Per-worker liveness/backlog rows (empty for in-process)."""
+
+    def stall_totals(self) -> Dict[str, float]:
+        """Stall seconds by cause accumulated *off* the machine
+        telemetry (remote workers); empty for in-process."""
+
+    def queued_jobs(self) -> int:
+        """Submissions held in backend dispatch queues (0 in-process)."""
+
+    @property
+    def steals_total(self) -> int:
+        """Jobs executed by a worker other than the one first assigned."""
+
+
+class InProcessBackend:
+    """The single-kernel execution plane (pre-split behavior, verbatim).
+
+    Everything the PR7 service did inline lives in :meth:`launch` now:
+    coordinator-side admission (ticket wait + stall/span attribution),
+    lease acquisition, the query-view ``World``/:class:`QueryRun` on the
+    shared kernel, and lease release on the way out.
+    """
+
+    name = BACKEND_IN_PROCESS
+
+    async def start(self, service: "QueryService") -> None:
+        return None
+
+    async def stop(self, service: "QueryService") -> None:
+        return None
+
+    def launch(self, service: "QueryService", record: "SubmissionRecord",
+               workload: "Figure5Workload", initial: int, min_bytes: int,
+               max_bytes: int) -> Generator[SimEvent, Any, Any]:
+        from repro.core.runtime import World
+        from repro.core.strategies import make_policy
+        from repro.service.service import STATE_RUNNING
+
+        machine = service.machine
+        kernel = service.kernel
+        request = record.request
+        submitted = kernel.now
+        priority = service.tenants.priority_for(request.tenant,
+                                                request.priority)
+        wait_span = None
+        spans = machine.telemetry.spans
+        if service.controller is not None:
+            ticket = service.controller.request(
+                record.id, min_bytes, max_bytes, priority=priority,
+                tenant=request.tenant)
+            if not ticket.granted:
+                assert ticket.event is not None
+                yield ticket.event
+            lease = ticket.lease
+            assert lease is not None
+            record.admission_wait = ticket.waited
+            if record.admission_wait > 0:
+                machine.telemetry.stalls.record(
+                    STALL_ADMISSION_WAIT, submitted, kernel.now)
+                if spans is not None:
+                    wait_span = spans.add(
+                        SPAN_ADMISSION_WAIT, record.id, submitted,
+                        kernel.now, min_bytes=min_bytes)
+        else:
+            lease = machine.broker.lease(record.id, initial,
+                                         min_bytes=min_bytes,
+                                         max_bytes=max_bytes,
+                                         tenant=request.tenant)
+        record.state = STATE_RUNNING
+        record.started_at = kernel.now
+        # Query-view world: shares the machine, skips per-query gauges
+        # (the registry must not grow with the submission stream).
+        world = World(service.params, share_machine=machine, lease=lease,
+                      query_name=record.id, attach_memory_metrics=False)
+        query = QueryRun(kernel, world, workload.qep,
+                         make_policy(request.strategy),
+                         service.sources_for(workload, request,
+                                             service.sequence),
+                         name=record.id)
+        record.run = query
+        service.register_run(record.id, query)
+        try:
+            main = query.start()
+            if wait_span is not None and spans is not None \
+                    and query.runtime.query_span is not None:
+                spans.set_cause(query.runtime.query_span, wait_span)
+            yield main  # joins; an engine failure re-raises here
+            result = query.result()
+            result.submission_id = record.id
+            result.tenant = request.tenant
+            return result
+        finally:
+            query.detach()
+            machine.broker.release(lease)
+
+    def admission_limit_bytes(self,
+                              service: "QueryService") -> Optional[int]:
+        return service.global_memory_bytes
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return []
+
+    def stall_totals(self) -> Dict[str, float]:
+        return {}
+
+    def queued_jobs(self) -> int:
+        return 0
+
+    @property
+    def steals_total(self) -> int:
+        return 0

@@ -132,6 +132,11 @@ class _Handler(BaseHTTPRequestHandler):
             "active": snapshot["active"] if snapshot is not None else 0,
             "alerts": service.alerts_total,
             "archive": archive,
+            "backend": service.backend.name,
+            # Per-worker liveness/backlog straight off the backend (not
+            # the snapshot: a dead worker must show up within the
+            # health probe's latency, not the publish interval's).
+            "workers": service.backend.describe(),
         })
 
     def _slo(self) -> None:

@@ -12,7 +12,7 @@ query-view world exists until admission), per-tenant priorities decide
 who runs first, and completion latency includes the queue wait.  The
 report (p50/p95/p99/mean/max latency, throughput, admission waits,
 per-tenant accounting) feeds ``scripts/service_loadtest.py``, the
-``service_loadtest`` bench case, and ``BENCH_PR7.json``.
+``service_loadtest`` bench cases, and ``BENCH_PR10.json``.
 """
 
 from __future__ import annotations
@@ -50,10 +50,14 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
                        admission: str = "priority",
                        params: Optional[SimulationParameters] = None,
                        archive_dir: Optional[Union[str, Path]] = None,
+                       workers: int = 1,
                        on_progress: Optional[Callable[[int, int], None]]
                        = None) -> Dict[str, Any]:
     """Run one sustained-arrival load test; returns the JSON-safe report.
 
+    ``workers > 1`` runs the submissions on a sharded worker-process
+    pool (the ``repro serve --workers N`` execution plane); the report
+    then carries per-worker completion counts and the steal total.
     ``on_progress(submitted, completed)`` is invoked at roughly every
     5% of the arrival schedule (and once at the end of submission).
     """
@@ -67,7 +71,9 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
             f"concurrency must be >= 1, got {concurrency}")
     if params is None:
         params = SimulationParameters(telemetry_enabled=True)
-    pool = concurrency * params.query_memory_bytes
+    # Per-worker carve-outs shrink the pool N-fold, so scale it with the
+    # fleet: every worker still admits `concurrency` leases.
+    pool = concurrency * params.query_memory_bytes * max(1, workers)
     service = QueryService(
         params=params, seed=seed, global_memory_bytes=pool,
         admission=admission, tenants=list(tenants),
@@ -78,7 +84,8 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
         # Archiving (when enabled) measures the cost of the durable
         # telemetry plane under load — the writer must stay off the
         # kernel hot path for service_qps to hold.
-        archive_dir=archive_dir)
+        archive_dir=archive_dir,
+        workers=workers)
     await service.start()
 
     loop = asyncio.get_running_loop()
@@ -105,6 +112,10 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
 
     await service.stop()
     wall = time.time() - wall_started
+    # Slot counters survive backend.stop (only liveness flips), so this
+    # reads the final per-worker completion/steal tallies.
+    worker_rows = service.backend.describe()
+    steals = service.backend.steals_total
     if on_progress is not None:
         on_progress(submissions, service.completed)
 
@@ -123,9 +134,12 @@ async def run_loadtest(submissions: int = 10_000, rate: float = 150.0,
             "submissions": submissions, "rate": rate, "scale": scale,
             "wait_us": wait_us, "jitter": jitter, "strategy": strategy,
             "concurrency": concurrency, "seed": seed,
-            "admission": admission,
+            "admission": admission, "workers": workers,
             "tenants": [spec.name for spec in tenants],
         },
+        "backend": service.backend.name,
+        "workers": worker_rows or None,
+        "steals": steals,
         "submitted": service.submitted,
         "completed": service.completed,
         "failed": service.failed,

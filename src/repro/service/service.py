@@ -45,7 +45,6 @@ from typing import (
     Any,
     Callable,
     Dict,
-    Generator,
     List,
     Mapping,
     Optional,
@@ -63,8 +62,6 @@ from repro.exec.core import Process, SimEvent
 from repro.exec.live import BatchSource, QueryRun, jittered_batches
 from repro.experiments.workloads import Figure5Workload, figure5_workload
 from repro.observability import (
-    SPAN_ADMISSION_WAIT,
-    STALL_ADMISSION_WAIT,
     DecisionAuditLog,
     MetricsPublisher,
 )
@@ -86,11 +83,15 @@ from repro.resources import (
     TenantRegistry,
     TenantSpec,
 )
+from repro.service.backend import ExecutionBackend, InProcessBackend
 from repro.service.slo import SLOSpec, SLOTracker
 from repro.service.stats import LatencyWindow
 
 #: service snapshot layout version (part of the SSE/JSON payload).
-SERVICE_SNAPSHOT_VERSION = 1
+#: 2: execution-plane fields joined (``backend``, ``workers``,
+#:    ``steals``); ``admission_queued`` includes backend queues and
+#:    ``stalls`` folds remote-worker stall seconds in.
+SERVICE_SNAPSHOT_VERSION = 2
 
 #: seconds between full-snapshot records written to the archive (the
 #: per-second publish tick would bloat the log ~10x for no added
@@ -255,10 +256,19 @@ class SubmissionRecord:
     outcome: Optional[Dict[str, Any]] = None
     #: set once the submission reached a terminal state (loop thread).
     done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: executing worker in a sharded pool (None in-process / undispatched).
+    worker_id: Optional[int] = None
     # internal bookkeeping, not serialized:
     account: Optional[TenantAccount] = None
     declared_max_bytes: int = 0
     run: Optional[QueryRun] = None
+    #: submission sequence number (seeds the source streams; fixed at
+    #: submit time so results do not depend on dispatch order).
+    sequence: int = 0
+    #: remote-execution telemetry (worker pool only; in-process reads
+    #: these off the live ``run`` instead).
+    memory_peak_bytes: Optional[int] = None
+    span_summary: Optional[Dict[str, Any]] = None
 
     @property
     def finished(self) -> bool:
@@ -280,9 +290,41 @@ class SubmissionRecord:
             "finished_at": self.finished_at,
             "admission_wait": self.admission_wait,
             "latency_s": self.latency(now),
+            "worker": self.worker_id,
             "error": self.error,
             "outcome": self.outcome,
         }
+
+
+def submission_sources(service_seed: int, params: SimulationParameters,
+                       workload: Figure5Workload,
+                       request: SubmissionRequest,
+                       sequence: int) -> Dict[str, Callable[[], BatchSource]]:
+    """Source-stream factories for one submission.
+
+    Seeded per ``(service seed, request seed, submission sequence,
+    relation)``: every submission sees fresh-but-reproducible delays,
+    and — because nothing here depends on the executing process — a
+    pool worker reproduces exactly the streams the coordinator would
+    have built, so work stealing never changes a result.
+    """
+    base_wait = request.wait_us * 1e-6
+
+    def factory(relation: str) -> Callable[[], BatchSource]:
+        cardinality = workload.catalog.relation(relation).cardinality
+
+        def make() -> BatchSource:
+            rng = np.random.default_rng(
+                [service_seed, request.seed, sequence,
+                 zlib.crc32(relation.encode())])
+            return jittered_batches(
+                cardinality, params.tuples_per_message,
+                base_wait * request.slow.get(relation, 1.0), rng,
+                jitter=request.jitter)
+        return make
+
+    return {relation: factory(relation)
+            for relation in workload.relation_names}
 
 
 class QueryService:
@@ -312,9 +354,15 @@ class QueryService:
                  snapshot_archive_interval_s: float =
                  DEFAULT_SNAPSHOT_ARCHIVE_INTERVAL_S,
                  slos: Optional[Sequence[SLOSpec]] = None,
-                 slo_options: Optional[Dict[str, Any]] = None) -> None:
+                 slo_options: Optional[Dict[str, Any]] = None,
+                 workers: int = 1,
+                 worker_window: Optional[int] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         from repro.core.runtime import World
 
+        if workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}")
         if admission not in ADMISSION_POLICIES + ("none",):
             raise ConfigurationError(
                 f"unknown admission policy {admission!r}; expected one of "
@@ -378,6 +426,24 @@ class QueryService:
                 self.machine.broker, self.kernel,
                 telemetry=self.machine.telemetry, policy=admission)
 
+        # The execution plane: in-process on this kernel (default), or
+        # a sharded worker-process pool (``workers > 1``), or whatever
+        # custom backend the caller injected.
+        self.workers = workers
+        if backend is not None:
+            self.backend: ExecutionBackend = backend
+        elif workers > 1:
+            from repro.service.workers import (
+                DEFAULT_WINDOW,
+                WorkerPoolBackend,
+            )
+            self.backend = WorkerPoolBackend(
+                workers,
+                window=(worker_window if worker_window is not None
+                        else DEFAULT_WINDOW))
+        else:
+            self.backend = InProcessBackend()
+
         self.tenants = TenantRegistry(tenants, strict=strict_tenants)
         self.latency = LatencyWindow(
             latency_window if latency_window is not None else 4096)
@@ -438,6 +504,9 @@ class QueryService:
         self._started = True
         self.started_wall = time.time()
         self._loop = asyncio.get_running_loop()
+        # Execution plane first: workers must be up (leases carved,
+        # ready handshakes in) before anything can be submitted.
+        await self.backend.start(self)
         self._shutdown = self.kernel.event(name="service-shutdown")
         self._run_task = asyncio.ensure_future(
             self.kernel.run(until_event=self._shutdown))
@@ -512,6 +581,8 @@ class QueryService:
         self.drain()
         if self._run_task is not None:
             await self._run_task
+        # In-flight work has drained; tear the execution plane down.
+        await self.backend.stop(self)
         self._stopped = True
         if self._publish_task is not None:
             self._publish_task.cancel()
@@ -547,28 +618,21 @@ class QueryService:
             self._workloads[scale] = workload
         return workload
 
-    def _sources(self, workload: Figure5Workload,
-                 request: SubmissionRequest,
-                 sequence: int) -> Dict[str, Callable[[], BatchSource]]:
-        base_wait = request.wait_us * 1e-6
+    @property
+    def sequence(self) -> int:
+        """The current submission sequence number (source seeding)."""
+        return self._sequence
 
-        def factory(relation: str) -> Callable[[], BatchSource]:
-            cardinality = workload.catalog.relation(relation).cardinality
+    def sources_for(self, workload: Figure5Workload,
+                    request: SubmissionRequest,
+                    sequence: int) -> Dict[str, Callable[[], BatchSource]]:
+        """Backend hook: the submission's seeded source factories."""
+        return submission_sources(self.seed, self.params, workload,
+                                  request, sequence)
 
-            def make() -> BatchSource:
-                # Seeded per (service, submission, relation): every
-                # submission sees fresh-but-reproducible delays.
-                rng = np.random.default_rng(
-                    [self.seed, request.seed, sequence,
-                     zlib.crc32(relation.encode())])
-                return jittered_batches(
-                    cardinality, self.params.tuples_per_message,
-                    base_wait * request.slow.get(relation, 1.0), rng,
-                    jitter=request.jitter)
-            return make
-
-        return {relation: factory(relation)
-                for relation in workload.relation_names}
+    def register_run(self, submission_id: str, run: QueryRun) -> None:
+        """Backend hook: track an in-process run for live aggregation."""
+        self._runs[submission_id] = run
 
     def submit(self, request: SubmissionRequest) -> SubmissionRecord:
         """Accept one submission (loop thread only).
@@ -588,12 +652,17 @@ class QueryService:
             raise ConfigurationError(
                 f"unknown relation(s) in slow map: {sorted(unknown)}")
         initial, min_bytes, max_bytes = request.resolved_budgets(self.params)
-        pool = self.global_memory_bytes
-        if self.governed and pool is not None and min_bytes > pool:
+        limit = self.backend.admission_limit_bytes(self)
+        if self.governed and limit is not None and min_bytes > limit:
             self.rejected += 1
+            if limit == self.global_memory_bytes:
+                raise ConfigurationError(
+                    f"minimum working set {min_bytes} exceeds the global "
+                    f"memory pool {limit}; it could never be admitted")
             raise ConfigurationError(
-                f"minimum working set {min_bytes} exceeds the global "
-                f"memory pool {pool}; it could never be admitted")
+                f"minimum working set {min_bytes} exceeds the per-worker "
+                f"memory carve-out {limit}; it could never be admitted "
+                f"on any worker")
         try:
             account = self.tenants.begin(request.tenant, max_bytes)
         except Exception:
@@ -606,11 +675,12 @@ class QueryService:
             # dispatches, where the dispatch clock still shows the last
             # event — any idle gap would be billed to this submission.
             submitted_at=self.kernel.wall_now, account=account,
-            declared_max_bytes=max_bytes)
+            declared_max_bytes=max_bytes, sequence=self._sequence)
         self.records[record.id] = record
         self.submitted += 1
         process = self.kernel.process(
-            self._launch(record, workload, initial, min_bytes, max_bytes),
+            self.backend.launch(self, record, workload, initial,
+                                min_bytes, max_bytes),
             name=f"query:{record.id}")
         process.defused = True
         process.add_callback(
@@ -633,66 +703,6 @@ class QueryService:
         self._loop.call_soon_threadsafe(_on_loop)
         return future.result(timeout=timeout)
 
-    def _launch(self, record: SubmissionRecord, workload: Figure5Workload,
-                initial: int, min_bytes: int, max_bytes: int
-                ) -> Generator[SimEvent, Any, Any]:
-        from repro.core.runtime import World
-
-        machine = self.machine
-        request = record.request
-        submitted = self.kernel.now
-        priority = self.tenants.priority_for(request.tenant,
-                                             request.priority)
-        wait_span = None
-        spans = machine.telemetry.spans
-        if self.controller is not None:
-            ticket = self.controller.request(
-                record.id, min_bytes, max_bytes, priority=priority,
-                tenant=request.tenant)
-            if not ticket.granted:
-                assert ticket.event is not None
-                yield ticket.event
-            lease = ticket.lease
-            assert lease is not None
-            record.admission_wait = ticket.waited
-            if record.admission_wait > 0:
-                machine.telemetry.stalls.record(
-                    STALL_ADMISSION_WAIT, submitted, self.kernel.now)
-                if spans is not None:
-                    wait_span = spans.add(
-                        SPAN_ADMISSION_WAIT, record.id, submitted,
-                        self.kernel.now, min_bytes=min_bytes)
-        else:
-            lease = machine.broker.lease(record.id, initial,
-                                         min_bytes=min_bytes,
-                                         max_bytes=max_bytes,
-                                         tenant=request.tenant)
-        record.state = STATE_RUNNING
-        record.started_at = self.kernel.now
-        # Query-view world: shares the machine, skips per-query gauges
-        # (the registry must not grow with the submission stream).
-        world = World(self.params, share_machine=machine, lease=lease,
-                      query_name=record.id, attach_memory_metrics=False)
-        query = QueryRun(self.kernel, world, workload.qep,
-                         make_policy(request.strategy),
-                         self._sources(workload, request, self._sequence),
-                         name=record.id)
-        record.run = query
-        self._runs[record.id] = query
-        try:
-            main = query.start()
-            if wait_span is not None and spans is not None \
-                    and query.runtime.query_span is not None:
-                spans.set_cause(query.runtime.query_span, wait_span)
-            yield main  # joins; an engine failure re-raises here
-            result = query.result()
-            result.submission_id = record.id
-            result.tenant = request.tenant
-            return result
-        finally:
-            query.detach()
-            machine.broker.release(lease)
-
     def _finish(self, record: SubmissionRecord, process: Process) -> None:
         """Completion callback (kernel thread): close out one submission."""
         now = self.kernel.now
@@ -704,6 +714,12 @@ class QueryService:
         if ok:
             record.state = STATE_DONE
             result = process.value
+            if run is None:
+                # Remote execution: no live QueryRun on this kernel —
+                # the fleet-wide batch counter rides the result instead.
+                self._batches_done += result.batches_processed
+            if result.worker_id is not None:
+                record.worker_id = result.worker_id
             self.completed += 1
             record.outcome = {
                 "response_time": result.response_time,
@@ -737,9 +753,9 @@ class QueryService:
     def _outcome_record(self, record: SubmissionRecord, ok: bool,
                         latency: float) -> Dict[str, Any]:
         """The per-submission archive record (kind ``outcome``)."""
-        peak: Optional[int] = None
+        peak: Optional[int] = record.memory_peak_bytes
         run = record.run
-        if run is not None:
+        if peak is None and run is not None:
             lease = getattr(run.world, "memory", None)
             peak = getattr(lease, "peak_bytes", None)
         out: Dict[str, Any] = {
@@ -756,6 +772,7 @@ class QueryService:
             "latency_s": latency,
             "wait_s": record.admission_wait,
             "memory_peak_bytes": peak,
+            "worker": record.worker_id,
         }
         if record.error is not None:
             out["error"] = record.error
@@ -767,6 +784,18 @@ class QueryService:
 
     def _archive_span_summary(self, record: SubmissionRecord) -> None:
         """Archive the submission's span subtree as one summary record."""
+        if record.span_summary is not None and record.run is None:
+            # Remote execution: the worker already summarized its span
+            # subtree; archive the folded summary as-is.
+            assert self.archive is not None
+            self.archive.append({
+                "kind": RECORD_SPAN, "t": time.time(),
+                "at": record.finished_at, "id": record.id,
+                "tenant": record.request.tenant,
+                "worker": record.worker_id,
+                "summary": record.span_summary,
+            })
+            return
         spans = self.machine.telemetry.spans
         run = record.run
         if spans is None or run is None:
@@ -807,8 +836,10 @@ class QueryService:
         """One JSON-safe view of the whole service (``kind: service``)."""
         now = self.kernel.wall_now
         broker = self.machine.broker
-        stalls = dict(sorted(
-            self.machine.telemetry.stalls.by_cause().items()))
+        stalls = self.machine.telemetry.stalls.by_cause()
+        for cause, seconds in self.backend.stall_totals().items():
+            stalls[cause] = stalls.get(cause, 0.0) + seconds
+        stalls = dict(sorted(stalls.items()))
         batches = self._batches_done + sum(
             run.processor.batches_processed for run in self._runs.values()
             if run.processor is not None)
@@ -824,8 +855,12 @@ class QueryService:
             "draining": self.draining,
             "submitted": self.submitted,
             "active": self.active,
-            "admission_queued": (self.controller.queue_depth
-                                 if self.controller is not None else 0),
+            "admission_queued": ((self.controller.queue_depth
+                                  if self.controller is not None else 0)
+                                 + self.backend.queued_jobs()),
+            "backend": self.backend.name,
+            "workers": self.backend.describe(),
+            "steals": self.backend.steals_total,
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,

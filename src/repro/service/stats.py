@@ -166,6 +166,33 @@ def service_prometheus_text(snapshot: Optional[Dict[str, Any]]) -> str:
          [(f'{{cause="{_esc(cause)}"}}', seconds)
           for cause, seconds in sorted(snapshot["stalls"].items())])
 
+    workers = snapshot.get("workers")
+    if workers:
+        emit("repro_service_worker_up", "gauge",
+             "1 while the worker process is alive and ready.",
+             [(f'{{worker="{row["id"]}"}}',
+               1.0 if row["state"] == "up" else 0.0) for row in workers])
+        emit("repro_service_worker_active", "gauge",
+             "Submissions in flight on each worker.",
+             [(f'{{worker="{row["id"]}"}}', row["active"])
+              for row in workers])
+        emit("repro_service_worker_queued", "gauge",
+             "Submissions queued coordinator-side for each worker.",
+             [(f'{{worker="{row["id"]}"}}', row["queued"])
+              for row in workers])
+        emit("repro_service_worker_completed_total", "counter",
+             "Submissions each worker finished successfully.",
+             [(f'{{worker="{row["id"]}"}}', row["completed"])
+              for row in workers])
+        emit("repro_service_worker_steals_total", "counter",
+             "Jobs each worker stole from a backlogged peer.",
+             [(f'{{worker="{row["id"]}"}}', row["steals"])
+              for row in workers])
+        emit("repro_service_worker_restarts_total", "counter",
+             "Times each worker slot was respawned after a death.",
+             [(f'{{worker="{row["id"]}"}}', row["restarts"])
+              for row in workers])
+
     slo = snapshot.get("slo")
     if slo:
         emit("repro_service_slo_compliance", "gauge",

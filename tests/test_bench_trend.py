@@ -27,7 +27,8 @@ def _report(**derived) -> dict:
               "warm_cache_fraction": 0.05,
               "service_qps": 30.0,
               "service_p50_latency_s": 1.5,
-              "service_p99_latency_s": 12.0}
+              "service_p99_latency_s": 12.0,
+              "service_worker_speedup": 1.6}
     values.update(derived)
     return {"suite": SUITE, "schema_version": 1, "derived": values}
 
@@ -176,8 +177,8 @@ def test_format_trend_with_no_reports():
 # The committed baseline for this PR
 # --------------------------------------------------------------------------
 
-def test_committed_bench_pr7_is_a_loadable_nonregressing_baseline():
-    report = load_bench_report(REPO_ROOT / "BENCH_PR7.json")
+def test_committed_bench_pr10_is_a_loadable_nonregressing_baseline():
+    report = load_bench_report(REPO_ROOT / "BENCH_PR10.json")
     for metric in TREND_METRICS:
         assert metric in report["derived"], f"{metric} missing from baseline"
     comparisons = compare_reports(report, report, 0.10)

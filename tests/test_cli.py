@@ -211,7 +211,19 @@ def test_cmd_bench_writes_report(capsys, tmp_path):
     assert names == ["dqp_batch_loop", "kernel_dispatch",
                      "fig6_sweep_jobs1", "fig6_sweep_jobsN",
                      "fig6_sweep_warm_cache", "service_loadtest",
-                     "service_loadtest_archive"]
+                     "service_loadtest_archive",
+                     "service_loadtest_workers"]
+    worker_case = report["cases"][-1]
+    assert worker_case["workers"] == 2
+    assert sum(worker_case["worker_completed"]) == 40
+    assert worker_case["steals"] >= 0
+    worker_speedup = report["derived"]["service_worker_speedup"]
+    if report["host"]["cpu_count"] >= 4:
+        assert worker_speedup > 0
+    else:
+        # Below 4 cores the coordinator and the workers just contend;
+        # the ratio is explicitly null rather than a misleading number.
+        assert worker_speedup is None
     assert report["derived"]["service_qps"] > 0
     assert report["derived"]["service_archive_qps_ratio"] > 0
     assert report["derived"]["service_p99_latency_s"] >= \
@@ -336,7 +348,7 @@ def test_cmd_top_once_with_nothing_listening_exits_2(capsys):
 
 def test_bench_default_out_is_this_prs_report():
     args = build_parser().parse_args(["bench"])
-    assert args.out == "BENCH_PR7.json"
+    assert args.out == "BENCH_PR10.json"
     assert args.max_regression == "10%"
 
 

@@ -1,0 +1,39 @@
+"""Client-command failure UX against an unreachable daemon.
+
+`repro submit`, `repro watch` and `repro top --connect` talk to a
+running `repro serve`; when nothing is listening they must exit 2 with
+one crisp stderr line — not a traceback, and (for the streaming
+commands) not a silent multi-second reconnect ladder.  Port 1 on
+loopback is never listening, so every connection attempt is an
+immediate refusal.
+"""
+
+import pytest
+
+from repro.cli import main
+
+#: nothing listens on tcp/1 (privileged, unused): instant refusal.
+DEAD = "127.0.0.1:1"
+
+
+@pytest.mark.parametrize("argv", [
+    ["submit", "--connect", DEAD],
+    ["submit", "--connect", DEAD, "--wait"],
+    ["watch", "--connect", DEAD],
+    ["top", "--connect", DEAD, "--once"],
+])
+def test_client_commands_exit_2_when_nothing_listens(argv, capsys):
+    assert main(argv) == 2
+    captured = capsys.readouterr()
+    assert captured.err.startswith("error: ")
+    assert "Traceback" not in captured.err
+    # One-line diagnosis: the fail-fast path must not have looped
+    # through the reconnect ladder printing retry notices.
+    assert len(captured.err.strip().splitlines()) == 1
+
+
+def test_error_line_names_the_endpoint(capsys):
+    assert main(["submit", "--connect", DEAD]) == 2
+    err = capsys.readouterr().err
+    assert "127.0.0.1" in err
+    assert "repro serve" in err  # points at the fix, not just the symptom

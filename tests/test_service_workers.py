@@ -1,0 +1,393 @@
+"""The sharded execution plane (`repro serve --workers N`).
+
+Pins the worker-pool backend at three layers: the pure
+:class:`~repro.service.workers.PoolScheduler` dispatch/steal policy and
+the :meth:`~repro.resources.broker.MemoryBroker.carve_even` pool split
+(plain unit tests — the policies are deterministic by construction),
+one real two-worker service session (completion, per-worker accounting,
+fleet snapshot/metrics/top rendering, cross-backend determinism), and
+the failure semantics: a SIGKILLed worker fails its in-flight
+submissions with ``worker-died``, is respawned, and the service keeps
+serving with consistent counters.
+"""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.observability.top import (
+    render_service_top,
+    stream_snapshots_reconnect,
+    worker_transitions,
+)
+from repro.resources import MemoryBroker, TenantSpec
+from repro.service import (
+    PoolScheduler,
+    QueryService,
+    SubmissionRequest,
+    service_prometheus_text,
+)
+from repro.service.workers import WorkerPoolBackend
+
+#: small-and-fast submission shape used by the live pool tests; the
+#: memory budget is far under the per-worker carve so workers overlap.
+FAST = dict(scale=0.0005, wait_us=20.0, memory_bytes=256 << 10)
+
+
+# --------------------------------------------------------------------------
+# PoolScheduler: the pure dispatch/steal policy
+# --------------------------------------------------------------------------
+
+def test_assign_picks_least_backlog_ties_lowest_id():
+    scheduler = PoolScheduler([0, 1, 2])
+    assert scheduler.assign("a") == 0      # all empty: lowest id
+    assert scheduler.assign("b") == 1
+    assert scheduler.assign("c") == 2
+    assert scheduler.assign("d") == 0      # tied again: lowest id
+    scheduler.active[1] += 3               # worker 1 is busy running
+    assert scheduler.assign("e") == 2      # backlog counts active too
+
+
+def test_next_for_prefers_own_queue_and_respects_window():
+    scheduler = PoolScheduler([0, 1], window=2)
+    for job in ("a", "b", "c", "d"):
+        scheduler.assign(job)
+    assert scheduler.next_for(0) == ("a", False)
+    assert scheduler.next_for(0) == ("c", False)
+    assert scheduler.next_for(0) is None   # window full (2 active)
+    scheduler.finished(0)
+    assert scheduler.next_for(0) == ("b", True)  # own empty: steals
+
+
+def test_steal_takes_from_the_longest_queue_ties_lowest_id():
+    scheduler = PoolScheduler([0, 1, 2])
+    # Build uneven queues directly: worker 1 holds 2 jobs, worker 2
+    # holds 1; worker 0 is idle and empty.
+    for job, victim in (("a", 1), ("b", 1), ("c", 2)):
+        scheduler.queues[victim].append(job)
+        scheduler.assigned[job] = victim
+    assert scheduler.next_for(0) == ("a", True)   # longest queue first
+    assert scheduler.next_for(0) == ("b", True)   # 1 and 2 tied: lowest
+    assert scheduler.next_for(0) == ("c", True)
+    assert scheduler.steals == {0: 3, 1: 0, 2: 0}
+    assert scheduler.steals_total == 3
+
+
+def test_finished_and_forget_bookkeeping():
+    scheduler = PoolScheduler([0])
+    scheduler.assign("a")
+    scheduler.assign("b")
+    assert scheduler.queued_total() == 2
+    assert scheduler.forget("b") is True          # still queued: dropped
+    assert scheduler.queued_total() == 1
+    assert scheduler.next_for(0) == ("a", False)
+    assert scheduler.forget("a") is False         # already dispatched
+    scheduler.finished(0)
+    with pytest.raises(SimulationError):
+        scheduler.finished(0)                     # nothing active
+
+
+def test_scheduler_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        PoolScheduler([])
+    with pytest.raises(ConfigurationError):
+        PoolScheduler([0], window=0)
+
+
+# --------------------------------------------------------------------------
+# carve_even: the pool split behind the fleet
+# --------------------------------------------------------------------------
+
+def test_carve_even_splits_spare_and_keeps_remainder():
+    broker = MemoryBroker(10)
+    leases = broker.carve_even(3)
+    assert [lease.total_bytes for lease in leases] == [3, 3, 3]
+    assert broker.spare_bytes() == 1              # remainder stays
+    for lease in leases:
+        broker.release(lease)
+    assert broker.spare_bytes() == 10
+
+
+def test_carve_even_unbounded_pool_carves_nothing():
+    assert MemoryBroker(None).carve_even(4) == []
+
+
+def test_carve_even_refuses_an_impossible_split():
+    with pytest.raises(SimulationError):
+        MemoryBroker(2).carve_even(3)             # share would be 0
+    with pytest.raises(SimulationError):
+        MemoryBroker(8).carve_even(0)
+
+
+# --------------------------------------------------------------------------
+# One real two-worker session
+# --------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def pool_session():
+    """Start, exercise and stop one governed two-worker service."""
+    out = {}
+
+    async def scenario():
+        service = QueryService(
+            seed=11, global_memory_bytes=8 << 20,
+            tenants=[TenantSpec("gold", priority=2.0)],
+            publish_interval_s=0.05, workers=2)
+        await service.start()
+        out["describe_at_start"] = service.backend.describe()
+
+        records = [service.submit(SubmissionRequest(
+            tenant="gold", seed=index, **FAST)) for index in range(6)]
+        await asyncio.gather(*(record.done.wait() for record in records))
+        out["mid_snapshot"] = service.snapshot()
+        out["records"] = records
+
+        # A submission whose minimum exceeds one worker's carve can
+        # never run anywhere: refused up front, with the pool-specific
+        # message (the global pool would have fit it).
+        try:
+            service.submit(SubmissionRequest(
+                tenant="gold", memory_bytes=6 << 20))
+        except ConfigurationError as exc:
+            out["refusal"] = str(exc)
+
+        await service.stop()
+        out["final_describe"] = service.backend.describe()
+        out["steals"] = service.backend.steals_total
+        out["service"] = service
+
+    asyncio.run(scenario())
+    return out
+
+
+def test_pool_submissions_complete_with_worker_attribution(pool_session):
+    for record in pool_session["records"]:
+        assert record.state == "done", record.error
+        assert record.worker_id in (0, 1)
+        assert record.to_dict(0.0)["worker"] == record.worker_id
+        assert record.outcome["result_tuples"] > 0
+    # Both carves are equal halves of the 8 MiB machine pool.
+    workers = {row["id"]: row for row in pool_session["final_describe"]}
+    assert workers[0]["pool_bytes"] == workers[1]["pool_bytes"] == 4 << 20
+
+
+def test_pool_snapshot_carries_the_fleet(pool_session):
+    snapshot = pool_session["mid_snapshot"]
+    assert snapshot["backend"] == "worker-pool"
+    rows = {row["id"]: row for row in snapshot["workers"]}
+    assert sorted(rows) == [0, 1]
+    assert all(row["state"] == "up" for row in rows.values())
+    assert sum(row["completed"] for row in rows.values()) == 6
+    assert snapshot["steals"] == sum(row["steals"]
+                                     for row in rows.values())
+    import json
+    json.dumps(snapshot)  # JSON-safe end to end
+
+
+def test_pool_worker_counters_survive_stop(pool_session):
+    rows = {row["id"]: row for row in pool_session["final_describe"]}
+    assert all(row["state"] == "down" for row in rows.values())
+    assert sum(row["completed"] for row in rows.values()) == 6
+    assert pool_session["steals"] == sum(row["steals"]
+                                         for row in rows.values())
+
+
+def test_oversized_submission_names_the_carve(pool_session):
+    assert "per-worker memory carve-out" in pool_session["refusal"]
+    assert pool_session["service"].rejected == 1
+
+
+def test_prometheus_text_exposes_per_worker_series(pool_session):
+    text = service_prometheus_text(pool_session["mid_snapshot"])
+    for metric in ("repro_service_worker_up", "repro_service_worker_active",
+                   "repro_service_worker_queued",
+                   "repro_service_worker_completed_total",
+                   "repro_service_worker_steals_total",
+                   "repro_service_worker_restarts_total"):
+        assert f'{metric}{{worker="0"}}' in text
+        assert f'{metric}{{worker="1"}}' in text
+    assert 'repro_service_worker_up{worker="0"} 1.0' in text
+
+
+def test_render_service_top_shows_the_worker_section(pool_session):
+    lines = render_service_top(pool_session["mid_snapshot"], width=100)
+    header = next(line for line in lines if line.startswith("WORKER"))
+    assert "fleet 2/2 up" in header
+    worker_rows = [line for line in lines
+                   if line.startswith(("0 ", "1 "))]
+    assert len(worker_rows) == 2
+
+
+def test_pool_results_match_the_in_process_backend(pool_session):
+    """Stealing must not change results: source streams are seeded per
+    submission, not per worker, so the same request sequence yields the
+    same tuple counts on either backend."""
+    out = {}
+
+    async def scenario():
+        service = QueryService(
+            seed=11, global_memory_bytes=8 << 20,
+            tenants=[TenantSpec("gold", priority=2.0)],
+            publish_interval_s=0.05)  # workers=1: InProcessBackend
+        await service.start()
+        records = [service.submit(SubmissionRequest(
+            tenant="gold", seed=index, **FAST)) for index in range(6)]
+        await asyncio.gather(*(record.done.wait() for record in records))
+        await service.stop()
+        out["records"] = records
+
+    asyncio.run(scenario())
+    pooled = [r.outcome["result_tuples"] for r in pool_session["records"]]
+    solo = [r.outcome["result_tuples"] for r in out["records"]]
+    assert pooled == solo
+
+
+# --------------------------------------------------------------------------
+# Failure semantics: death, respawn, consistent counters
+# --------------------------------------------------------------------------
+
+def test_worker_crash_fails_inflight_then_respawns():
+    async def scenario():
+        service = QueryService(
+            seed=3, global_memory_bytes=8 << 20,
+            tenants=[TenantSpec("gold", priority=2.0)],
+            publish_interval_s=0.05, workers=2)
+        await service.start()
+        backend = service.backend
+        assert isinstance(backend, WorkerPoolBackend)
+
+        # Long-running submissions (heavy per-batch waits) so the kill
+        # lands mid-query; one per worker by least-loaded assignment.
+        records = [service.submit(SubmissionRequest(
+            tenant="gold", seed=index, scale=0.002, wait_us=5000.0,
+            memory_bytes=256 << 10)) for index in range(2)]
+
+        victim = None
+        for _ in range(400):
+            for wid in sorted(backend._slots):
+                slot = backend._slots[wid]
+                if slot.inflight and slot.pid:
+                    victim = wid
+                    break
+            if victim is not None:
+                break
+            await asyncio.sleep(0.025)
+        assert victim is not None, "no submission ever reached a worker"
+        doomed_ids = set(backend._slots[victim].inflight)
+        os.kill(backend._slots[victim].pid, signal.SIGKILL)
+
+        # Every submission resolves: the victim's in flight fail with
+        # the worker-died verdict, the peer's complete normally.  No
+        # hang — bound the wait so a regression fails instead of
+        # stalling the suite.
+        await asyncio.wait_for(
+            asyncio.gather(*(record.done.wait() for record in records)),
+            timeout=120.0)
+        doomed = [record for record in records if record.id in doomed_ids]
+        assert doomed, "the killed worker had nothing in flight"
+        for record in doomed:
+            assert record.state == "failed"
+            assert "worker-died" in record.error
+        for record in records:
+            if record.id not in doomed_ids:
+                assert record.state == "done", record.error
+
+        # The slot is respawned with a bumped restart counter...
+        for _ in range(400):
+            if backend._slots[victim].up:
+                break
+            await asyncio.sleep(0.025)
+        assert backend._slots[victim].up
+        assert backend._slots[victim].restarts == 1
+
+        # ...and the service keeps serving on the refreshed fleet.
+        again = service.submit(SubmissionRequest(
+            tenant="gold", seed=99, **FAST))
+        await asyncio.wait_for(again.done.wait(), timeout=120.0)
+        assert again.state == "done", again.error
+
+        snapshot = service.snapshot()
+        assert snapshot["failed"] == len(doomed)
+        assert snapshot["completed"] == len(records) - len(doomed) + 1
+        rows = {row["id"]: row for row in snapshot["workers"]}
+        assert rows[victim]["restarts"] == 1
+        assert sum(row["failed"] for row in rows.values()) == len(doomed)
+        text = service_prometheus_text(snapshot)
+        assert (f'repro_service_worker_restarts_total'
+                f'{{worker="{victim}"}} 1.0') in text
+        await service.stop()
+
+    asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------------
+# worker_transitions: the `repro watch` fleet notices
+# --------------------------------------------------------------------------
+
+def _fleet(*rows):
+    return {"workers": [
+        {"id": wid, "state": state, "restarts": restarts}
+        for wid, state, restarts in rows]}
+
+
+def test_worker_transitions_reports_flips_and_respawns():
+    before = _fleet((0, "up", 0), (1, "up", 0))
+    assert worker_transitions(before, _fleet((0, "up", 0),
+                                             (1, "up", 0))) == []
+    assert worker_transitions(before, _fleet((0, "down", 0),
+                                             (1, "up", 0))) \
+        == ["worker 0 down"]
+    # A death + respawn between two publishes never flips the state;
+    # the restart counter still surfaces it.
+    assert worker_transitions(before, _fleet((0, "up", 1),
+                                             (1, "up", 0))) \
+        == ["worker 0 died and was respawned (restarts 1, now up)"]
+
+
+def test_worker_transitions_without_history_or_fleet():
+    assert worker_transitions(None, _fleet((0, "up", 0))) == []
+    assert worker_transitions({"workers": []}, {"kind": "service"}) == []
+
+
+# --------------------------------------------------------------------------
+# fail_fast reconnect: a dead endpoint is one crisp error
+# --------------------------------------------------------------------------
+
+def _dying_stream(frames_by_call):
+    calls = {"count": 0}
+
+    def stream(endpoint, timeout, status):
+        frames = frames_by_call[min(calls["count"],
+                                    len(frames_by_call) - 1)]
+        calls["count"] += 1
+        for frame in frames:
+            status.frames += 1
+            yield frame
+        raise ConfigurationError("connection refused")
+
+    stream.calls = calls
+    return stream
+
+
+def test_fail_fast_raises_on_a_never_connected_stream():
+    stream = _dying_stream([[]])
+    with pytest.raises(ConfigurationError, match="connection refused"):
+        list(stream_snapshots_reconnect(
+            "127.0.0.1:1", fail_fast=True, sleep=lambda _s: None,
+            _stream=stream))
+    assert stream.calls["count"] == 1     # no silent retry loop
+
+
+def test_fail_fast_still_reconnects_once_a_frame_arrived():
+    stream = _dying_stream([[{"now": 1.0}], []])
+    with pytest.raises(ConfigurationError):
+        list(stream_snapshots_reconnect(
+            "127.0.0.1:1", fail_fast=True, max_failures=2,
+            sleep=lambda _s: None, _stream=stream))
+    # First connection produced a frame (resetting the failure streak),
+    # so the drops afterwards get the full reconnect budget: the good
+    # connection plus two retries before giving up.
+    assert stream.calls["count"] == 3
